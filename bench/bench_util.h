@@ -1,0 +1,69 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench accepts:
+//   --scale=smoke|default|paper   (or $AHEFT_SCALE; default: default)
+//   --threads=N                   (0 = hardware concurrency)
+//   --seed=N                      (master seed, default 42)
+//   --csv=path                    (optional per-case dump)
+// and prints measured values side by side with the paper's published
+// numbers. Default scale keeps each bench in the seconds-to-minutes range;
+// paper scale replays the full published grids.
+#ifndef AHEFT_BENCH_BENCH_UTIL_H_
+#define AHEFT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/sweeps.h"
+#include "support/env.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+namespace aheft::bench {
+
+struct BenchOptions {
+  Scale scale = Scale::kDefault;
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+  std::string csv;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  BenchOptions options;
+  options.scale = args.scale();
+  options.threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  options.csv = args.get("csv", "");
+  return options;
+}
+
+inline void print_header(const std::string& title,
+                         const BenchOptions& options, std::size_t cases) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale=" << to_string(options.scale) << " seed=" << options.seed
+            << " cases=" << cases << "\n\n";
+}
+
+/// Runs the sweep with progress reporting and optional CSV dump.
+inline exp::SweepOutcome run(const BenchOptions& options,
+                             std::vector<exp::CaseSpec> specs) {
+  Stopwatch watch;
+  exp::SweepOutcome outcome =
+      exp::run_sweep(std::move(specs), options.threads, /*progress=*/true);
+  std::cout << "ran " << outcome.results.size() << " cases in "
+            << format_double(watch.seconds(), 1) << "s\n\n";
+  if (!options.csv.empty()) {
+    exp::dump_csv(outcome, options.csv);
+    std::cout << "per-case results written to " << options.csv << "\n\n";
+  }
+  return outcome;
+}
+
+}  // namespace aheft::bench
+
+#endif  // AHEFT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+#include "core/adaptive_run.h"
+
+namespace aheft::core {
+
+StrategyOutcome run_static_heft(const dag::Dag& dag,
+                                const grid::CostProvider& estimates,
+                                const grid::CostProvider& actual,
+                                const grid::ResourcePool& pool,
+                                SchedulerConfig config,
+                                sim::TraceRecorder* trace) {
+  PlannerConfig planner_config;
+  planner_config.scheduler = config;
+  planner_config.react_to_pool_changes = false;  // plan once, never adapt
+  planner_config.react_to_variance = false;
+  AdaptivePlanner planner(dag, estimates, actual, pool, planner_config,
+                          trace);
+  const AdaptiveResult result = planner.run();
+  return StrategyOutcome{result.makespan, result.evaluations,
+                         result.adoptions, result.restarts};
+}
+
+StrategyOutcome run_adaptive_aheft(const dag::Dag& dag,
+                                   const grid::CostProvider& estimates,
+                                   const grid::CostProvider& actual,
+                                   const grid::ResourcePool& pool,
+                                   PlannerConfig config,
+                                   sim::TraceRecorder* trace,
+                                   grid::PerformanceHistoryRepository* history) {
+  AdaptivePlanner planner(dag, estimates, actual, pool, config, trace,
+                          history);
+  const AdaptiveResult result = planner.run();
+  return StrategyOutcome{result.makespan, result.evaluations,
+                         result.adoptions, result.restarts};
+}
+
+StrategyOutcome run_dynamic_baseline(const dag::Dag& dag,
+                                     const grid::CostProvider& actual,
+                                     const grid::ResourcePool& pool,
+                                     DynamicHeuristic heuristic,
+                                     sim::TraceRecorder* trace) {
+  const DynamicRunResult result =
+      run_dynamic(dag, actual, pool, heuristic, trace);
+  return StrategyOutcome{result.makespan, result.batches, 0, 0};
+}
+
+}  // namespace aheft::core

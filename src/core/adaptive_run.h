@@ -1,0 +1,41 @@
+// One-call entry points for the three strategies the paper compares:
+// static HEFT, adaptive AHEFT, and dynamic just-in-time scheduling.
+#ifndef AHEFT_CORE_ADAPTIVE_RUN_H_
+#define AHEFT_CORE_ADAPTIVE_RUN_H_
+
+#include "core/dynamic_scheduler.h"
+#include "core/planner.h"
+
+namespace aheft::core {
+
+/// Makespan and bookkeeping of one simulated strategy run.
+struct StrategyOutcome {
+  sim::Time makespan = sim::kTimeZero;
+  std::size_t evaluations = 0;
+  std::size_t adoptions = 0;
+  std::size_t restarts = 0;
+};
+
+/// Static HEFT: plan once at t = 0 over the initial pool, never react.
+[[nodiscard]] StrategyOutcome run_static_heft(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    const grid::CostProvider& actual, const grid::ResourcePool& pool,
+    SchedulerConfig config = {}, sim::TraceRecorder* trace = nullptr);
+
+/// AHEFT: plan at t = 0, then reschedule on pool-change events (Fig. 2).
+[[nodiscard]] StrategyOutcome run_adaptive_aheft(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    const grid::CostProvider& actual, const grid::ResourcePool& pool,
+    PlannerConfig config = {}, sim::TraceRecorder* trace = nullptr,
+    grid::PerformanceHistoryRepository* history = nullptr);
+
+/// Dynamic baseline: just-in-time decisions with the given heuristic.
+[[nodiscard]] StrategyOutcome run_dynamic_baseline(
+    const dag::Dag& dag, const grid::CostProvider& actual,
+    const grid::ResourcePool& pool,
+    DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
+    sim::TraceRecorder* trace = nullptr);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_ADAPTIVE_RUN_H_

@@ -1,0 +1,38 @@
+// CPOP (Critical-Path-on-a-Processor), the second heuristic of Topcuoglu
+// et al. [19] — an extension beyond the paper, used to test the claim it
+// cites from Hönig & Schiffmann [10] that list-scheduling heuristics
+// "show a very similar behavior ... differing only by few percent".
+//
+// CPOP prioritises jobs by ranku + rankd, pins every critical-path job to
+// the single processor that minimises the critical path's total
+// computation cost, and schedules the rest by earliest finish time in
+// priority order (respecting readiness: a job is scheduled only once its
+// predecessors are scheduled).
+#ifndef AHEFT_CORE_CPOP_H_
+#define AHEFT_CORE_CPOP_H_
+
+#include <vector>
+
+#include "core/policies.h"
+#include "core/schedule.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+
+namespace aheft::core {
+
+/// Static CPOP plan over the resources visible at time `clock`.
+[[nodiscard]] Schedule cpop_schedule(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    const grid::ResourcePool& pool, SchedulerConfig config = {},
+    sim::Time clock = sim::kTimeZero);
+
+/// The jobs CPOP considers critical (|ranku + rankd - max| within a
+/// relative epsilon), in topological order. Exposed for tests.
+[[nodiscard]] std::vector<dag::JobId> cpop_critical_path(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    std::span<const grid::ResourceId> resources);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_CPOP_H_

@@ -1,0 +1,44 @@
+// Dynamic (just-in-time) scheduling baselines.
+//
+// The paper's dynamic comparator schedules each job only when it becomes
+// ready, with the Min-Min heuristic, on top of an event-driven simulation
+// (§4.2, built there on SimJava). Key semantic difference from the static
+// strategies (§4.1 assumption 2): a producer's output file stays at the
+// producer until the executor decides which resource runs the consumer;
+// the transfer then starts at decision time.
+//
+// Max-Min and Sufferage are provided as additional baselines (extension).
+#ifndef AHEFT_CORE_DYNAMIC_SCHEDULER_H_
+#define AHEFT_CORE_DYNAMIC_SCHEDULER_H_
+
+#include <string>
+
+#include "core/schedule.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+#include "sim/trace.h"
+
+namespace aheft::core {
+
+enum class DynamicHeuristic { kMinMin, kMaxMin, kSufferage };
+
+[[nodiscard]] std::string to_string(DynamicHeuristic heuristic);
+
+struct DynamicRunResult {
+  sim::Time makespan = sim::kTimeZero;
+  std::size_t batches = 0;      ///< number of just-in-time decision rounds
+  Schedule schedule;            ///< realized placement (for inspection)
+};
+
+/// Simulates a full just-in-time execution of `dag` over the dynamic pool.
+/// New resources are used by any job that becomes ready after they arrive.
+[[nodiscard]] DynamicRunResult run_dynamic(
+    const dag::Dag& dag, const grid::CostProvider& actual,
+    const grid::ResourcePool& pool,
+    DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
+    sim::TraceRecorder* trace = nullptr);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_DYNAMIC_SCHEDULER_H_

@@ -1,0 +1,292 @@
+#include "core/execution_engine.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+ExecutionEngine::ExecutionEngine(sim::Simulator& simulator,
+                                 const dag::Dag& dag,
+                                 const grid::CostProvider& actual,
+                                 const grid::ResourcePool& pool,
+                                 sim::TraceRecorder* trace)
+    : simulator_(&simulator),
+      dag_(&dag),
+      actual_(&actual),
+      pool_(&pool),
+      trace_(trace),
+      jobs_(dag.job_count()),
+      edge_arrivals_(dag.edge_count()) {
+  AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
+}
+
+const Schedule& ExecutionEngine::current_schedule() const {
+  AHEFT_REQUIRE(has_schedule_, "no schedule submitted yet");
+  return schedule_;
+}
+
+void ExecutionEngine::record_arrival(std::size_t edge_index,
+                                     grid::ResourceId resource,
+                                     sim::Time when) {
+  auto& per_edge = edge_arrivals_[edge_index];
+  const auto it = per_edge.find(resource);
+  if (it == per_edge.end() || when < it->second) {
+    per_edge[resource] = when;
+  }
+}
+
+sim::Time ExecutionEngine::ensure_transfer(std::size_t edge_index,
+                                           grid::ResourceId target,
+                                           sim::Time when) {
+  const dag::Edge& edge = dag_->edges()[edge_index];
+  const JobState& producer = jobs_[edge.from];
+  AHEFT_ASSERT(producer.phase == Phase::kFinished,
+               "transfer initiated before producer finished");
+  auto& per_edge = edge_arrivals_[edge_index];
+  if (const auto it = per_edge.find(target); it != per_edge.end()) {
+    return it->second;  // already there or already in flight
+  }
+  // Transfer start depends on the file-movement model; see TransferPolicy.
+  const double c = actual_->comm_cost(edge, producer.resource, target);
+  sim::Time start = when;
+  sim::Time arrival = when + c;
+  switch (transfer_policy_) {
+    case TransferPolicy::kRetransmitFromClock:
+      break;  // leaves now
+    case TransferPolicy::kEagerReplicate:
+      start = std::max(producer.aft, pool_->resource(target).arrival);
+      arrival = start + c;
+      break;
+    case TransferPolicy::kPrestagedArrivals:
+      arrival =
+          std::max(producer.aft + c, pool_->resource(target).arrival);
+      start = arrival - c;
+      break;
+  }
+  per_edge[target] = arrival;
+  if (trace_ != nullptr && arrival > start) {
+    trace_->record_transfer(edge.from, edge.to, target, start, arrival);
+  }
+  return arrival;
+}
+
+void ExecutionEngine::submit(const Schedule& schedule) {
+  AHEFT_REQUIRE(schedule.job_count() == dag_->job_count(),
+                "schedule sized for a different DAG");
+  AHEFT_REQUIRE(schedule.complete(), "submitted schedule must be complete");
+  const sim::Time now = simulator_->now();
+
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    JobState& state = jobs_[i];
+    const Assignment& next = schedule.assignment(i);
+    switch (state.phase) {
+      case Phase::kFinished:
+        // A reschedule must keep completed work where it happened.
+        AHEFT_ASSERT(next.resource == state.resource &&
+                         sim::time_eq(next.finish, state.aft),
+                     "reschedule rewrote history of a finished job");
+        break;
+      case Phase::kRunning: {
+        const bool kept = next.resource == state.resource &&
+                          sim::time_eq(next.start, state.ast);
+        if (!kept) {
+          // The planner replanned this running job: cancel and restart
+          // from scratch (no checkpointing).
+          const bool cancelled = simulator_->cancel(state.completion);
+          AHEFT_ASSERT(cancelled, "running job had no completion event");
+          if (trace_ != nullptr) {
+            trace_->record_compute(i, state.resource, state.ast, now);
+          }
+          state = JobState{};
+          ++restarts_;
+        }
+        break;
+      }
+      case Phase::kPending:
+        break;
+    }
+  }
+
+  schedule_ = schedule;
+  has_schedule_ = true;
+
+  // Retransmit outputs of finished producers toward consumers that moved
+  // (FEA case 2: the copy cannot leave before `now`).
+  for (std::size_t e = 0; e < dag_->edge_count(); ++e) {
+    const dag::Edge& edge = dag_->edges()[e];
+    if (jobs_[edge.from].phase != Phase::kFinished ||
+        jobs_[edge.to].phase == Phase::kFinished) {
+      continue;
+    }
+    ensure_transfer(e, schedule_.assignment(edge.to).resource, now);
+  }
+
+  rebuild_queues();
+  for (const auto& [resource, queue] : queues_) {
+    pump(resource);
+  }
+}
+
+void ExecutionEngine::rebuild_queues() {
+  queues_.clear();
+  queue_pos_.clear();
+  resource_free_.clear();
+  pending_pump_.clear();
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    const JobState& state = jobs_[i];
+    const Assignment& a = schedule_.assignment(i);
+    if (state.phase == Phase::kPending) {
+      queues_[a.resource].push_back(i);
+    } else if (state.phase == Phase::kRunning) {
+      // The machine stays busy until the running job's projected finish.
+      auto& free_at = resource_free_[state.resource];
+      free_at = std::max(free_at, state.aft);
+    }
+  }
+  for (auto& [resource, queue] : queues_) {
+    std::sort(queue.begin(), queue.end(),
+              [this](dag::JobId a, dag::JobId b) {
+                const Assignment& aa = schedule_.assignment(a);
+                const Assignment& ab = schedule_.assignment(b);
+                if (aa.start != ab.start) {
+                  return aa.start < ab.start;
+                }
+                return a < b;
+              });
+    queue_pos_[resource] = 0;
+  }
+}
+
+void ExecutionEngine::pump(grid::ResourceId resource) {
+  const auto queue_it = queues_.find(resource);
+  if (queue_it == queues_.end()) {
+    return;
+  }
+  const std::vector<dag::JobId>& queue = queue_it->second;
+  std::size_t& pos = queue_pos_[resource];
+  const sim::Time now = simulator_->now();
+
+  while (pos < queue.size()) {
+    const dag::JobId job = queue[pos];
+    const JobState& state = jobs_[job];
+    if (state.phase == Phase::kFinished) {
+      ++pos;  // stale entry after a reschedule
+      continue;
+    }
+    AHEFT_ASSERT(state.phase == Phase::kPending,
+                 "queued job is already running");
+
+    // (a) inputs present on this resource?
+    sim::Time ready = sim::kTimeZero;
+    for (const std::uint32_t e : dag_->in_edges(job)) {
+      const dag::Edge& edge = dag_->edges()[e];
+      if (jobs_[edge.from].phase != Phase::kFinished) {
+        return;  // producer pending/running: its completion re-pumps us
+      }
+      const auto& arrivals = edge_arrivals_[e];
+      const auto it = arrivals.find(resource);
+      AHEFT_ASSERT(it != arrivals.end(),
+                   "input of " + dag_->job(job).name +
+                       " was never transferred to its resource");
+      ready = std::max(ready, it->second);
+    }
+
+    // (b) machine free, (c) machine present.
+    const grid::Resource& machine = pool_->resource(resource);
+    sim::Time start = std::max({ready, machine.arrival, now});
+    if (const auto free_it = resource_free_.find(resource);
+        free_it != resource_free_.end()) {
+      start = std::max(start, free_it->second);
+    }
+
+    if (start > now) {
+      // Try again when the gating time is reached (deduplicated).
+      auto& pending = pending_pump_[resource];
+      if (pending == 0 || pending > start) {
+        simulator_->schedule_at(start, [this, resource] {
+          pending_pump_[resource] = 0;
+          pump(resource);
+        });
+        pending = start;
+      }
+      return;
+    }
+
+    start_job(job, resource);
+    ++pos;
+  }
+}
+
+void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
+  const sim::Time now = simulator_->now();
+  const grid::Resource& machine = pool_->resource(resource);
+  const double duration = actual_->compute_cost(job, resource);
+  AHEFT_ASSERT(sim::time_le(now + duration, machine.departure),
+               "job " + dag_->job(job).name +
+                   " would outlive resource " + machine.name);
+
+  JobState& state = jobs_[job];
+  state.phase = Phase::kRunning;
+  state.resource = resource;
+  state.ast = now;
+  state.aft = now + duration;
+  state.completion =
+      simulator_->schedule_at(state.aft, [this, job] { complete_job(job); });
+  auto& free_at = resource_free_[resource];
+  free_at = std::max(free_at, state.aft);
+}
+
+void ExecutionEngine::complete_job(dag::JobId job) {
+  JobState& state = jobs_[job];
+  AHEFT_ASSERT(state.phase == Phase::kRunning, "completion of non-running job");
+  state.phase = Phase::kFinished;
+  ++finished_count_;
+  makespan_ = std::max(makespan_, state.aft);
+  if (trace_ != nullptr) {
+    trace_->record_compute(job, state.resource, state.ast, state.aft);
+  }
+
+  // Push outputs to wherever the current schedule placed the consumers
+  // (static file-transfer model), and keep a copy at the producer. All
+  // transfers are recorded before any consumer is pumped, otherwise a pump
+  // triggered by one edge could observe another edge's missing arrival.
+  std::vector<grid::ResourceId> to_pump;
+  for (const std::uint32_t e : dag_->out_edges(job)) {
+    const dag::Edge& edge = dag_->edges()[e];
+    record_arrival(e, state.resource, state.aft);
+    if (jobs_[edge.to].phase != Phase::kFinished) {
+      const grid::ResourceId target = schedule_.assignment(edge.to).resource;
+      ensure_transfer(e, target, state.aft);
+      to_pump.push_back(target);
+    }
+  }
+  for (const grid::ResourceId target : to_pump) {
+    pump(target);
+  }
+  pump(state.resource);
+  if (hook_) {
+    hook_(job, state.resource, state.ast, state.aft);
+  }
+}
+
+ExecutionSnapshot ExecutionEngine::snapshot() const {
+  ExecutionSnapshot snap(simulator_->now(), dag_->job_count(),
+                         dag_->edge_count());
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    const JobState& state = jobs_[i];
+    if (state.phase == Phase::kFinished) {
+      snap.mark_finished(i, FinishedInfo{state.resource, state.ast, state.aft});
+    } else if (state.phase == Phase::kRunning) {
+      snap.add_running(RunningInfo{i, state.resource, state.ast, state.aft});
+    }
+  }
+  for (std::size_t e = 0; e < dag_->edge_count(); ++e) {
+    for (const auto& [resource, when] : edge_arrivals_[e]) {
+      snap.record_arrival(e, resource, when);
+    }
+  }
+  return snap;
+}
+
+}  // namespace aheft::core

@@ -1,0 +1,119 @@
+// The Executor (paper Fig. 1): enacts a schedule on the simulated grid.
+//
+// Semantics (paper §4.1): a job starts once (a) every input file has
+// arrived on its resource, (b) the previously scheduled job on that
+// resource finished, and (c) the resource has joined the grid. When a job
+// finishes, its outputs are pushed immediately to the resources its
+// successors are scheduled on (static file-transfer model). File transfers
+// consume time but no compute.
+//
+// submit() accepts both the initial schedule and mid-run replacements
+// (the Planner's adopted reschedules). On replacement, running jobs that
+// were replanned are cancelled and restarted from scratch (no checkpoint),
+// finished producers' outputs are retransmitted from the current time to
+// any consumer that moved (mirroring FEA case 2), and per-resource queues
+// are rebuilt.
+#ifndef AHEFT_CORE_EXECUTION_ENGINE_H_
+#define AHEFT_CORE_EXECUTION_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/schedule.h"
+#include "core/snapshot.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace aheft::core {
+
+class ExecutionEngine {
+ public:
+  /// `actual` is the ground-truth cost model (run times and transfer
+  /// durations the simulated grid really exhibits). `trace` may be null.
+  ExecutionEngine(sim::Simulator& simulator, const dag::Dag& dag,
+                  const grid::CostProvider& actual,
+                  const grid::ResourcePool& pool,
+                  sim::TraceRecorder* trace = nullptr);
+
+  /// Installs `schedule` (complete over all jobs) at the current simulation
+  /// time. The first call starts execution; later calls replace the
+  /// remaining work.
+  void submit(const Schedule& schedule);
+
+  [[nodiscard]] bool finished() const {
+    return finished_count_ == dag_->job_count();
+  }
+  [[nodiscard]] sim::Time makespan() const { return makespan_; }
+  [[nodiscard]] std::size_t finished_count() const { return finished_count_; }
+  /// Number of running jobs cancelled and restarted by reschedules.
+  [[nodiscard]] std::size_t restarted_jobs() const { return restarts_; }
+
+  [[nodiscard]] const Schedule& current_schedule() const;
+
+  /// Captures the execution state at the current simulation time, in the
+  /// form the Planner's rescheduler consumes.
+  [[nodiscard]] ExecutionSnapshot snapshot() const;
+
+  /// Callback fired after each job completion (the Performance Monitor's
+  /// feed, Fig. 1): (job, resource, actual start, actual finish).
+  using CompletionHook =
+      std::function<void(dag::JobId, grid::ResourceId, sim::Time, sim::Time)>;
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+  /// File-movement model; must match the planner's (see TransferPolicy).
+  void set_transfer_policy(TransferPolicy policy) {
+    transfer_policy_ = policy;
+  }
+  [[nodiscard]] TransferPolicy transfer_policy() const {
+    return transfer_policy_;
+  }
+
+ private:
+  enum class Phase { kPending, kRunning, kFinished };
+  struct JobState {
+    Phase phase = Phase::kPending;
+    grid::ResourceId resource = grid::kInvalidResource;
+    sim::Time ast = sim::kTimeZero;
+    sim::Time aft = sim::kTimeZero;  ///< completion (projected while running)
+    sim::EventId completion = 0;
+  };
+
+  void rebuild_queues();
+  void pump(grid::ResourceId resource);
+  void start_job(dag::JobId job, grid::ResourceId resource);
+  void complete_job(dag::JobId job);
+  void record_arrival(std::size_t edge_index, grid::ResourceId resource,
+                      sim::Time when);
+  /// Launches the transfer of edge `e`'s payload toward `target` at `when`
+  /// if it is not already there or in flight; returns the arrival time.
+  sim::Time ensure_transfer(std::size_t edge_index, grid::ResourceId target,
+                            sim::Time when);
+
+  sim::Simulator* simulator_;
+  const dag::Dag* dag_;
+  const grid::CostProvider* actual_;
+  const grid::ResourcePool* pool_;
+  sim::TraceRecorder* trace_;
+
+  Schedule schedule_;
+  bool has_schedule_ = false;
+  std::vector<JobState> jobs_;
+  EdgeArrivals edge_arrivals_;
+  std::map<grid::ResourceId, std::vector<dag::JobId>> queues_;
+  std::map<grid::ResourceId, std::size_t> queue_pos_;
+  std::map<grid::ResourceId, sim::Time> resource_free_;
+  std::map<grid::ResourceId, sim::Time> pending_pump_;
+  std::size_t finished_count_ = 0;
+  std::size_t restarts_ = 0;
+  sim::Time makespan_ = sim::kTimeZero;
+  CompletionHook hook_;
+  TransferPolicy transfer_policy_ = TransferPolicy::kRetransmitFromClock;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_EXECUTION_ENGINE_H_

@@ -1,0 +1,33 @@
+#include "core/heft.h"
+
+#include "core/rescheduler.h"
+#include "support/assert.h"
+
+namespace aheft::core {
+
+Schedule heft_schedule(const dag::Dag& dag,
+                       const grid::CostProvider& estimates,
+                       const grid::ResourcePool& pool, SchedulerConfig config,
+                       sim::Time clock) {
+  return heft_schedule(dag, estimates, pool, pool.available_at(clock),
+                       config, clock);
+}
+
+Schedule heft_schedule(const dag::Dag& dag,
+                       const grid::CostProvider& estimates,
+                       const grid::ResourcePool& pool,
+                       std::vector<grid::ResourceId> resources,
+                       SchedulerConfig config, sim::Time clock) {
+  RescheduleRequest request;
+  request.dag = &dag;
+  request.estimates = &estimates;
+  request.pool = &pool;
+  request.resources = std::move(resources);
+  request.clock = clock;
+  request.snapshot = nullptr;
+  request.previous = nullptr;
+  request.config = config;
+  return aheft_schedule(request);
+}
+
+}  // namespace aheft::core

@@ -1,0 +1,35 @@
+// Classic static HEFT [19] as a thin specialization of the AHEFT pass.
+//
+// The paper observes (§3.4) that "AHEFT is identical to HEFT when clock = 0
+// or it is the initial scheduling"; the library encodes that literally.
+#ifndef AHEFT_CORE_HEFT_H_
+#define AHEFT_CORE_HEFT_H_
+
+#include <vector>
+
+#include "core/policies.h"
+#include "core/schedule.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+
+namespace aheft::core {
+
+/// Schedules the whole DAG statically on the resources visible at time
+/// `clock` (default 0). Resources that arrive later are ignored — that is
+/// precisely the weakness AHEFT addresses.
+[[nodiscard]] Schedule heft_schedule(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    const grid::ResourcePool& pool, SchedulerConfig config = {},
+    sim::Time clock = sim::kTimeZero);
+
+/// Convenience overload with an explicit visible resource set.
+[[nodiscard]] Schedule heft_schedule(
+    const dag::Dag& dag, const grid::CostProvider& estimates,
+    const grid::ResourcePool& pool,
+    std::vector<grid::ResourceId> resources, SchedulerConfig config = {},
+    sim::Time clock = sim::kTimeZero);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_HEFT_H_

@@ -1,0 +1,178 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/heft.h"
+#include "core/rescheduler.h"
+#include "sim/simulator.h"
+#include "support/assert.h"
+#include "support/log.h"
+
+namespace aheft::core {
+
+namespace {
+
+/// Registers a schedule's future work with the reservation ledger
+/// (Resource Manager bookkeeping, §3.2): the replaced schedule's
+/// reservations are revoked, then every window that extends beyond `clock`
+/// is reserved — for running jobs only their remaining portion. Completed
+/// work needs no reservation.
+void refresh_reservations(grid::ReservationLedger& ledger,
+                          const Schedule& schedule, sim::Time clock) {
+  const grid::ScheduleVersion version = ledger.begin_version();
+  ledger.revoke_before(version, {});
+  for (dag::JobId i = 0; i < schedule.job_count(); ++i) {
+    if (!schedule.assigned(i)) {
+      continue;
+    }
+    const Assignment& a = schedule.assignment(i);
+    if (sim::time_le(a.finish, clock)) {
+      continue;  // history
+    }
+    ledger.reserve(version, i, a.resource, std::max(a.start, clock),
+                   a.finish);
+  }
+}
+
+}  // namespace
+
+AdaptivePlanner::AdaptivePlanner(const dag::Dag& dag,
+                                 const grid::CostProvider& estimates,
+                                 const grid::CostProvider& actual,
+                                 const grid::ResourcePool& pool,
+                                 PlannerConfig config,
+                                 sim::TraceRecorder* trace,
+                                 grid::PerformanceHistoryRepository* history)
+    : dag_(dag),
+      estimates_(estimates),
+      actual_(actual),
+      pool_(pool),
+      config_(config),
+      trace_(trace),
+      history_(history) {
+  AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
+  AHEFT_REQUIRE(pool.count_available_at(sim::kTimeZero) > 0,
+                "planner needs at least one initial resource");
+}
+
+void AdaptivePlanner::evaluate(sim::Simulator& simulator,
+                               ExecutionEngine& engine,
+                               const std::string& reason, bool forced) {
+  if (engine.finished()) {
+    return;
+  }
+  const sim::Time clock = simulator.now();
+  const std::vector<grid::ResourceId> visible = pool_.available_at(clock);
+  if (visible.empty()) {
+    AHEFT_LOG_WARN("no resources visible at t=" << clock
+                                                << "; skipping evaluation");
+    return;
+  }
+  ++result_.evaluations;
+
+  const ExecutionSnapshot snapshot = engine.snapshot();
+  RescheduleRequest request;
+  request.dag = &dag_;
+  request.estimates = &estimates_;
+  request.pool = &pool_;
+  request.resources = visible;
+  request.clock = clock;
+  request.snapshot = &snapshot;
+  request.previous = &engine.current_schedule();
+  request.config = config_.scheduler;
+
+  const Schedule candidate = aheft_schedule(request);
+  const sim::Time candidate_makespan = candidate.makespan();
+
+  // Fig. 2 line 7: adopt when the new plan strictly improves on S0 (with
+  // an optional relative threshold), or when adoption is forced because the
+  // current plan became infeasible (resource loss).
+  const double required =
+      predicted_makespan_ * (1.0 - config_.scheduler.adoption_threshold);
+  const bool improves = candidate_makespan < required &&
+                        !sim::time_eq(candidate_makespan, required);
+  const bool adopt = forced || improves;
+
+  result_.decisions.push_back(AdoptionRecord{
+      clock, reason, predicted_makespan_, candidate_makespan, adopt, forced});
+
+  if (adopt) {
+    AHEFT_LOG_DEBUG("t=" << clock << " adopting reschedule: "
+                         << predicted_makespan_ << " -> "
+                         << candidate_makespan << " (" << reason << ")");
+    refresh_reservations(ledger_, candidate, clock);
+    engine.submit(candidate);
+    predicted_makespan_ = candidate_makespan;
+    ++result_.adoptions;
+  }
+}
+
+AdaptiveResult AdaptivePlanner::run() {
+  result_ = AdaptiveResult{};
+  sim::Simulator simulator;
+  ExecutionEngine engine(simulator, dag_, actual_, pool_, trace_);
+  engine.set_transfer_policy(config_.scheduler.transfer_policy);
+
+  if (history_ != nullptr || config_.react_to_variance) {
+    engine.set_completion_hook([this, &simulator, &engine](
+                                   dag::JobId job, grid::ResourceId resource,
+                                   sim::Time ast, sim::Time aft) {
+      const double observed = aft - ast;
+      if (history_ != nullptr) {
+        history_->record(dag_.job(job).operation, resource, observed);
+      }
+      if (!config_.react_to_variance || engine.finished()) {
+        return;
+      }
+      const double estimated = estimates_.compute_cost(job, resource);
+      const double deviation =
+          estimated > 0.0 ? std::fabs(observed - estimated) / estimated : 0.0;
+      if (deviation > config_.variance_threshold) {
+        // Defer to a fresh event so the engine finishes its completion
+        // bookkeeping before the planner mutates the schedule.
+        simulator.schedule_at(simulator.now(), [this, &simulator, &engine] {
+          evaluate(simulator, engine, "performance-variance", false);
+        });
+      }
+    });
+  }
+
+  // Initial static plan over the resources visible at t=0 (Fig. 2: S0 is
+  // null, so schedule unconditionally).
+  const Schedule initial =
+      heft_schedule(dag_, estimates_, pool_, config_.scheduler);
+  predicted_makespan_ = initial.makespan();
+  result_.initial_makespan = predicted_makespan_;
+  refresh_reservations(ledger_, initial, sim::kTimeZero);
+  engine.submit(initial);
+
+  // Subscribe to every resource-pool change (arrivals and departures).
+  if (config_.react_to_pool_changes) {
+    for (const sim::Time when :
+         pool_.change_times(sim::kTimeZero, sim::kTimeInfinity)) {
+      simulator.schedule_at(when, [this, &simulator, &engine, when] {
+        // Departures make the current plan infeasible for jobs mapped to
+        // the lost resource, so adoption is forced in that case.
+        bool forced = false;
+        for (const grid::Resource& r : pool_.all()) {
+          if (r.departure == when) {
+            forced = true;
+            break;
+          }
+        }
+        evaluate(simulator, engine,
+                 forced ? "resource-departure" : "resource-arrival", forced);
+      });
+    }
+  }
+
+  simulator.run();
+  AHEFT_ASSERT(engine.finished(), "workflow did not complete");
+  result_.makespan = engine.makespan();
+  result_.restarts = engine.restarted_jobs();
+  result_.final_schedule = engine.current_schedule();
+  return result_;
+}
+
+}  // namespace aheft::core

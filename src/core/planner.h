@@ -1,0 +1,89 @@
+// The Planner (paper Fig. 1) and the generic adaptive rescheduling loop
+// (paper Fig. 2): schedule, listen for events, evaluate, adopt when the
+// predicted makespan improves.
+#ifndef AHEFT_CORE_PLANNER_H_
+#define AHEFT_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/execution_engine.h"
+#include "core/policies.h"
+#include "core/schedule.h"
+#include "grid/cost_provider.h"
+#include "grid/history.h"
+#include "grid/reservation.h"
+#include "grid/resource_pool.h"
+#include "sim/trace.h"
+
+namespace aheft::core {
+
+/// One evaluated event (a row of the planner's decision log).
+struct AdoptionRecord {
+  sim::Time time = sim::kTimeZero;
+  std::string event;                        ///< what triggered evaluation
+  sim::Time current_makespan = sim::kTimeZero;   ///< S0's predicted makespan
+  sim::Time candidate_makespan = sim::kTimeZero; ///< S1's predicted makespan
+  bool adopted = false;
+  bool forced = false;  ///< adoption was mandatory (resource loss)
+};
+
+struct PlannerConfig {
+  SchedulerConfig scheduler;
+  /// React to resource-pool change events (the paper's primary trigger).
+  bool react_to_pool_changes = true;
+  /// React to performance-variance events from the Performance Monitor
+  /// (extension; pairs with a noisy/history predictor).
+  bool react_to_variance = false;
+  /// Relative |actual - estimate| / estimate beyond which the monitor
+  /// notifies the planner.
+  double variance_threshold = 0.2;
+};
+
+/// Result of a full planner+executor co-simulation.
+struct AdaptiveResult {
+  sim::Time makespan = sim::kTimeZero;       ///< realized (executor clock)
+  sim::Time initial_makespan = sim::kTimeZero;  ///< the t=0 static plan
+  std::size_t evaluations = 0;               ///< events evaluated
+  std::size_t adoptions = 0;                 ///< reschedules submitted
+  std::size_t restarts = 0;                  ///< running jobs restarted
+  Schedule final_schedule;
+  std::vector<AdoptionRecord> decisions;
+};
+
+/// Couples one Scheduler instance with the Executor for a single DAG and
+/// runs the event loop of Fig. 2 to completion.
+class AdaptivePlanner {
+ public:
+  /// `estimates` is the Planner's view (the Predictor output P);
+  /// `actual` is what the simulated grid really does. They coincide under
+  /// the paper's accuracy assumption.
+  AdaptivePlanner(const dag::Dag& dag, const grid::CostProvider& estimates,
+                  const grid::CostProvider& actual,
+                  const grid::ResourcePool& pool, PlannerConfig config = {},
+                  sim::TraceRecorder* trace = nullptr,
+                  grid::PerformanceHistoryRepository* history = nullptr);
+
+  /// Runs the co-simulation to completion and returns the outcome.
+  [[nodiscard]] AdaptiveResult run();
+
+ private:
+  void evaluate(sim::Simulator& simulator, ExecutionEngine& engine,
+                const std::string& reason, bool forced);
+
+  const dag::Dag& dag_;
+  const grid::CostProvider& estimates_;
+  const grid::CostProvider& actual_;
+  const grid::ResourcePool& pool_;
+  PlannerConfig config_;
+  sim::TraceRecorder* trace_;
+  grid::PerformanceHistoryRepository* history_;
+
+  grid::ReservationLedger ledger_;
+  sim::Time predicted_makespan_ = sim::kTimeZero;
+  AdaptiveResult result_;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_PLANNER_H_

@@ -1,0 +1,220 @@
+#include "core/rescheduler.h"
+
+#include <algorithm>
+
+#include "core/ranking.h"
+#include "support/assert.h"
+
+namespace aheft::core {
+
+namespace {
+
+void check_request(const RescheduleRequest& request) {
+  AHEFT_REQUIRE(request.dag != nullptr, "request needs a DAG");
+  AHEFT_REQUIRE(request.dag->finalized(), "DAG must be finalized");
+  AHEFT_REQUIRE(request.estimates != nullptr, "request needs estimates");
+  AHEFT_REQUIRE(request.pool != nullptr, "request needs a resource pool");
+  AHEFT_REQUIRE(!request.resources.empty(),
+                "request needs at least one visible resource");
+  AHEFT_REQUIRE((request.snapshot == nullptr) == (request.previous == nullptr),
+                "snapshot and previous schedule come together");
+  if (request.snapshot != nullptr) {
+    AHEFT_REQUIRE(request.snapshot->job_count() == request.dag->job_count(),
+                  "snapshot sized for a different DAG");
+    AHEFT_REQUIRE(sim::time_eq(request.snapshot->clock(), request.clock),
+                  "snapshot clock differs from request clock");
+  }
+  for (const grid::ResourceId r : request.resources) {
+    AHEFT_REQUIRE(request.pool->resource(r).available_at(request.clock) ||
+                      request.pool->resource(r).arrival == request.clock,
+                  "resource in visible set is not available at clock");
+  }
+}
+
+/// Seeds a fresh S1 with history: finished jobs always keep their actual
+/// slots; running jobs are pinned under kKeepRunning when still feasible.
+Schedule pin_history(const RescheduleRequest& request,
+                     std::vector<bool>& pinned) {
+  const dag::Dag& dag = *request.dag;
+  Schedule result(dag.job_count());
+  pinned.assign(dag.job_count(), false);
+  const ExecutionSnapshot* snapshot = request.snapshot;
+  if (snapshot == nullptr) {
+    return result;
+  }
+  for (dag::JobId i = 0; i < dag.job_count(); ++i) {
+    if (snapshot->finished(i)) {
+      const FinishedInfo& info = snapshot->finished_info(i);
+      result.assign(Assignment{i, info.resource, info.ast, info.aft});
+      pinned[i] = true;
+    }
+  }
+  if (request.config.running_policy == RunningJobPolicy::kKeepRunning) {
+    for (const RunningInfo& info : snapshot->running()) {
+      // A running job can only be kept if its resource is still in the
+      // visible set and survives long enough — otherwise it is implicitly
+      // restarted (rescheduling as the fault-tolerance mechanism).
+      const bool visible =
+          std::find(request.resources.begin(), request.resources.end(),
+                    info.resource) != request.resources.end();
+      const bool fits =
+          sim::time_le(info.expected_finish,
+                       request.pool->resource(info.resource).departure);
+      if (!visible || !fits) {
+        continue;
+      }
+      result.assign(Assignment{info.job, info.resource, info.ast,
+                               info.expected_finish});
+      pinned[info.job] = true;
+    }
+  }
+  return result;
+}
+
+/// One greedy pass (the paper's Fig. 3 procedure) over a given job order.
+Schedule schedule_in_order(const RescheduleRequest& request,
+                           const std::vector<dag::JobId>& order) {
+  const dag::Dag& dag = *request.dag;
+  const grid::CostProvider& est = *request.estimates;
+
+  std::vector<bool> pinned;
+  Schedule result = pin_history(request, pinned);
+
+  for (const dag::JobId job : order) {
+    if (pinned[job]) {
+      continue;
+    }
+    grid::ResourceId best_resource = grid::kInvalidResource;
+    sim::Time best_start = sim::kTimeInfinity;
+    sim::Time best_finish = sim::kTimeInfinity;
+
+    for (const grid::ResourceId r : request.resources) {
+      const grid::Resource& machine = request.pool->resource(r);
+      // avail[j]: a resource is usable from its arrival, and never before
+      // the rescheduling clock.
+      const sim::Time not_before = std::max(request.clock, machine.arrival);
+
+      // Inner max of Eq. 2: all inputs present on r.
+      sim::Time ready = sim::kTimeZero;
+      for (const std::uint32_t e : dag.in_edges(job)) {
+        ready = std::max(ready, file_available(request, e, r, result));
+      }
+
+      const double w = est.compute_cost(job, r);
+      const sim::Time start =
+          result.earliest_slot(r, ready, w, request.config.slot_policy,
+                               not_before, machine.departure);
+      if (start == sim::kTimeInfinity) {
+        continue;  // does not fit in the resource's availability window
+      }
+      const sim::Time finish = start + w;  // Eq. 3
+      // Strictly smaller EFT wins; near-equal EFTs keep the earlier
+      // resource in visible-set order, matching [19]'s published schedules.
+      if (best_resource == grid::kInvalidResource ||
+          (finish < best_finish && !sim::time_eq(finish, best_finish))) {
+        best_resource = r;
+        best_start = start;
+        best_finish = finish;
+      }
+    }
+
+    AHEFT_ASSERT(best_resource != grid::kInvalidResource,
+                 "no feasible resource for job " + dag.job(job).name);
+    result.assign(Assignment{job, best_resource, best_start, best_finish});
+  }
+
+  return result;
+}
+
+}  // namespace
+
+sim::Time file_available(const RescheduleRequest& request,
+                         std::size_t edge_index, grid::ResourceId target,
+                         const Schedule& new_schedule) {
+  const dag::Dag& dag = *request.dag;
+  const dag::Edge& edge = dag.edges()[edge_index];
+  const dag::JobId producer = edge.from;
+  const grid::CostProvider& est = *request.estimates;
+
+  if (request.snapshot != nullptr && request.snapshot->finished(producer)) {
+    const FinishedInfo& info = request.snapshot->finished_info(producer);
+    // Case 1 / "otherwise with finished n_m": the output already sits on
+    // (or is in flight to) `target` because of schedule S0.
+    const auto& arrivals = request.snapshot->arrivals(edge_index);
+    if (const auto it = arrivals.find(target); it != arrivals.end()) {
+      return it->second;
+    }
+    // Case 2: finished, but the output was never directed to `target`.
+    const double c = est.comm_cost(edge, info.resource, target);
+    const grid::Resource& machine = request.pool->resource(target);
+    switch (request.config.transfer_policy) {
+      case TransferPolicy::kRetransmitFromClock:
+        // "The file transmission can not be earlier than clock."
+        return request.clock + c;
+      case TransferPolicy::kEagerReplicate:
+        // The copy left at max(AFT, target arrival).
+        return std::max(info.aft, machine.arrival) + c;
+      case TransferPolicy::kPrestagedArrivals:
+        // A joining resource syncs previously produced files on arrival.
+        return std::max(info.aft + c, machine.arrival);
+    }
+    return request.clock + c;
+  }
+
+  // Unfinished predecessor: it is pinned or already placed in S1 (rank
+  // order guarantees predecessors are handled first).
+  AHEFT_ASSERT(new_schedule.assigned(producer),
+               "predecessor " + dag.job(producer).name +
+                   " not yet placed — rank order violated");
+  const Assignment& placed = new_schedule.assignment(producer);
+  if (placed.resource == target) {
+    return placed.finish;  // Case 3
+  }
+  // Otherwise: output follows the (new) schedule with one transfer.
+  return placed.finish + est.comm_cost(edge, placed.resource, target);
+}
+
+Schedule aheft_schedule(const RescheduleRequest& request) {
+  check_request(request);
+  const dag::Dag& dag = *request.dag;
+
+  // Upward ranks over the visible resource set (Eq. 5/6), most significant
+  // jobs first (Fig. 3 lines 2–3).
+  const std::vector<double> ranks =
+      upward_ranks(dag, *request.estimates, request.resources);
+  const std::vector<dag::JobId> order = rank_order(ranks);
+
+  Schedule best = schedule_in_order(request, order);
+
+  // Optional order exploration: strict rank order is a heuristic, and jobs
+  // with nearly equal ranks can legally schedule in either order. Trying a
+  // few single-swap variants recovers schedules like the paper's Fig. 5(b),
+  // which beats strict rank order by one near-tie swap.
+  std::size_t tried = 0;
+  for (std::size_t k = 0;
+       k + 1 < order.size() && tried < request.config.order_candidates; ++k) {
+    const dag::JobId a = order[k];
+    const dag::JobId b = order[k + 1];
+    const double gap = ranks[a] - ranks[b];
+    const double scale = std::max(1.0, std::max(ranks[a], ranks[b]));
+    if (gap > request.config.rank_tie_fraction * scale) {
+      continue;
+    }
+    // Swapping is only legal if it does not violate precedence.
+    const std::vector<dag::JobId> succ_of_a = dag.successors(a);
+    if (std::find(succ_of_a.begin(), succ_of_a.end(), b) != succ_of_a.end()) {
+      continue;
+    }
+    std::vector<dag::JobId> variant = order;
+    std::swap(variant[k], variant[k + 1]);
+    ++tried;
+    Schedule candidate = schedule_in_order(request, variant);
+    if (candidate.makespan() <
+        best.makespan() - sim::kTimeEpsilon * (1.0 + best.makespan())) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace aheft::core

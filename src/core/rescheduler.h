@@ -1,0 +1,54 @@
+// AHEFT: the HEFT-based adaptive rescheduling algorithm (paper §3.4).
+//
+// One routine covers both uses in the paper:
+//  * initial scheduling — clock 0, empty snapshot — where AHEFT "is
+//    identical to HEFT [19]";
+//  * rescheduling of the remaining jobs at clock > 0 with a partially
+//    executed schedule S0, using Eq. 1 (FEA), Eq. 2 (EST) and Eq. 3 (EFT).
+#ifndef AHEFT_CORE_RESCHEDULER_H_
+#define AHEFT_CORE_RESCHEDULER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/policies.h"
+#include "core/schedule.h"
+#include "core/snapshot.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+
+namespace aheft::core {
+
+/// Inputs of one (re)scheduling pass: procedure schedule(S0, P, H) of the
+/// paper's Fig. 3, where P is `estimates` over `resources` and S0 is
+/// (`previous`, `snapshot`).
+struct RescheduleRequest {
+  const dag::Dag* dag = nullptr;
+  const grid::CostProvider* estimates = nullptr;   ///< the matrix P
+  const grid::ResourcePool* pool = nullptr;        ///< availability windows
+  std::vector<grid::ResourceId> resources;         ///< visible set R at clock
+  sim::Time clock = sim::kTimeZero;
+  const ExecutionSnapshot* snapshot = nullptr;     ///< null => initial
+  const Schedule* previous = nullptr;              ///< S0; null => initial
+  SchedulerConfig config;
+};
+
+/// Runs one AHEFT pass and returns the full-coverage schedule S1: finished
+/// jobs keep their actual slots, running jobs are pinned or restarted per
+/// the configured RunningJobPolicy, and all remaining jobs are mapped in
+/// non-increasing upward-rank order onto the EFT-minimising resource.
+/// S1.makespan() is therefore the predicted makespan of the whole workflow.
+[[nodiscard]] Schedule aheft_schedule(const RescheduleRequest& request);
+
+/// The earliest time n_m's output can feed n_i on resource r (Eq. 1).
+/// Exposed for unit tests; `new_schedule` is the S1 under construction
+/// (already holding n_m for unfinished predecessors).
+[[nodiscard]] sim::Time file_available(const RescheduleRequest& request,
+                                       std::size_t edge_index,
+                                       grid::ResourceId target,
+                                       const Schedule& new_schedule);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_RESCHEDULER_H_

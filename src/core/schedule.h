@@ -1,0 +1,99 @@
+// Schedule representation: job → (resource, start, finish) with per-resource
+// timelines and slot search.
+#ifndef AHEFT_CORE_SCHEDULE_H_
+#define AHEFT_CORE_SCHEDULE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+#include "grid/resource_pool.h"
+#include "sim/time.h"
+
+namespace aheft::core {
+
+/// One scheduled job: the paper's (resource mapping, EST, SFT) triple.
+struct Assignment {
+  dag::JobId job = dag::kInvalidJob;
+  grid::ResourceId resource = grid::kInvalidResource;
+  sim::Time start = sim::kTimeZero;
+  sim::Time finish = sim::kTimeZero;
+
+  [[nodiscard]] sim::Time duration() const { return finish - start; }
+};
+
+/// A (partial) schedule for one DAG. Supports incremental construction in
+/// heuristic order and gap queries for the insertion slot policy.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t job_count);
+
+  /// Places a job. The job must not already be assigned and the slot must
+  /// not overlap existing slots on the same resource.
+  void assign(const Assignment& assignment);
+
+  [[nodiscard]] std::size_t job_count() const { return by_job_.size(); }
+  [[nodiscard]] std::size_t assigned_count() const { return assigned_; }
+  [[nodiscard]] bool complete() const { return assigned_ == by_job_.size(); }
+
+  [[nodiscard]] bool assigned(dag::JobId job) const;
+  /// Assignment of `job`; throws if unassigned.
+  [[nodiscard]] const Assignment& assignment(dag::JobId job) const;
+  [[nodiscard]] const std::optional<Assignment>& maybe_assignment(
+      dag::JobId job) const;
+
+  /// Slots on `resource`, sorted by start time.
+  [[nodiscard]] const std::vector<Assignment>& timeline(
+      grid::ResourceId resource) const;
+
+  /// Resources that hold at least one slot.
+  [[nodiscard]] std::vector<grid::ResourceId> used_resources() const;
+
+  /// Max finish time over all assignments (the paper's makespan, Eq. 4 —
+  /// equal to max SFT over exit jobs for complete schedules).
+  [[nodiscard]] sim::Time makespan() const;
+
+  /// Earliest start >= max(ready, not_before) for a task of `duration` on
+  /// `resource` under the given slot policy, and finishing by `deadline`
+  /// (pass kTimeInfinity when the resource never departs). Returns
+  /// kTimeInfinity when no feasible slot exists.
+  [[nodiscard]] sim::Time earliest_slot(grid::ResourceId resource,
+                                        sim::Time ready, sim::Time duration,
+                                        SlotPolicy policy,
+                                        sim::Time not_before,
+                                        sim::Time deadline) const;
+
+  /// Renders per-resource timelines as an ASCII Gantt chart.
+  [[nodiscard]] std::string gantt(const dag::Dag& dag,
+                                  const grid::ResourcePool& pool) const;
+
+ private:
+  std::vector<std::optional<Assignment>> by_job_;
+  std::map<grid::ResourceId, std::vector<Assignment>> by_resource_;
+  std::size_t assigned_ = 0;
+};
+
+/// Structural validation: every job assigned exactly once, durations match
+/// the actual cost model, per-resource slots disjoint, resource
+/// availability windows respected, and start(n_i) >= finish(n_m) for every
+/// edge (m, i). Throws aheft::AssertionError describing the first failure.
+void validate_structure(const Schedule& schedule, const dag::Dag& dag,
+                        const grid::CostProvider& costs,
+                        const grid::ResourcePool& pool);
+
+/// Static-semantics validation: validate_structure plus the communication
+/// constraint start(n_i) >= finish(n_m) + c(e) for cross-resource edges.
+/// Holds for schedules planned from scratch (clock == 0); rescheduled plans
+/// may legally violate it (files may already sit on the target resource).
+void validate_static(const Schedule& schedule, const dag::Dag& dag,
+                     const grid::CostProvider& costs,
+                     const grid::ResourcePool& pool);
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_SCHEDULE_H_

@@ -1,0 +1,65 @@
+#include "core/whatif.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+WhatIfAnalyzer::WhatIfAnalyzer(const dag::Dag& dag,
+                               const grid::CostProvider& estimates,
+                               const grid::ResourcePool& pool,
+                               SchedulerConfig config)
+    : dag_(dag), estimates_(estimates), pool_(pool), config_(config) {}
+
+sim::Time WhatIfAnalyzer::predict(const ExecutionSnapshot& snapshot,
+                                  const Schedule& current,
+                                  const grid::ResourcePool& pool,
+                                  std::vector<grid::ResourceId> visible) const {
+  AHEFT_REQUIRE(!visible.empty(), "what-if needs at least one resource");
+  RescheduleRequest request;
+  request.dag = &dag_;
+  request.estimates = &estimates_;
+  request.pool = &pool;
+  request.resources = std::move(visible);
+  request.clock = snapshot.clock();
+  request.snapshot = &snapshot;
+  request.previous = &current;
+  request.config = config_;
+  return aheft_schedule(request).makespan();
+}
+
+sim::Time WhatIfAnalyzer::predict_current(const ExecutionSnapshot& snapshot,
+                                          const Schedule& current) const {
+  return predict(snapshot, current, pool_,
+                 pool_.available_at(snapshot.clock()));
+}
+
+sim::Time WhatIfAnalyzer::predict_with_added(const ExecutionSnapshot& snapshot,
+                                             const Schedule& current,
+                                             grid::ResourceId extra) const {
+  std::vector<grid::ResourceId> visible =
+      pool_.available_at(snapshot.clock());
+  AHEFT_REQUIRE(std::find(visible.begin(), visible.end(), extra) ==
+                    visible.end(),
+                "resource is already visible");
+  // Hypothesis: `extra` joins the grid right now.
+  grid::ResourcePool hypothetical = pool_;
+  hypothetical.set_arrival(extra, snapshot.clock());
+  visible.push_back(extra);
+  std::sort(visible.begin(), visible.end());
+  return predict(snapshot, current, hypothetical, std::move(visible));
+}
+
+sim::Time WhatIfAnalyzer::predict_with_removed(
+    const ExecutionSnapshot& snapshot, const Schedule& current,
+    grid::ResourceId removed) const {
+  std::vector<grid::ResourceId> visible =
+      pool_.available_at(snapshot.clock());
+  const auto it = std::find(visible.begin(), visible.end(), removed);
+  AHEFT_REQUIRE(it != visible.end(), "resource is not currently visible");
+  visible.erase(it);
+  return predict(snapshot, current, pool_, std::move(visible));
+}
+
+}  // namespace aheft::core

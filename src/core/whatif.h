@@ -1,0 +1,51 @@
+// "What ... if ..." queries (paper §3.3): predicted makespan under
+// hypothetical resource additions or removals, for proactive tuning.
+//
+// The paper lists this as the natural extension of the event-evaluation
+// machinery ("What will be the expected performance if an additional
+// resource A is added (removed)?"); the analyzer reuses the rescheduler on
+// a modified visible set.
+#ifndef AHEFT_CORE_WHATIF_H_
+#define AHEFT_CORE_WHATIF_H_
+
+#include "core/rescheduler.h"
+
+namespace aheft::core {
+
+class WhatIfAnalyzer {
+ public:
+  WhatIfAnalyzer(const dag::Dag& dag, const grid::CostProvider& estimates,
+                 const grid::ResourcePool& pool, SchedulerConfig config = {});
+
+  /// Predicted makespan if execution continues from `snapshot` with the
+  /// currently visible resources (i.e. the best the planner can do now).
+  [[nodiscard]] sim::Time predict_current(const ExecutionSnapshot& snapshot,
+                                          const Schedule& current) const;
+
+  /// Predicted makespan if universe resource `extra` (not visible at the
+  /// snapshot clock) became available right now.
+  [[nodiscard]] sim::Time predict_with_added(const ExecutionSnapshot& snapshot,
+                                             const Schedule& current,
+                                             grid::ResourceId extra) const;
+
+  /// Predicted makespan if `removed` disappeared right now. Jobs running on
+  /// it are restarted elsewhere.
+  [[nodiscard]] sim::Time predict_with_removed(
+      const ExecutionSnapshot& snapshot, const Schedule& current,
+      grid::ResourceId removed) const;
+
+ private:
+  [[nodiscard]] sim::Time predict(const ExecutionSnapshot& snapshot,
+                                  const Schedule& current,
+                                  const grid::ResourcePool& pool,
+                                  std::vector<grid::ResourceId> visible) const;
+
+  const dag::Dag& dag_;
+  const grid::CostProvider& estimates_;
+  const grid::ResourcePool& pool_;
+  SchedulerConfig config_;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_WHATIF_H_

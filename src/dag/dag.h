@@ -1,0 +1,97 @@
+// Workflow DAG: G = (V, E) with data-transfer weights on edges.
+//
+// Mirrors the paper's model (§3.4): nodes are jobs, edge (i, j) means n_i
+// must complete before n_j starts, and data_{i,j} is the amount of data
+// shipped between them (in cost units; the machine model converts data
+// amounts to communication costs).
+#ifndef AHEFT_DAG_DAG_H_
+#define AHEFT_DAG_DAG_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/job.h"
+
+namespace aheft::dag {
+
+/// A directed dependency with its data payload.
+struct Edge {
+  JobId from = kInvalidJob;
+  JobId to = kInvalidJob;
+  double data = 0.0;  ///< data_{from,to}; >= 0
+};
+
+/// Immutable-after-finalize DAG. Build with add_job/add_edge, then call
+/// finalize() once; accessors other than the builders require a finalized
+/// graph (enforced).
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::string name) : name_(std::move(name)) {}
+
+  // ----- construction -------------------------------------------------
+  /// Adds a job; returns its dense id (0-based, in insertion order).
+  JobId add_job(std::string name, std::string operation = "generic");
+  /// Adds a dependency edge carrying `data` units of output.
+  void add_edge(JobId from, JobId to, double data);
+  /// Validates the graph (no cycles, self-loops, or duplicate edges) and
+  /// builds the adjacency indexes. Throws std::invalid_argument on invalid
+  /// input. Idempotent.
+  void finalize();
+
+  // ----- topology (finalized only) ------------------------------------
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] const JobInfo& job(JobId id) const;
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Indexes of edges entering `id` (the paper's pred(n_i)).
+  [[nodiscard]] std::span<const std::uint32_t> in_edges(JobId id) const;
+  /// Indexes of edges leaving `id` (the paper's succ(n_i)).
+  [[nodiscard]] std::span<const std::uint32_t> out_edges(JobId id) const;
+
+  [[nodiscard]] std::vector<JobId> predecessors(JobId id) const;
+  [[nodiscard]] std::vector<JobId> successors(JobId id) const;
+
+  /// Jobs with no predecessors / successors.
+  [[nodiscard]] const std::vector<JobId>& entry_jobs() const;
+  [[nodiscard]] const std::vector<JobId>& exit_jobs() const;
+
+  /// A topological order (deterministic: Kahn's algorithm with a FIFO of
+  /// ready jobs seeded in id order).
+  [[nodiscard]] const std::vector<JobId>& topological_order() const;
+
+  /// Data payload on edge (from, to); 0 when no such edge exists.
+  [[nodiscard]] double data(JobId from, JobId to) const;
+
+  /// List of distinct operation names, in first-appearance order.
+  [[nodiscard]] std::vector<std::string> operations() const;
+
+ private:
+  void require_finalized() const;
+  void require_job(JobId id) const;
+
+  std::string name_ = "dag";
+  std::vector<JobInfo> jobs_;
+  std::vector<Edge> edges_;
+  bool finalized_ = false;
+
+  // CSR-style adjacency, built by finalize().
+  std::vector<std::uint32_t> in_index_;    // edge indexes grouped by target
+  std::vector<std::uint32_t> in_offsets_;  // size job_count()+1
+  std::vector<std::uint32_t> out_index_;   // edge indexes grouped by source
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<JobId> entries_;
+  std::vector<JobId> exits_;
+  std::vector<JobId> topo_order_;
+};
+
+}  // namespace aheft::dag
+
+#endif  // AHEFT_DAG_DAG_H_

@@ -1,0 +1,48 @@
+#include "dag/dot.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace aheft::dag {
+
+namespace {
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Dag& dag) {
+  std::ostringstream os;
+  os << "digraph " << quote(dag.name()) << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (JobId i = 0; i < dag.job_count(); ++i) {
+    const JobInfo& info = dag.job(i);
+    os << "  n" << i << " [label=" << quote(info.name);
+    if (info.operation != "generic" && info.operation != info.name) {
+      os << ", tooltip=" << quote(info.operation);
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : dag.edges()) {
+    os << "  n" << e.from << " -> n" << e.to;
+    if (e.data > 0.0) {
+      os << " [label=" << quote(format_double(e.data, 1)) << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aheft::dag

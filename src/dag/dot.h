@@ -1,0 +1,17 @@
+// Graphviz export for workflow DAGs.
+#ifndef AHEFT_DAG_DOT_H_
+#define AHEFT_DAG_DOT_H_
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace aheft::dag {
+
+/// Renders the DAG in Graphviz dot syntax. Edge labels carry the data
+/// payload; node labels the job name (and operation when it differs).
+[[nodiscard]] std::string to_dot(const Dag& dag);
+
+}  // namespace aheft::dag
+
+#endif  // AHEFT_DAG_DOT_H_

@@ -1,0 +1,80 @@
+#include "dag/io.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace aheft::dag {
+
+void write_dag(std::ostream& os, const Dag& dag) {
+  AHEFT_REQUIRE(dag.finalized(), "can only serialize finalized DAGs");
+  os << "dag " << dag.name() << '\n';
+  for (JobId i = 0; i < dag.job_count(); ++i) {
+    const JobInfo& info = dag.job(i);
+    os << "job " << i << ' ' << info.name << ' ' << info.operation << '\n';
+  }
+  for (const Edge& e : dag.edges()) {
+    os << "edge " << e.from << ' ' << e.to << ' ' << e.data << '\n';
+  }
+}
+
+std::string write_dag_string(const Dag& dag) {
+  std::ostringstream os;
+  write_dag(os, dag);
+  return os.str();
+}
+
+Dag read_dag(std::istream& is) {
+  Dag dag;
+  std::string line;
+  std::size_t line_no = 0;
+  bool named = false;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("dag parse error at line " +
+                                std::to_string(line_no) + ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) {
+      continue;  // blank line
+    }
+    if (kind == "dag") {
+      std::string name;
+      if (!(ls >> name)) fail("dag record needs a name");
+      if (named) fail("duplicate dag record");
+      dag = Dag(name);
+      named = true;
+    } else if (kind == "job") {
+      std::uint64_t id = 0;
+      std::string name;
+      std::string operation;
+      if (!(ls >> id >> name >> operation)) fail("job record needs <id> <name> <operation>");
+      const JobId assigned = dag.add_job(name, operation);
+      if (assigned != id) fail("job ids must be dense and in order");
+    } else if (kind == "edge") {
+      std::uint32_t from = 0;
+      std::uint32_t to = 0;
+      double data = 0.0;
+      if (!(ls >> from >> to >> data)) fail("edge record needs <from> <to> <data>");
+      dag.add_edge(from, to, data);
+    } else {
+      fail("unknown record kind '" + kind + "'");
+    }
+  }
+  dag.finalize();
+  return dag;
+}
+
+Dag read_dag_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_dag(is);
+}
+
+}  // namespace aheft::dag

@@ -1,0 +1,30 @@
+// Plain-text (de)serialization of workflow DAGs.
+//
+// Format (one record per line, '#' comments allowed):
+//   dag <name>
+//   job <id> <name> <operation>
+//   edge <from> <to> <data>
+// Job ids must be dense and in order; this keeps files diffable and makes
+// hand-written fixtures easy.
+#ifndef AHEFT_DAG_IO_H_
+#define AHEFT_DAG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/dag.h"
+
+namespace aheft::dag {
+
+/// Serializes a finalized DAG.
+void write_dag(std::ostream& os, const Dag& dag);
+[[nodiscard]] std::string write_dag_string(const Dag& dag);
+
+/// Parses and finalizes a DAG. Throws std::invalid_argument on malformed
+/// input (unknown record, non-dense ids, cycle, ...).
+[[nodiscard]] Dag read_dag(std::istream& is);
+[[nodiscard]] Dag read_dag_string(const std::string& text);
+
+}  // namespace aheft::dag
+
+#endif  // AHEFT_DAG_IO_H_

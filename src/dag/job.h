@@ -1,0 +1,28 @@
+// Job (node) identity for workflow DAGs.
+#ifndef AHEFT_DAG_JOB_H_
+#define AHEFT_DAG_JOB_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace aheft::dag {
+
+/// Dense job index within one DAG (the paper's n_i).
+using JobId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Static description of one job. `operation` names the unique executable
+/// the job instantiates — scientific workflows contain only a handful of
+/// distinct operations (paper §4.3: Montage has 11, BLAST and WIEN2K
+/// similar), and cost generators exploit this by assigning costs per
+/// operation rather than per job instance.
+struct JobInfo {
+  std::string name;       ///< unique human-readable label, e.g. "LAPW1_K3"
+  std::string operation;  ///< executable type, e.g. "LAPW1"
+};
+
+}  // namespace aheft::dag
+
+#endif  // AHEFT_DAG_JOB_H_

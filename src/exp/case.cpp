@@ -1,0 +1,113 @@
+#include "exp/case.h"
+
+#include "core/adaptive_run.h"
+#include "core/heft.h"
+#include "support/assert.h"
+#include "support/rng.h"
+#include "workloads/apps.h"
+#include "workloads/random_dag.h"
+
+namespace aheft::exp {
+
+std::string to_string(AppKind app) {
+  switch (app) {
+    case AppKind::kRandom:
+      return "random";
+    case AppKind::kBlast:
+      return "blast";
+    case AppKind::kWien2k:
+      return "wien2k";
+    case AppKind::kMontage:
+      return "montage";
+    case AppKind::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+namespace {
+
+workloads::Workload generate_workload(const CaseSpec& spec,
+                                      RngStream& rng) {
+  switch (spec.app) {
+    case AppKind::kRandom: {
+      workloads::RandomDagParams params;
+      params.jobs = spec.size;
+      params.out_degree = spec.out_degree;
+      params.ccr = spec.ccr;
+      return workloads::generate_random_workload(params, rng);
+    }
+    case AppKind::kBlast:
+    case AppKind::kWien2k:
+    case AppKind::kMontage:
+    case AppKind::kGaussian: {
+      workloads::AppParams params;
+      params.parallelism = spec.size;
+      params.ccr = spec.ccr;
+      switch (spec.app) {
+        case AppKind::kBlast:
+          return workloads::generate_blast(params, rng);
+        case AppKind::kWien2k:
+          return workloads::generate_wien2k(params, rng);
+        case AppKind::kMontage:
+          return workloads::generate_montage(params, rng);
+        default:
+          return workloads::generate_gaussian(params, rng);
+      }
+    }
+  }
+  throw std::invalid_argument("unknown application kind");
+}
+
+}  // namespace
+
+CaseResult run_case(const CaseSpec& spec) {
+  AHEFT_REQUIRE(spec.horizon_factor >= 1.0 || !spec.run_dynamic,
+                "dynamic baseline needs horizon_factor >= 1");
+  RngStream rng(spec.seed);
+  RngStream dag_stream = rng.child("dag");
+  const workloads::Workload workload = generate_workload(spec, dag_stream);
+  const std::uint64_t cost_seed = mix64(spec.seed, hash64("costs"));
+
+  // Pass 1: plan on the initial pool alone to size the arrival horizon.
+  const workloads::ResourceDynamics& dynamics = spec.dynamics;
+  grid::ResourcePool initial_pool;
+  for (std::size_t i = 0; i < dynamics.initial; ++i) {
+    initial_pool.add(grid::Resource{.name = "", .arrival = sim::kTimeZero});
+  }
+  const grid::MachineModel initial_model = workloads::build_machine_model(
+      workload, dynamics.initial, spec.beta, cost_seed);
+  const core::Schedule initial_plan = core::heft_schedule(
+      workload.dag, initial_model, initial_pool, spec.scheduler);
+  const sim::Time heft_makespan = initial_plan.makespan();
+
+  // Pass 2: extend the universe with arrivals up to the horizon; columns
+  // 0..R-1 regenerate identically (deterministic per (seed, job, column)).
+  const sim::Time horizon = heft_makespan * spec.horizon_factor;
+  const grid::ResourcePool pool =
+      workloads::build_dynamic_pool(dynamics, horizon);
+  const grid::MachineModel model = workloads::build_machine_model(
+      workload, pool.universe_size(), spec.beta, cost_seed);
+
+  CaseResult result;
+  result.jobs = workload.dag.job_count();
+  result.universe = pool.universe_size();
+  result.heft_makespan = heft_makespan;
+
+  core::PlannerConfig planner_config;
+  planner_config.scheduler = spec.scheduler;
+  const core::StrategyOutcome aheft = core::run_adaptive_aheft(
+      workload.dag, model, model, pool, planner_config);
+  result.aheft_makespan = aheft.makespan;
+  result.evaluations = aheft.evaluations;
+  result.adoptions = aheft.adoptions;
+
+  if (spec.run_dynamic) {
+    const core::StrategyOutcome minmin = core::run_dynamic_baseline(
+        workload.dag, model, pool, core::DynamicHeuristic::kMinMin);
+    result.minmin_makespan = minmin.makespan;
+  }
+  return result;
+}
+
+}  // namespace aheft::exp

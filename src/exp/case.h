@@ -1,0 +1,54 @@
+// One experiment case: a workload, a resource model, a seed, and the
+// strategies to run on it.
+#ifndef AHEFT_EXP_CASE_H_
+#define AHEFT_EXP_CASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/policies.h"
+#include "workloads/scenario.h"
+
+namespace aheft::exp {
+
+enum class AppKind { kRandom, kBlast, kWien2k, kMontage, kGaussian };
+
+[[nodiscard]] std::string to_string(AppKind app);
+
+struct CaseSpec {
+  AppKind app = AppKind::kRandom;
+  /// Jobs for random DAGs; degree of parallelism for applications.
+  std::size_t size = 40;
+  double ccr = 1.0;
+  double out_degree = 0.2;  ///< random DAGs only
+  double beta = 0.5;
+  workloads::ResourceDynamics dynamics;
+  std::uint64_t seed = 0;
+  /// Also simulate the dynamic Min-Min baseline (costs extra).
+  bool run_dynamic = false;
+  /// Resource arrivals are generated up to horizon_factor x the initial
+  /// HEFT makespan. 1.0 suffices for HEFT-vs-AHEFT (AHEFT never exceeds
+  /// the initial plan); use >= 4 when the dynamic baseline runs, since it
+  /// can finish well after the static plan would have.
+  double horizon_factor = 1.0;
+  core::SchedulerConfig scheduler;
+};
+
+struct CaseResult {
+  double heft_makespan = 0.0;
+  double aheft_makespan = 0.0;
+  double minmin_makespan = 0.0;  ///< 0 when the dynamic baseline was skipped
+  std::size_t evaluations = 0;   ///< events the AHEFT planner evaluated
+  std::size_t adoptions = 0;     ///< reschedules adopted
+  std::size_t jobs = 0;          ///< realized DAG size
+  std::size_t universe = 0;      ///< total resources (initial + arrivals)
+};
+
+/// Generates the workload and grid deterministically from the spec's seed
+/// and simulates the requested strategies. The same spec always produces
+/// the same result, on any thread.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec);
+
+}  // namespace aheft::exp
+
+#endif  // AHEFT_EXP_CASE_H_

@@ -1,0 +1,42 @@
+// The paper's parameter grids (Table 2 for random DAGs, Table 5 for the
+// BLAST/WIEN2K studies) as reusable constants.
+#ifndef AHEFT_EXP_PAPER_PARAMS_H_
+#define AHEFT_EXP_PAPER_PARAMS_H_
+
+#include <array>
+#include <cstddef>
+
+namespace aheft::exp {
+
+// ----- Table 2: parametric random DAGs ---------------------------------
+inline constexpr std::array<std::size_t, 5> kRandomJobs{20, 40, 60, 80, 100};
+inline constexpr std::array<double, 5> kCcrValues{0.1, 0.5, 1.0, 5.0, 10.0};
+inline constexpr std::array<double, 5> kOutDegrees{0.1, 0.2, 0.3, 0.4, 1.0};
+inline constexpr std::array<double, 5> kBetaValues{0.1, 0.25, 0.5, 0.75, 1.0};
+inline constexpr std::array<std::size_t, 5> kRandomPoolSizes{10, 20, 30, 40,
+                                                             50};
+inline constexpr std::array<double, 4> kChangeIntervals{400, 800, 1200, 1600};
+inline constexpr std::array<double, 4> kChangeFractions{0.10, 0.15, 0.20,
+                                                        0.25};
+/// The paper creates 10 instances per DAG type (6250 DAGs, 500,000 cases).
+inline constexpr std::size_t kPaperInstancesPerType = 10;
+
+// ----- Table 5: BLAST and WIEN2K ---------------------------------------
+inline constexpr std::array<std::size_t, 5> kAppParallelism{200, 400, 600,
+                                                            800, 1000};
+inline constexpr std::array<std::size_t, 5> kAppPoolSizes{20, 40, 60, 80,
+                                                          100};
+// CCR, beta, Delta, delta grids are shared with Table 2.
+
+// ----- Base configuration for one-dimensional Fig. 8 sweeps -------------
+// When a parameter is swept, the others sit at these central values.
+inline constexpr double kBaseCcr = 1.0;
+inline constexpr double kBaseBeta = 0.5;
+inline constexpr std::size_t kBaseAppParallelism = 600;
+inline constexpr std::size_t kBaseAppPool = 60;
+inline constexpr double kBaseInterval = 800.0;
+inline constexpr double kBaseFraction = 0.15;
+
+}  // namespace aheft::exp
+
+#endif  // AHEFT_EXP_PAPER_PARAMS_H_

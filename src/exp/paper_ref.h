@@ -1,0 +1,46 @@
+// Published numbers from the paper, for side-by-side reporting in every
+// bench. Values are transcribed from IPPS'07 Tables 3, 4, 6, 7, 8 and the
+// §4.2 prose.
+#ifndef AHEFT_EXP_PAPER_REF_H_
+#define AHEFT_EXP_PAPER_REF_H_
+
+#include <array>
+
+namespace aheft::exp::paper {
+
+// §4.2 prose: average makespans over the 500,000 random-DAG cases.
+inline constexpr double kRandomAvgHeft = 4075.0;
+inline constexpr double kRandomAvgAheft = 3911.0;
+inline constexpr double kRandomAvgMinMin = 12352.0;
+
+// Table 3: improvement rate by CCR (random DAGs), CCR = .1 .5 1 5 10.
+inline constexpr std::array<double, 5> kTable3Improvement{0.004, 0.005, 0.007,
+                                                          0.032, 0.077};
+
+// Table 4: improvement rate by job count (random DAGs), v = 20..100.
+inline constexpr std::array<double, 5> kTable4Improvement{0.029, 0.039, 0.043,
+                                                          0.042, 0.041};
+
+// Table 6: application averages.
+inline constexpr double kBlastHeft = 4939.3;
+inline constexpr double kBlastAheft = 3933.1;
+inline constexpr double kBlastImprovement = 0.204;
+inline constexpr double kWien2kHeft = 3451.6;
+inline constexpr double kWien2kAheft = 3233.8;
+inline constexpr double kWien2kImprovement = 0.063;
+
+// Table 7: improvement rate by parallelism, N = 200..1000.
+inline constexpr std::array<double, 5> kTable7Blast{0.159, 0.183, 0.199,
+                                                    0.219, 0.236};
+inline constexpr std::array<double, 5> kTable7Wien2k{0.022, 0.043, 0.060,
+                                                     0.078, 0.094};
+
+// Table 8: improvement rate by CCR, CCR = .1 .5 1 5 10.
+inline constexpr std::array<double, 5> kTable8Blast{0.161, 0.155, 0.143,
+                                                    0.191, 0.261};
+inline constexpr std::array<double, 5> kTable8Wien2k{0.073, 0.073, 0.066,
+                                                     0.053, 0.064};
+
+}  // namespace aheft::exp::paper
+
+#endif  // AHEFT_EXP_PAPER_REF_H_

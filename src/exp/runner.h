@@ -1,0 +1,26 @@
+// Parallel sweep runner: executes a batch of cases on a thread pool with
+// per-case deterministic seeding, so results are independent of thread
+// count and scheduling order.
+#ifndef AHEFT_EXP_RUNNER_H_
+#define AHEFT_EXP_RUNNER_H_
+
+#include <vector>
+
+#include "exp/case.h"
+
+namespace aheft::exp {
+
+struct SweepOutcome {
+  std::vector<CaseSpec> specs;
+  std::vector<CaseResult> results;  ///< parallel to specs
+};
+
+/// Runs every case. `threads` 0 = hardware concurrency, 1 = inline.
+/// Prints coarse progress to stderr when `progress` is true.
+[[nodiscard]] SweepOutcome run_sweep(std::vector<CaseSpec> specs,
+                                     std::size_t threads = 0,
+                                     bool progress = false);
+
+}  // namespace aheft::exp
+
+#endif  // AHEFT_EXP_RUNNER_H_

@@ -1,0 +1,17 @@
+#include "grid/cost_provider.h"
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+double CostProvider::mean_compute_cost(
+    dag::JobId job, std::span<const ResourceId> resources) const {
+  AHEFT_REQUIRE(!resources.empty(), "mean over empty resource set");
+  double total = 0.0;
+  for (const ResourceId r : resources) {
+    total += compute_cost(job, r);
+  }
+  return total / static_cast<double>(resources.size());
+}
+
+}  // namespace aheft::grid

@@ -1,0 +1,27 @@
+#include "grid/events.h"
+
+#include <sstream>
+
+namespace aheft::grid {
+
+std::string describe(const GridEvent& event) {
+  std::ostringstream os;
+  os << "t=" << event.time << " ";
+  std::visit(
+      [&os](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, ResourceAddedEvent>) {
+          os << "resource r" << payload.resource + 1 << " added";
+        } else if constexpr (std::is_same_v<T, ResourceRemovedEvent>) {
+          os << "resource r" << payload.resource + 1 << " removed";
+        } else {
+          os << "job n" << payload.job + 1 << " on r" << payload.resource + 1
+             << " ran " << payload.actual << " vs estimate "
+             << payload.estimated;
+        }
+      },
+      event.payload);
+  return os.str();
+}
+
+}  // namespace aheft::grid

@@ -1,0 +1,45 @@
+// Run-time events the Executor reports to the Planner (paper §3.3).
+#ifndef AHEFT_GRID_EVENTS_H_
+#define AHEFT_GRID_EVENTS_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dag/job.h"
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::grid {
+
+/// "Resource Pool Change" — a new resource was discovered.
+struct ResourceAddedEvent {
+  ResourceId resource = kInvalidResource;
+};
+
+/// "Resource Pool Change" — a resource left (predictable failure).
+struct ResourceRemovedEvent {
+  ResourceId resource = kInvalidResource;
+};
+
+/// "Resource Performance Variance" — a job's observed run time deviated
+/// from its estimate by more than the monitor's threshold.
+struct PerformanceVarianceEvent {
+  dag::JobId job = dag::kInvalidJob;
+  ResourceId resource = kInvalidResource;
+  double estimated = 0.0;
+  double actual = 0.0;
+};
+
+struct GridEvent {
+  sim::Time time = sim::kTimeZero;
+  std::variant<ResourceAddedEvent, ResourceRemovedEvent,
+               PerformanceVarianceEvent>
+      payload;
+};
+
+[[nodiscard]] std::string describe(const GridEvent& event);
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_EVENTS_H_

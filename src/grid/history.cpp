@@ -1,0 +1,48 @@
+#include "grid/history.h"
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+PerformanceHistoryRepository::PerformanceHistoryRepository(double smoothing)
+    : smoothing_(smoothing) {
+  AHEFT_REQUIRE(smoothing > 0.0 && smoothing <= 1.0,
+                "smoothing must be in (0, 1]");
+}
+
+void PerformanceHistoryRepository::record(const std::string& operation,
+                                          ResourceId resource,
+                                          double actual_duration) {
+  AHEFT_REQUIRE(actual_duration >= 0.0, "duration must be non-negative");
+  Entry& entry = entries_[{operation, resource}];
+  if (entry.count == 0) {
+    entry.smoothed = actual_duration;
+  } else {
+    entry.smoothed =
+        smoothing_ * actual_duration + (1.0 - smoothing_) * entry.smoothed;
+  }
+  ++entry.count;
+  ++total_;
+}
+
+std::optional<double> PerformanceHistoryRepository::estimate(
+    const std::string& operation, ResourceId resource) const {
+  const auto it = entries_.find({operation, resource});
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second.smoothed;
+}
+
+std::size_t PerformanceHistoryRepository::observations(
+    const std::string& operation, ResourceId resource) const {
+  const auto it = entries_.find({operation, resource});
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+void PerformanceHistoryRepository::clear() {
+  entries_.clear();
+  total_ = 0;
+}
+
+}  // namespace aheft::grid

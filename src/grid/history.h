@@ -1,0 +1,51 @@
+// Performance History Repository (paper Fig. 1).
+//
+// Stores observed run times keyed by (operation, resource) and serves
+// exponentially smoothed estimates. Scientific workflows repeat a handful
+// of operations many times (§4.3), so per-operation history converges
+// quickly.
+#ifndef AHEFT_GRID_HISTORY_H_
+#define AHEFT_GRID_HISTORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "grid/resource.h"
+
+namespace aheft::grid {
+
+class PerformanceHistoryRepository {
+ public:
+  /// `smoothing` is the weight of the newest observation (EWMA alpha).
+  explicit PerformanceHistoryRepository(double smoothing = 0.5);
+
+  /// Records an actual run time for `operation` on `resource`.
+  void record(const std::string& operation, ResourceId resource,
+              double actual_duration);
+
+  /// Smoothed estimate; empty when the pair was never observed.
+  [[nodiscard]] std::optional<double> estimate(const std::string& operation,
+                                               ResourceId resource) const;
+
+  /// Number of observations for the pair.
+  [[nodiscard]] std::size_t observations(const std::string& operation,
+                                         ResourceId resource) const;
+
+  [[nodiscard]] std::size_t total_observations() const { return total_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    double smoothed = 0.0;
+    std::size_t count = 0;
+  };
+  double smoothing_;
+  std::map<std::pair<std::string, ResourceId>, Entry> entries_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_HISTORY_H_

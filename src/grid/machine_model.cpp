@@ -1,0 +1,51 @@
+#include "grid/machine_model.h"
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+MachineModel::MachineModel(std::size_t job_count, std::size_t resource_count,
+                           LinkModel link)
+    : jobs_(job_count),
+      resources_(resource_count),
+      link_(link),
+      w_(job_count * resource_count, 0.0) {
+  AHEFT_REQUIRE(job_count > 0, "machine model needs at least one job");
+  AHEFT_REQUIRE(resource_count > 0,
+                "machine model needs at least one resource");
+  AHEFT_REQUIRE(link.bandwidth > 0.0, "bandwidth must be positive");
+  AHEFT_REQUIRE(link.latency >= 0.0, "latency must be non-negative");
+}
+
+void MachineModel::set_compute_cost(dag::JobId job, ResourceId resource,
+                                    double cost) {
+  AHEFT_REQUIRE(job < jobs_ && resource < resources_,
+                "cost index out of range");
+  AHEFT_REQUIRE(cost > 0.0, "computation cost must be positive");
+  w_[job * resources_ + resource] = cost;
+}
+
+double MachineModel::compute_cost(dag::JobId job, ResourceId resource) const {
+  AHEFT_REQUIRE(job < jobs_ && resource < resources_,
+                "cost index out of range");
+  const double cost = w_[job * resources_ + resource];
+  AHEFT_ASSERT(cost > 0.0, "computation cost was never set for job " +
+                               std::to_string(job) + " on resource " +
+                               std::to_string(resource));
+  return cost;
+}
+
+double MachineModel::comm_cost(const dag::Edge& e, ResourceId from,
+                               ResourceId to) const {
+  if (from == to) {
+    return 0.0;
+  }
+  return link_.transfer_cost(e.data);
+}
+
+double MachineModel::mean_comm_cost(const dag::Edge& e) const {
+  // With a uniform link model every distinct pair costs the same.
+  return link_.transfer_cost(e.data);
+}
+
+}  // namespace aheft::grid

@@ -1,0 +1,38 @@
+#include "grid/predictor.h"
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+NoisyPredictor::NoisyPredictor(const CostProvider& truth, double error,
+                               std::uint64_t seed)
+    : truth_(truth), error_(error), seed_(seed) {
+  AHEFT_REQUIRE(error >= 0.0 && error < 1.0, "error must be in [0, 1)");
+}
+
+double NoisyPredictor::compute_cost(dag::JobId job,
+                                    ResourceId resource) const {
+  // A deterministic per-(job, resource) factor: the same query always
+  // returns the same estimate, as a real predictor would.
+  const std::uint64_t key =
+      mix64(seed_, (static_cast<std::uint64_t>(job) << 32) | resource);
+  RngStream stream(key);
+  const double factor = stream.uniform(1.0 - error_, 1.0 + error_);
+  return truth_.compute_cost(job, resource) * factor;
+}
+
+HistoryBlendingPredictor::HistoryBlendingPredictor(
+    const CostProvider& prior, const dag::Dag& dag,
+    const PerformanceHistoryRepository& history)
+    : prior_(prior), dag_(dag), history_(history) {}
+
+double HistoryBlendingPredictor::compute_cost(dag::JobId job,
+                                              ResourceId resource) const {
+  const std::string& operation = dag_.job(job).operation;
+  if (const auto observed = history_.estimate(operation, resource)) {
+    return *observed;
+  }
+  return prior_.compute_cost(job, resource);
+}
+
+}  // namespace aheft::grid

@@ -1,0 +1,69 @@
+#include "grid/reservation.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+ScheduleVersion ReservationLedger::begin_version() { return next_version_++; }
+
+void ReservationLedger::reserve(ScheduleVersion version, dag::JobId job,
+                                ResourceId resource, sim::Time start,
+                                sim::Time end) {
+  AHEFT_REQUIRE(version > 0 && version < next_version_,
+                "unknown schedule version");
+  AHEFT_REQUIRE(sim::time_le(start, end), "reservation ends before start");
+  AHEFT_REQUIRE(!conflicts(resource, start, end),
+                "reservation overlaps an existing one on resource " +
+                    std::to_string(resource));
+  live_.emplace(std::make_pair(resource, start),
+                Reservation{job, resource, start, end, version});
+}
+
+void ReservationLedger::revoke_before(ScheduleVersion keep,
+                                      const std::vector<dag::JobId>& pinned) {
+  for (auto it = live_.begin(); it != live_.end();) {
+    const Reservation& r = it->second;
+    const bool is_pinned =
+        std::find(pinned.begin(), pinned.end(), r.job) != pinned.end();
+    if (r.version < keep && !is_pinned) {
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool ReservationLedger::conflicts(ResourceId resource, sim::Time start,
+                                  sim::Time end) const {
+  if (sim::time_eq(start, end)) {
+    return false;  // zero-length windows never conflict
+  }
+  // Scan reservations on this resource; the map is ordered by start time.
+  auto it = live_.lower_bound({resource, -sim::kTimeInfinity});
+  for (; it != live_.end() && it->first.first == resource; ++it) {
+    const Reservation& r = it->second;
+    if (r.start >= end) {
+      break;
+    }
+    // Overlap test with tolerance: touching endpoints do not conflict.
+    if (r.start < end && start < r.end && !sim::time_eq(r.end, start) &&
+        !sim::time_eq(end, r.start)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Reservation> ReservationLedger::reservations_for(
+    ResourceId resource) const {
+  std::vector<Reservation> out;
+  auto it = live_.lower_bound({resource, -sim::kTimeInfinity});
+  for (; it != live_.end() && it->first.first == resource; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace aheft::grid

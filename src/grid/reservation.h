@@ -1,0 +1,64 @@
+// Advance-reservation ledger (the Resource Manager's bookkeeping, Fig. 1).
+//
+// "Upon arrival of a schedule, the Resource Manager will reserve the
+// resource as per the schedule. If the arriving schedule is a result of
+// rescheduling, it revokes resource reservation for replaced schedule
+// before making new reservations." (§3.2)
+#ifndef AHEFT_GRID_RESERVATION_H_
+#define AHEFT_GRID_RESERVATION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dag/job.h"
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::grid {
+
+/// Monotonically increasing schedule version; each submitted (re)schedule
+/// gets one, so its reservations can be revoked atomically.
+using ScheduleVersion = std::uint64_t;
+
+struct Reservation {
+  dag::JobId job = dag::kInvalidJob;
+  ResourceId resource = kInvalidResource;
+  sim::Time start = sim::kTimeZero;
+  sim::Time end = sim::kTimeZero;
+  ScheduleVersion version = 0;
+};
+
+class ReservationLedger {
+ public:
+  /// Opens a new schedule version.
+  ScheduleVersion begin_version();
+
+  /// Reserves [start, end) on `resource` for `job` under `version`.
+  /// Throws if the window overlaps a live reservation on that resource.
+  void reserve(ScheduleVersion version, dag::JobId job, ResourceId resource,
+               sim::Time start, sim::Time end);
+
+  /// Revokes every reservation of all versions older than `keep`, except
+  /// those whose job ids appear in `pinned` (finished or running jobs keep
+  /// their slots).
+  void revoke_before(ScheduleVersion keep,
+                     const std::vector<dag::JobId>& pinned);
+
+  /// True if [start, end) on `resource` overlaps a live reservation.
+  [[nodiscard]] bool conflicts(ResourceId resource, sim::Time start,
+                               sim::Time end) const;
+
+  [[nodiscard]] std::vector<Reservation> reservations_for(
+      ResourceId resource) const;
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+
+ private:
+  ScheduleVersion next_version_ = 1;
+  // keyed by (resource, start) for ordered overlap scans
+  std::map<std::pair<ResourceId, sim::Time>, Reservation> live_;
+};
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_RESERVATION_H_

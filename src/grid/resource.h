@@ -1,0 +1,40 @@
+// Grid resource identity and lifetime.
+#ifndef AHEFT_GRID_RESOURCE_H_
+#define AHEFT_GRID_RESOURCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/time.h"
+
+namespace aheft::grid {
+
+/// Dense index into the resource *universe* (initial pool plus every
+/// resource that may ever join). Whether a resource is visible at a given
+/// time is decided by its arrival/departure window, so HEFT, AHEFT, and the
+/// dynamic baseline all see identical machines and costs.
+using ResourceId = std::uint32_t;
+
+inline constexpr ResourceId kInvalidResource =
+    std::numeric_limits<ResourceId>::max();
+
+/// One computation unit (the paper's r_j).
+struct Resource {
+  ResourceId id = kInvalidResource;
+  std::string name;
+  /// Time the resource joins the grid (0 for the initial pool).
+  sim::Time arrival = sim::kTimeZero;
+  /// Time the resource leaves the grid (infinity when it never does).
+  /// Departures are an extension: the paper's experiments only add
+  /// resources (§4.1 assumption 3), but the architecture handles failure.
+  sim::Time departure = sim::kTimeInfinity;
+
+  [[nodiscard]] bool available_at(sim::Time t) const noexcept {
+    return arrival <= t && t < departure;
+  }
+};
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_RESOURCE_H_

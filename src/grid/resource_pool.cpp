@@ -1,0 +1,96 @@
+#include "grid/resource_pool.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/assert.h"
+
+namespace aheft::grid {
+
+ResourceId ResourcePool::add(Resource resource) {
+  AHEFT_REQUIRE(resource.arrival >= 0.0, "arrival must be non-negative");
+  AHEFT_REQUIRE(resource.arrival < resource.departure,
+                "resource must depart after it arrives");
+  const auto id = static_cast<ResourceId>(resources_.size());
+  resource.id = id;
+  if (resource.name.empty()) {
+    resource.name = "r" + std::to_string(id + 1);
+  }
+  resources_.push_back(std::move(resource));
+  return id;
+}
+
+const Resource& ResourcePool::resource(ResourceId id) const {
+  AHEFT_REQUIRE(id < resources_.size(), "resource id out of range");
+  return resources_[id];
+}
+
+std::vector<ResourceId> ResourcePool::available_at(sim::Time t) const {
+  std::vector<ResourceId> out;
+  for (const Resource& r : resources_) {
+    if (r.available_at(t)) {
+      out.push_back(r.id);
+    }
+  }
+  return out;
+}
+
+std::size_t ResourcePool::count_available_at(sim::Time t) const {
+  return static_cast<std::size_t>(
+      std::count_if(resources_.begin(), resources_.end(),
+                    [t](const Resource& r) { return r.available_at(t); }));
+}
+
+std::vector<sim::Time> ResourcePool::change_times(sim::Time after,
+                                                  sim::Time horizon) const {
+  std::set<sim::Time> times;
+  for (const Resource& r : resources_) {
+    if (r.arrival > after && r.arrival <= horizon) {
+      times.insert(r.arrival);
+    }
+    if (r.departure > after && r.departure <= horizon &&
+        r.departure < sim::kTimeInfinity) {
+      times.insert(r.departure);
+    }
+  }
+  return {times.begin(), times.end()};
+}
+
+sim::Time ResourcePool::next_change_after(sim::Time after) const {
+  sim::Time best = sim::kTimeInfinity;
+  for (const Resource& r : resources_) {
+    if (r.arrival > after) {
+      best = std::min(best, r.arrival);
+    }
+    if (r.departure > after && r.departure < sim::kTimeInfinity) {
+      best = std::min(best, r.departure);
+    }
+  }
+  return best;
+}
+
+std::vector<ResourceId> ResourcePool::arrivals_at(sim::Time t) const {
+  std::vector<ResourceId> out;
+  for (const Resource& r : resources_) {
+    if (r.arrival == t) {
+      out.push_back(r.id);
+    }
+  }
+  return out;
+}
+
+void ResourcePool::set_departure(ResourceId id, sim::Time t) {
+  AHEFT_REQUIRE(id < resources_.size(), "resource id out of range");
+  AHEFT_REQUIRE(t > resources_[id].arrival,
+                "departure must follow arrival");
+  resources_[id].departure = t;
+}
+
+void ResourcePool::set_arrival(ResourceId id, sim::Time t) {
+  AHEFT_REQUIRE(id < resources_.size(), "resource id out of range");
+  AHEFT_REQUIRE(t >= 0.0 && t < resources_[id].departure,
+                "arrival must be non-negative and precede departure");
+  resources_[id].arrival = t;
+}
+
+}  // namespace aheft::grid

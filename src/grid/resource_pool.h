@@ -1,0 +1,57 @@
+// The dynamic resource pool: a fixed universe with per-resource
+// availability windows.
+#ifndef AHEFT_GRID_RESOURCE_POOL_H_
+#define AHEFT_GRID_RESOURCE_POOL_H_
+
+#include <span>
+#include <vector>
+
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::grid {
+
+/// Owns the resource universe. Ids are dense and assigned in add() order.
+class ResourcePool {
+ public:
+  ResourcePool() = default;
+
+  /// Adds a resource; its id is overwritten with the dense index.
+  ResourceId add(Resource resource);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return resources_.size();
+  }
+  [[nodiscard]] const Resource& resource(ResourceId id) const;
+  [[nodiscard]] std::span<const Resource> all() const noexcept {
+    return resources_;
+  }
+
+  /// Ids available at time t, ascending.
+  [[nodiscard]] std::vector<ResourceId> available_at(sim::Time t) const;
+  [[nodiscard]] std::size_t count_available_at(sim::Time t) const;
+
+  /// All times in (after, horizon] at which the visible set changes
+  /// (arrivals or departures), sorted ascending and deduplicated.
+  [[nodiscard]] std::vector<sim::Time> change_times(sim::Time after,
+                                                    sim::Time horizon) const;
+
+  /// First change strictly after `after`; kTimeInfinity when none.
+  [[nodiscard]] sim::Time next_change_after(sim::Time after) const;
+
+  /// Resources arriving exactly at time t.
+  [[nodiscard]] std::vector<ResourceId> arrivals_at(sim::Time t) const;
+
+  /// Marks a resource as departing at time t (failure-injection extension).
+  void set_departure(ResourceId id, sim::Time t);
+
+  /// Rewrites a resource's arrival time (what-if analysis on pool copies).
+  void set_arrival(ResourceId id, sim::Time t);
+
+ private:
+  std::vector<Resource> resources_;
+};
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_RESOURCE_POOL_H_

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include "support/assert.h"
+
+namespace aheft::sim {
+
+EventId EventQueue::push(Time when, Action action) {
+  AHEFT_REQUIRE(action != nullptr, "cannot schedule a null action");
+  AHEFT_REQUIRE(when < kTimeInfinity, "cannot schedule at infinity");
+  const EventId id = next_id_++;
+  heap_.push(Key{when, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  return actions_.erase(id) > 0;
+}
+
+void EventQueue::skim() const {
+  // actions_ is the source of truth; heap keys whose action was cancelled
+  // are garbage and get dropped here.
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skim();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  skim();
+  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  AHEFT_ASSERT(!heap_.empty(), "pop from empty event queue");
+  const Key key = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(key.id);
+  AHEFT_ASSERT(it != actions_.end(), "live heap key without action");
+  Fired fired{key.time, key.id, std::move(it->second)};
+  actions_.erase(it);
+  return fired;
+}
+
+}  // namespace aheft::sim

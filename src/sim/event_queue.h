@@ -1,0 +1,73 @@
+// Deterministic pending-event set for the discrete-event kernel.
+#ifndef AHEFT_SIM_EVENT_QUEUE_H_
+#define AHEFT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aheft::sim {
+
+/// Handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, sequence) ordered events. Ties in time are broken by
+/// insertion order, which makes every simulation replayable bit-for-bit.
+/// Cancellation is lazy: the heap keys stay, the action is dropped, and the
+/// orphaned key is skipped on pop.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when`; returns a cancellable id.
+  EventId push(Time when, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the next live event; kTimeInfinity when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops the next live event. Requires !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    Action action;
+  };
+  Fired pop();
+
+  [[nodiscard]] std::size_t live_count() const { return actions_.size(); }
+
+ private:
+  struct Key {
+    Time time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  /// Removes cancelled entries sitting at the top of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Key, std::vector<Key>, Later> heap_;
+  std::unordered_map<EventId, Action> actions_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace aheft::sim
+
+#endif  // AHEFT_SIM_EVENT_QUEUE_H_

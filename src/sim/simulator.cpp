@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::sim {
+
+EventId Simulator::schedule_at(Time when, EventQueue::Action action) {
+  AHEFT_REQUIRE(when >= now_, "cannot schedule into the past");
+  return queue_.push(when, std::move(action));
+}
+
+EventId Simulator::schedule_in(Time delay, EventQueue::Action action) {
+  AHEFT_REQUIRE(delay >= 0.0, "negative delay");
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto fired = queue_.pop();
+  AHEFT_ASSERT(fired.time >= now_, "event queue went backwards in time");
+  now_ = fired.time;
+  ++executed_;
+  fired.action();
+  return true;
+}
+
+Time Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Simulator::run_until(Time horizon) {
+  AHEFT_REQUIRE(horizon >= now_, "horizon is in the past");
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+  }
+  // Idle up to the horizon: the clock advances even with nothing to do, so
+  // callers can observe/modify state "at time t" (SimJava semantics).
+  if (horizon < kTimeInfinity) {
+    now_ = std::max(now_, horizon);
+  }
+  return now_;
+}
+
+}  // namespace aheft::sim

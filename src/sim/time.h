@@ -1,0 +1,42 @@
+// Logical simulation time.
+//
+// The paper measures everything in abstract cost units on a logical clock
+// (§3.4: "The variable clock is used as logical clock to measure the time
+// span of DAG execution"). We follow suit with a double-typed Time.
+#ifndef AHEFT_SIM_TIME_H_
+#define AHEFT_SIM_TIME_H_
+
+#include <cmath>
+#include <limits>
+
+namespace aheft::sim {
+
+using Time = double;
+
+inline constexpr Time kTimeZero = 0.0;
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Tolerance for comparing derived times (sums of costs). Schedule
+/// validation uses this to avoid rejecting plans over floating-point dust.
+inline constexpr Time kTimeEpsilon = 1e-7;
+
+[[nodiscard]] inline bool time_eq(Time a, Time b,
+                                  Time eps = kTimeEpsilon) noexcept {
+  return std::fabs(a - b) <= eps * (1.0 + std::fmax(std::fabs(a), std::fabs(b)));
+}
+
+/// a <= b up to tolerance.
+[[nodiscard]] inline bool time_le(Time a, Time b,
+                                  Time eps = kTimeEpsilon) noexcept {
+  return a <= b || time_eq(a, b, eps);
+}
+
+/// a >= b up to tolerance.
+[[nodiscard]] inline bool time_ge(Time a, Time b,
+                                  Time eps = kTimeEpsilon) noexcept {
+  return a >= b || time_eq(a, b, eps);
+}
+
+}  // namespace aheft::sim
+
+#endif  // AHEFT_SIM_TIME_H_

@@ -1,0 +1,57 @@
+// Execution trace recording: what ran where, when, and which files moved.
+//
+// Traces back the paper's Fig. 5 Gantt charts and let tests assert that a
+// simulated execution actually honored a schedule.
+#ifndef AHEFT_SIM_TRACE_H_
+#define AHEFT_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aheft::sim {
+
+enum class IntervalKind { kCompute, kTransfer };
+
+/// One closed interval of activity in a simulated execution.
+struct TraceInterval {
+  IntervalKind kind = IntervalKind::kCompute;
+  std::uint32_t job = 0;           ///< job being computed / produced the file
+  std::uint32_t consumer = 0;      ///< for transfers: receiving job
+  std::uint32_t resource = 0;      ///< compute location / transfer target
+  Time start = kTimeZero;
+  Time end = kTimeZero;
+};
+
+/// Append-only trace of a simulation run.
+class TraceRecorder {
+ public:
+  void record_compute(std::uint32_t job, std::uint32_t resource, Time start,
+                      Time end);
+  void record_transfer(std::uint32_t producer, std::uint32_t consumer,
+                       std::uint32_t target_resource, Time start, Time end);
+
+  [[nodiscard]] const std::vector<TraceInterval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Intervals of one kind, sorted by start time (stable on ties).
+  [[nodiscard]] std::vector<TraceInterval> sorted(IntervalKind kind) const;
+
+  /// Renders a textual Gantt chart of compute intervals, one row per
+  /// resource, in the style of the paper's Fig. 5.
+  [[nodiscard]] std::string gantt(
+      const std::vector<std::string>& job_names,
+      const std::vector<std::string>& resource_names) const;
+
+  void clear() { intervals_.clear(); }
+
+ private:
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace aheft::sim
+
+#endif  // AHEFT_SIM_TRACE_H_

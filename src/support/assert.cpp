@@ -1,0 +1,17 @@
+#include "support/assert.h"
+
+#include <sstream>
+
+namespace aheft::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace aheft::detail

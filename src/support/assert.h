@@ -1,0 +1,46 @@
+// Runtime invariant checking for the AHEFT library.
+//
+// The simulator is a research artifact: we keep invariant checks enabled in
+// every build type (their cost is negligible next to scheduling work) and
+// surface violations as exceptions so that both library users and the test
+// suite can observe them deterministically.
+#ifndef AHEFT_SUPPORT_ASSERT_H_
+#define AHEFT_SUPPORT_ASSERT_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace aheft {
+
+/// Thrown when an internal invariant of the library is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace detail
+}  // namespace aheft
+
+/// Checks an internal invariant; throws aheft::AssertionError on failure.
+/// `msg` is any expression convertible to std::string.
+#define AHEFT_ASSERT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::aheft::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)
+
+/// Validates a user-supplied argument; throws std::invalid_argument.
+#define AHEFT_REQUIRE(cond, msg)                          \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      throw std::invalid_argument(std::string(msg));      \
+    }                                                     \
+  } while (false)
+
+#endif  // AHEFT_SUPPORT_ASSERT_H_

@@ -1,0 +1,47 @@
+#include "support/csv.h"
+
+#include "support/assert.h"
+
+namespace aheft {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), width_(header.size()) {
+  AHEFT_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  AHEFT_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  emit(cells);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace aheft

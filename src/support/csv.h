@@ -1,0 +1,36 @@
+// Minimal CSV output for experiment results.
+#ifndef AHEFT_SUPPORT_CSV_H_
+#define AHEFT_SUPPORT_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace aheft {
+
+/// Writes RFC-4180-style CSV rows to a file. Cells containing commas,
+/// quotes, or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+/// Escapes a single CSV cell (exposed for testing).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace aheft
+
+#endif  // AHEFT_SUPPORT_CSV_H_

@@ -1,0 +1,54 @@
+// Environment and command-line knobs shared by benches and examples.
+#ifndef AHEFT_SUPPORT_ENV_H_
+#define AHEFT_SUPPORT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aheft {
+
+/// Experiment scale presets. Benches default to kDefault (seconds–minutes);
+/// kPaper replays the paper's full 500,000-case sweeps; kSmoke is CI-sized.
+enum class Scale { kSmoke, kDefault, kPaper };
+
+[[nodiscard]] std::string to_string(Scale scale);
+[[nodiscard]] std::optional<Scale> parse_scale(const std::string& text);
+
+/// Reads an environment variable, empty optional when unset/empty.
+[[nodiscard]] std::optional<std::string> get_env(const std::string& name);
+
+/// A tiny --key=value / --flag argument parser used by benches/examples.
+/// Unrecognized positional arguments are kept in positional().
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --name or --name=anything was passed.
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of --name=value, or fallback.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Resolves the scale from --scale=... or $AHEFT_SCALE, defaulting to
+  /// Scale::kDefault.
+  [[nodiscard]] Scale scale() const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aheft
+
+#endif  // AHEFT_SUPPORT_ENV_H_

@@ -1,0 +1,42 @@
+// Streaming statistics used by the experiment harness.
+#ifndef AHEFT_SUPPORT_STATS_H_
+#define AHEFT_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace aheft {
+
+/// Welford online accumulator: numerically stable mean/variance plus
+/// min/max, mergeable so per-thread partials can be combined.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean (stddev / sqrt(n)).
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// The paper reports "improvement rate" as the relative reduction of the
+/// *average* makespan: (avg(base) - avg(variant)) / avg(base).
+[[nodiscard]] double improvement_rate(double base_mean, double variant_mean);
+
+}  // namespace aheft
+
+#endif  // AHEFT_SUPPORT_STATS_H_

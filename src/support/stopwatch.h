@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for harness progress reporting.
+#ifndef AHEFT_SUPPORT_STOPWATCH_H_
+#define AHEFT_SUPPORT_STOPWATCH_H_
+
+#include <chrono>
+
+namespace aheft {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aheft
+
+#endif  // AHEFT_SUPPORT_STOPWATCH_H_

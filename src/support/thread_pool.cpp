@@ -1,0 +1,131 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  AHEFT_REQUIRE(task != nullptr, "cannot submit a null task");
+  {
+    std::unique_lock lock(mutex_);
+    AHEFT_ASSERT(!stopping_, "submit after shutdown");
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk_size) {
+  if (count == 0) {
+    return;
+  }
+  if (pool == nullptr || pool->thread_count() == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+  if (chunk_size == 0) {
+    // Aim for ~8 chunks per worker to balance load without contention.
+    chunk_size = std::max<std::size_t>(1, count / (pool->thread_count() * 8));
+  }
+
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<std::size_t> pending_chunks{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  const std::size_t chunk_count = (count + chunk_size - 1) / chunk_size;
+  state->pending_chunks.store(chunk_count);
+
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    pool->submit([state, begin, end, &body] {
+      if (!state->failed.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            body(i);
+          }
+        } catch (...) {
+          std::scoped_lock lock(state->error_mutex);
+          if (!state->failed.exchange(true)) {
+            state->first_error = std::current_exception();
+          }
+        }
+      }
+      if (state->pending_chunks.fetch_sub(1) == 1) {
+        std::scoped_lock lock(state->done_mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock(state->done_mutex);
+  state->done.wait(lock, [&] { return state->pending_chunks.load() == 0; });
+  if (state->failed.load()) {
+    std::rethrow_exception(state->first_error);
+  }
+}
+
+}  // namespace aheft

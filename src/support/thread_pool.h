@@ -1,0 +1,63 @@
+// A small fixed-size thread pool plus a chunked parallel_for.
+//
+// The experiment harness runs hundreds of thousands of independent
+// simulation cases; this pool is the only parallelism in the library.
+// Determinism is preserved by deriving all randomness from per-case seeds,
+// never from thread identity or scheduling order.
+#ifndef AHEFT_SUPPORT_THREAD_POOL_H_
+#define AHEFT_SUPPORT_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aheft {
+
+/// Fixed-size worker pool. Tasks are arbitrary void() callables.
+/// The destructor drains outstanding tasks before joining the workers.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [0, count) on the pool, in chunks.
+/// If any invocation throws, the first exception is rethrown here after all
+/// workers have stopped touching the range. `pool` may be null, in which
+/// case the loop runs inline (useful for tests and debugging).
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk_size = 0);
+
+}  // namespace aheft
+
+#endif  // AHEFT_SUPPORT_THREAD_POOL_H_

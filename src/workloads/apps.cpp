@@ -1,0 +1,234 @@
+#include "workloads/apps.h"
+
+#include <map>
+#include <string>
+
+#include "support/assert.h"
+
+namespace aheft::workloads {
+
+namespace {
+
+/// Draws per-operation base costs and per-edge-type payloads: instances of
+/// one operation share a cost, structural edge types share a payload
+/// (paper §4.3: "there are only handful unique operations").
+class AppCostTable {
+ public:
+  AppCostTable(const AppParams& params, RngStream& rng)
+      : params_(params), rng_(rng) {}
+
+  double op_cost(const std::string& operation) {
+    const auto it = op_cost_.find(operation);
+    if (it != op_cost_.end()) {
+      return it->second;
+    }
+    const double floor_cost = 1e-3 * params_.avg_compute;
+    const double cost = std::max(
+        floor_cost, rng_.uniform(0.0, 2.0 * params_.avg_compute));
+    op_cost_.emplace(operation, cost);
+    return cost;
+  }
+
+  double edge_data(const std::string& edge_type) {
+    const auto it = edge_data_.find(edge_type);
+    if (it != edge_data_.end()) {
+      return it->second;
+    }
+    const double data =
+        rng_.uniform(0.0, 2.0 * params_.ccr * params_.avg_compute);
+    edge_data_.emplace(edge_type, data);
+    return data;
+  }
+
+ private:
+  const AppParams& params_;
+  RngStream& rng_;
+  std::map<std::string, double> op_cost_;
+  std::map<std::string, double> edge_data_;
+};
+
+void check_params(const AppParams& params, std::size_t min_parallelism) {
+  AHEFT_REQUIRE(params.parallelism >= min_parallelism,
+                "parallelism too small for this application");
+  AHEFT_REQUIRE(params.ccr >= 0.0, "CCR must be non-negative");
+  AHEFT_REQUIRE(params.avg_compute > 0.0, "avg_compute must be positive");
+}
+
+}  // namespace
+
+Workload generate_blast(const AppParams& params, RngStream& rng) {
+  check_params(params, 1);
+  const std::size_t n = params.parallelism;
+  AppCostTable costs(params, rng);
+
+  dag::Dag graph("blast-n" + std::to_string(n));
+  Workload workload;
+  auto add = [&](const std::string& name, const std::string& operation) {
+    const dag::JobId id = graph.add_job(name, operation);
+    workload.base_cost.push_back(costs.op_cost(operation));
+    return id;
+  };
+
+  const dag::JobId split = add("FileBreaker", "ID001");
+  std::vector<dag::JobId> stage1(n);
+  std::vector<dag::JobId> stage2(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    stage1[b] = add("blast_" + std::to_string(b + 1), "ID006");
+    stage2[b] = add("parse_" + std::to_string(b + 1), "ID007");
+  }
+  const dag::JobId merge = add("Merger", "ID012");
+
+  for (std::size_t b = 0; b < n; ++b) {
+    graph.add_edge(split, stage1[b], costs.edge_data("split->blast"));
+    graph.add_edge(stage1[b], stage2[b], costs.edge_data("blast->parse"));
+    graph.add_edge(stage2[b], merge, costs.edge_data("parse->merge"));
+  }
+  graph.finalize();
+  workload.dag = std::move(graph);
+  return workload;
+}
+
+Workload generate_wien2k(const AppParams& params, RngStream& rng) {
+  check_params(params, 1);
+  const std::size_t n = params.parallelism;
+  AppCostTable costs(params, rng);
+
+  dag::Dag graph("wien2k-n" + std::to_string(n));
+  Workload workload;
+  auto add = [&](const std::string& name, const std::string& operation) {
+    const dag::JobId id = graph.add_job(name, operation);
+    workload.base_cost.push_back(costs.op_cost(operation));
+    return id;
+  };
+
+  const dag::JobId stagein = add("StageIn", "StageIn");
+  const dag::JobId lapw0 = add("LAPW0", "LAPW0");
+  std::vector<dag::JobId> lapw1(n);
+  std::vector<dag::JobId> lapw2(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    lapw1[k] = add("LAPW1_K" + std::to_string(k + 1), "LAPW1");
+  }
+  const dag::JobId fermi = add("LAPW2_FERMI", "LAPW2_FERMI");
+  for (std::size_t k = 0; k < n; ++k) {
+    lapw2[k] = add("LAPW2_K" + std::to_string(k + 1), "LAPW2");
+  }
+  const dag::JobId sumpara = add("Sumpara", "SUMPARA");
+  const dag::JobId lcore = add("LCore", "LCORE");
+  const dag::JobId mixer = add("Mixer", "MIXER");
+  const dag::JobId converged = add("Converged", "CONVERGED");
+  const dag::JobId stageout = add("StageOut", "StageOut");
+
+  graph.add_edge(stagein, lapw0, costs.edge_data("stagein->lapw0"));
+  for (std::size_t k = 0; k < n; ++k) {
+    graph.add_edge(lapw0, lapw1[k], costs.edge_data("lapw0->lapw1"));
+    graph.add_edge(lapw1[k], fermi, costs.edge_data("lapw1->fermi"));
+    graph.add_edge(fermi, lapw2[k], costs.edge_data("fermi->lapw2"));
+    graph.add_edge(lapw2[k], sumpara, costs.edge_data("lapw2->sumpara"));
+  }
+  graph.add_edge(lapw0, lcore, costs.edge_data("lapw0->lcore"));
+  graph.add_edge(sumpara, mixer, costs.edge_data("sumpara->mixer"));
+  graph.add_edge(lcore, mixer, costs.edge_data("lcore->mixer"));
+  graph.add_edge(mixer, converged, costs.edge_data("mixer->converged"));
+  graph.add_edge(converged, stageout, costs.edge_data("converged->stageout"));
+  graph.finalize();
+  workload.dag = std::move(graph);
+  return workload;
+}
+
+Workload generate_montage(const AppParams& params, RngStream& rng) {
+  check_params(params, 2);
+  const std::size_t n = params.parallelism;
+  AppCostTable costs(params, rng);
+
+  dag::Dag graph("montage-n" + std::to_string(n));
+  Workload workload;
+  auto add = [&](const std::string& name, const std::string& operation) {
+    const dag::JobId id = graph.add_job(name, operation);
+    workload.base_cost.push_back(costs.op_cost(operation));
+    return id;
+  };
+
+  std::vector<dag::JobId> project(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    project[i] = add("mProject_" + std::to_string(i + 1), "mProjectPP");
+  }
+  std::vector<dag::JobId> difffit(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    difffit[i] = add("mDiffFit_" + std::to_string(i + 1), "mDiffFit");
+  }
+  const dag::JobId concat = add("mConcatFit", "mConcatFit");
+  const dag::JobId bgmodel = add("mBgModel", "mBgModel");
+  std::vector<dag::JobId> background(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    background[i] = add("mBackground_" + std::to_string(i + 1), "mBackground");
+  }
+  const dag::JobId imgtbl = add("mImgtbl", "mImgtbl");
+  const dag::JobId madd = add("mAdd", "mAdd");
+  const dag::JobId shrink = add("mShrink", "mShrink");
+  const dag::JobId jpeg = add("mJPEG", "mJPEG");
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    graph.add_edge(project[i], difffit[i], costs.edge_data("proj->diff"));
+    graph.add_edge(project[i + 1], difffit[i],
+                   costs.edge_data("proj->diff2"));
+    graph.add_edge(difffit[i], concat, costs.edge_data("diff->concat"));
+  }
+  graph.add_edge(concat, bgmodel, costs.edge_data("concat->bg"));
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add_edge(bgmodel, background[i], costs.edge_data("bg->back"));
+    graph.add_edge(project[i], background[i], costs.edge_data("proj->back"));
+    graph.add_edge(background[i], imgtbl, costs.edge_data("back->imgtbl"));
+  }
+  graph.add_edge(imgtbl, madd, costs.edge_data("imgtbl->add"));
+  graph.add_edge(madd, shrink, costs.edge_data("add->shrink"));
+  graph.add_edge(shrink, jpeg, costs.edge_data("shrink->jpeg"));
+  graph.finalize();
+  workload.dag = std::move(graph);
+  return workload;
+}
+
+Workload generate_gaussian(const AppParams& params, RngStream& rng) {
+  check_params(params, 2);
+  const std::size_t m = params.parallelism;
+  AppCostTable costs(params, rng);
+
+  dag::Dag graph("gauss-m" + std::to_string(m));
+  Workload workload;
+  auto add = [&](const std::string& name, const std::string& operation) {
+    const dag::JobId id = graph.add_job(name, operation);
+    workload.base_cost.push_back(costs.op_cost(operation));
+    return id;
+  };
+
+  // Column elimination: pivot job per step k, then update jobs for every
+  // remaining column. update(k, i) depends on pivot(k) and update(k-1, i);
+  // pivot(k+1) depends on update(k, k+1).
+  std::map<std::pair<std::size_t, std::size_t>, dag::JobId> update;
+  std::vector<dag::JobId> pivot(m - 1);
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    pivot[k] = add("pivot_" + std::to_string(k + 1), "pivot");
+    for (std::size_t i = k + 1; i < m; ++i) {
+      update[{k, i}] =
+          add("update_" + std::to_string(k + 1) + "_" + std::to_string(i + 1),
+              "update");
+    }
+  }
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    for (std::size_t i = k + 1; i < m; ++i) {
+      graph.add_edge(pivot[k], update[{k, i}], costs.edge_data("piv->upd"));
+      if (k > 0) {
+        graph.add_edge(update[{k - 1, i}], update[{k, i}],
+                       costs.edge_data("upd->upd"));
+      }
+    }
+    if (k + 2 < m) {
+      graph.add_edge(update[{k, k + 1}], pivot[k + 1],
+                     costs.edge_data("upd->piv"));
+    }
+  }
+  graph.finalize();
+  workload.dag = std::move(graph);
+  return workload;
+}
+
+}  // namespace aheft::workloads

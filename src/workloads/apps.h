@@ -1,0 +1,60 @@
+// Real-application workflow generators.
+//
+// BLAST (paper Fig. 6, via GNARE [17]): a six-step, N-way-parallel genome
+// comparison — one FileBreaker split job, N two-job branches, one merge.
+//
+// WIEN2K (paper Fig. 7, via ASKALON [20, 21]): quantum-chemistry workflow
+// with two N-way parallel sections (LAPW1, LAPW2) separated by the
+// serializing LAPW2_FERMI job — the structural reason the paper finds
+// AHEFT helps WIEN2K far less than BLAST.
+//
+// Montage and Gaussian elimination are extensions: Montage is the third
+// real workflow the paper's §4.3 discussion names (11 unique operations);
+// Gaussian elimination is the classic structured DAG of the HEFT paper.
+//
+// Cost model shared by all generators (paper §4.3 observation 2): an
+// application has only a handful of unique operations; every instance of
+// an operation inherits the operation's base cost, and every structural
+// edge type shares one data payload.
+#ifndef AHEFT_WORKLOADS_APPS_H_
+#define AHEFT_WORKLOADS_APPS_H_
+
+#include <cstddef>
+
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace aheft::workloads {
+
+struct AppParams {
+  /// Degree of parallelism N (the paper's v parameter in Table 5: 200,
+  /// 400, ..., 1000). Total job count is app-specific (BLAST: 2N+2,
+  /// WIEN2K: 2N+8, Montage: 3N+5).
+  std::size_t parallelism = 200;
+  double ccr = 1.0;
+  double avg_compute = 100.0;
+};
+
+/// 2N+2 jobs: split -> N x (ID006 -> ID007) -> merge.
+[[nodiscard]] Workload generate_blast(const AppParams& params,
+                                      RngStream& rng);
+
+/// 2N+8 jobs: StageIn -> LAPW0 -> {N x LAPW1, LCore} -> LAPW2_FERMI ->
+/// N x LAPW2 -> Sumpara -> Mixer (joined by LCore) -> Converged ->
+/// StageOut.
+[[nodiscard]] Workload generate_wien2k(const AppParams& params,
+                                       RngStream& rng);
+
+/// 3N+5 jobs: N x mProject -> (N-1) x mDiffFit -> mConcatFit -> mBgModel
+/// -> N x mBackground -> mImgtbl -> mAdd -> mShrink -> mJPEG.
+[[nodiscard]] Workload generate_montage(const AppParams& params,
+                                        RngStream& rng);
+
+/// Gaussian elimination on an m x m matrix: (m^2 + m - 2) / 2 jobs.
+/// `parallelism` is interpreted as the matrix dimension m (>= 2).
+[[nodiscard]] Workload generate_gaussian(const AppParams& params,
+                                         RngStream& rng);
+
+}  // namespace aheft::workloads
+
+#endif  // AHEFT_WORKLOADS_APPS_H_

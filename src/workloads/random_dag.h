@@ -1,0 +1,38 @@
+// Parametric random DAG generator following the heterogeneous computation
+// modeling approach of Topcuoglu et al. [19], as used in the paper (§4.2)
+// and recommended by the scheduling test bench of Hönig & Schiffmann [10].
+#ifndef AHEFT_WORKLOADS_RANDOM_DAG_H_
+#define AHEFT_WORKLOADS_RANDOM_DAG_H_
+
+#include <cstddef>
+
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace aheft::workloads {
+
+struct RandomDagParams {
+  /// Number of jobs in the graph (the paper's v).
+  std::size_t jobs = 40;
+  /// Maximum out-degree of a node as a fraction of the total node count
+  /// (the paper's out_degree parameter, Table 2).
+  double out_degree = 0.2;
+  /// Communication-to-computation ratio (paper's CCR).
+  double ccr = 1.0;
+  /// Average computation cost \bar{\omega}_DAG. The paper leaves the
+  /// absolute scale unstated; 100 puts the random-sweep average makespan in
+  /// the published magnitude range.
+  double avg_compute = 100.0;
+};
+
+/// Generates the DAG structure, per-edge data payloads (uniform in
+/// [0, 2 * CCR * avg_compute]) and per-job base costs (uniform in
+/// (0, 2 * avg_compute]). Structure guarantees: every non-entry node has at
+/// least one predecessor, node 0 is the unique entry, edges only go
+/// forward, out-degrees respect the out_degree cap.
+[[nodiscard]] Workload generate_random_workload(const RandomDagParams& params,
+                                                RngStream& rng);
+
+}  // namespace aheft::workloads
+
+#endif  // AHEFT_WORKLOADS_RANDOM_DAG_H_

@@ -1,0 +1,63 @@
+#include "workloads/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace aheft::workloads {
+
+std::size_t arrivals_per_change(const ResourceDynamics& d) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(d.fraction * static_cast<double>(d.initial))));
+}
+
+grid::ResourcePool build_dynamic_pool(const ResourceDynamics& dynamics,
+                                      sim::Time horizon) {
+  AHEFT_REQUIRE(dynamics.initial > 0, "pool needs at least one resource");
+  AHEFT_REQUIRE(dynamics.interval > 0.0, "change interval must be positive");
+  AHEFT_REQUIRE(dynamics.fraction >= 0.0, "change fraction must be >= 0");
+  AHEFT_REQUIRE(horizon >= 0.0, "horizon must be non-negative");
+
+  grid::ResourcePool pool;
+  for (std::size_t i = 0; i < dynamics.initial; ++i) {
+    pool.add(grid::Resource{.name = "", .arrival = sim::kTimeZero});
+  }
+  const std::size_t per_change = arrivals_per_change(dynamics);
+  for (std::size_t change = 1;; ++change) {
+    const sim::Time when =
+        dynamics.interval * static_cast<double>(change);
+    if (when > horizon) {
+      break;
+    }
+    for (std::size_t k = 0; k < per_change; ++k) {
+      pool.add(grid::Resource{.name = "", .arrival = when});
+    }
+  }
+  return pool;
+}
+
+grid::MachineModel build_machine_model(const Workload& workload,
+                                       std::size_t universe, double beta,
+                                       std::uint64_t seed) {
+  AHEFT_REQUIRE(beta >= 0.0 && beta < 2.0, "beta must be in [0, 2)");
+  AHEFT_REQUIRE(universe > 0, "universe must be non-empty");
+  const std::size_t v = workload.dag.job_count();
+  AHEFT_REQUIRE(workload.base_cost.size() == v,
+                "base costs and DAG disagree on job count");
+
+  grid::MachineModel model(v, universe);
+  for (dag::JobId i = 0; i < v; ++i) {
+    for (grid::ResourceId j = 0; j < universe; ++j) {
+      // Deterministic per (seed, i, j): independent of universe size.
+      RngStream cell(mix64(seed, (static_cast<std::uint64_t>(i) << 24) ^ j));
+      const double factor = cell.uniform(1.0 - beta / 2.0, 1.0 + beta / 2.0);
+      model.set_compute_cost(i, j, workload.base_cost[i] * factor);
+    }
+  }
+  return model;
+}
+
+}  // namespace aheft::workloads

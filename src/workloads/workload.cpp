@@ -1,0 +1,29 @@
+#include "workloads/workload.h"
+
+#include "support/assert.h"
+
+namespace aheft::workloads {
+
+double mean_base_cost(const Workload& workload) {
+  AHEFT_REQUIRE(!workload.base_cost.empty(), "workload has no jobs");
+  double total = 0.0;
+  for (const double c : workload.base_cost) {
+    total += c;
+  }
+  return total / static_cast<double>(workload.base_cost.size());
+}
+
+double realized_ccr(const Workload& workload) {
+  if (workload.dag.edge_count() == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const dag::Edge& e : workload.dag.edges()) {
+    total += e.data;
+  }
+  const double mean_comm =
+      total / static_cast<double>(workload.dag.edge_count());
+  return mean_comm / mean_base_cost(workload);
+}
+
+}  // namespace aheft::workloads

@@ -1,0 +1,30 @@
+// A workload couples a DAG with per-job base computation costs.
+//
+// Base cost \omega_i is the paper's average computation cost of job n_i;
+// the scenario builder (scenario.h) expands it into the per-resource
+// matrix w_{i,j} using the heterogeneity factor beta (paper §4.2).
+#ifndef AHEFT_WORKLOADS_WORKLOAD_H_
+#define AHEFT_WORKLOADS_WORKLOAD_H_
+
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace aheft::workloads {
+
+struct Workload {
+  dag::Dag dag;
+  /// \omega_i per job (same indexing as dag jobs); strictly positive.
+  std::vector<double> base_cost;
+};
+
+/// Mean of base costs (the realized \bar{\omega}_DAG).
+[[nodiscard]] double mean_base_cost(const Workload& workload);
+
+/// Realized communication-to-computation ratio: mean edge transfer cost
+/// (bandwidth 1) over mean base computation cost.
+[[nodiscard]] double realized_ccr(const Workload& workload);
+
+}  // namespace aheft::workloads
+
+#endif  // AHEFT_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,49 @@
+// Shared fixtures and validators for the aheft test suite.
+#ifndef AHEFT_TESTS_HELPERS_H_
+#define AHEFT_TESTS_HELPERS_H_
+
+#include <cstdint>
+
+#include "core/schedule.h"
+#include "grid/machine_model.h"
+#include "grid/resource_pool.h"
+#include "sim/trace.h"
+#include "workloads/scenario.h"
+#include "workloads/workload.h"
+
+namespace aheft::test {
+
+/// A fully generated random case: workload + dynamic pool + cost matrix.
+struct RandomCase {
+  workloads::Workload workload;
+  grid::ResourcePool pool;
+  grid::MachineModel model;
+};
+
+struct RandomCaseOptions {
+  std::size_t jobs = 30;
+  double ccr = 1.0;
+  double out_degree = 0.3;
+  double beta = 0.5;
+  std::size_t initial_resources = 4;
+  double interval = 150.0;
+  double fraction = 0.25;
+  double horizon = 3000.0;
+};
+
+/// Deterministic random case from a seed.
+[[nodiscard]] RandomCase make_random_case(std::uint64_t seed,
+                                          const RandomCaseOptions& options = {});
+
+/// Checks that an execution trace is a legal run of `dag` on the grid:
+/// per-resource compute intervals are disjoint and inside availability
+/// windows, every job has exactly one completed compute interval whose
+/// duration matches the cost model, and every consumer starts only after
+/// each predecessor's output could have reached its resource.
+void expect_valid_trace(const sim::TraceRecorder& trace, const dag::Dag& dag,
+                        const grid::CostProvider& costs,
+                        const grid::ResourcePool& pool);
+
+}  // namespace aheft::test
+
+#endif  // AHEFT_TESTS_HELPERS_H_

@@ -1,0 +1,169 @@
+// Dynamic just-in-time baseline tests (Min-Min / Max-Min / Sufferage).
+#include <gtest/gtest.h>
+
+#include "core/dynamic_scheduler.h"
+#include "core/heft.h"
+#include "helpers.h"
+#include "workloads/sample.h"
+
+namespace aheft::core {
+namespace {
+
+TEST(Dynamic, RunsSampleDagToCompletion) {
+  const auto scenario = workloads::sample_scenario();
+  sim::TraceRecorder trace;
+  const DynamicRunResult result = run_dynamic(
+      scenario.dag, scenario.model, scenario.pool,
+      DynamicHeuristic::kMinMin, &trace);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GE(result.batches, 1u);
+  EXPECT_TRUE(result.schedule.complete());
+  test::expect_valid_trace(trace, scenario.dag, scenario.model,
+                           scenario.pool);
+}
+
+TEST(Dynamic, DeferredTransfersMakeItNoBetterThanHeft) {
+  // On the worked example the just-in-time strategy cannot beat the static
+  // plan: every cross-resource input waits for a decision before moving.
+  const auto scenario = workloads::sample_scenario();
+  const DynamicRunResult minmin =
+      run_dynamic(scenario.dag, scenario.model, scenario.pool);
+  const Schedule heft =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  EXPECT_GE(minmin.makespan, heft.makespan() - sim::kTimeEpsilon);
+}
+
+TEST(Dynamic, SingleJobMatchesFastestResource) {
+  dag::Dag graph;
+  graph.add_job("only");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  pool.add(grid::Resource{});
+  grid::MachineModel model(1, 2);
+  model.set_compute_cost(0, 0, 9.0);
+  model.set_compute_cost(0, 1, 4.0);
+  const DynamicRunResult result = run_dynamic(graph, model, pool);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  EXPECT_EQ(result.schedule.assignment(0).resource, 1u);
+}
+
+TEST(Dynamic, MinMinPrefersShortJobFirstOnContention) {
+  // Two independent jobs, one resource: Min-Min runs the shorter first.
+  dag::Dag graph;
+  graph.add_job("long");
+  graph.add_job("short");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 1);
+  model.set_compute_cost(0, 0, 10.0);
+  model.set_compute_cost(1, 0, 2.0);
+  const DynamicRunResult result = run_dynamic(graph, model, pool);
+  EXPECT_DOUBLE_EQ(result.schedule.assignment(1).start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.assignment(0).start, 2.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 12.0);
+}
+
+TEST(Dynamic, MaxMinPrefersLongJobFirstOnContention) {
+  dag::Dag graph;
+  graph.add_job("long");
+  graph.add_job("short");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 1);
+  model.set_compute_cost(0, 0, 10.0);
+  model.set_compute_cost(1, 0, 2.0);
+  const DynamicRunResult result =
+      run_dynamic(graph, model, pool, DynamicHeuristic::kMaxMin);
+  EXPECT_DOUBLE_EQ(result.schedule.assignment(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.assignment(1).start, 10.0);
+}
+
+TEST(Dynamic, UsesResourcesThatArriveMidRun) {
+  // A chain head delays two parallel successors past r2's arrival; the
+  // just-in-time scheduler should exploit the newcomer.
+  dag::Dag graph;
+  const dag::JobId head = graph.add_job("head");
+  const dag::JobId left = graph.add_job("left");
+  const dag::JobId right = graph.add_job("right");
+  graph.add_edge(head, left, 0.0);
+  graph.add_edge(head, right, 0.0);
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "r1", .arrival = 0.0});
+  pool.add(grid::Resource{.name = "r2", .arrival = 5.0});
+  grid::MachineModel model(3, 2);
+  for (dag::JobId i = 0; i < 3; ++i) {
+    model.set_compute_cost(i, 0, 10.0);
+    model.set_compute_cost(i, 1, 10.0);
+  }
+  const DynamicRunResult result = run_dynamic(graph, model, pool);
+  // head on r1 [0,10); then left/right in parallel on r1 and r2.
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+  EXPECT_NE(result.schedule.assignment(left).resource,
+            result.schedule.assignment(right).resource);
+}
+
+TEST(Dynamic, ChainPaysTransferAtDecisionTime) {
+  // a -> b with data 6; two resources; b's best completion includes the
+  // decision-time transfer, so same-resource execution wins.
+  dag::Dag graph;
+  const dag::JobId a = graph.add_job("a");
+  const dag::JobId b = graph.add_job("b");
+  graph.add_edge(a, b, 6.0);
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 2);
+  model.set_compute_cost(0, 0, 5.0);
+  model.set_compute_cost(0, 1, 5.0);
+  model.set_compute_cost(1, 0, 4.0);
+  model.set_compute_cost(1, 1, 3.0);
+  const DynamicRunResult result = run_dynamic(graph, model, pool);
+  // On r0 (with a): 5 + 4 = 9. On r1: 5 + 6 (transfer from t=5) + 3 = 14.
+  EXPECT_EQ(result.schedule.assignment(b).resource, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 9.0);
+}
+
+TEST(Dynamic, RejectsEmptyInitialPool) {
+  dag::Dag graph;
+  graph.add_job("a");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "late", .arrival = 10.0});
+  grid::MachineModel model(1, 1);
+  model.set_compute_cost(0, 0, 1.0);
+  EXPECT_THROW(run_dynamic(graph, model, pool), std::invalid_argument);
+}
+
+TEST(Dynamic, HeuristicNames) {
+  EXPECT_EQ(to_string(DynamicHeuristic::kMinMin), "min-min");
+  EXPECT_EQ(to_string(DynamicHeuristic::kMaxMin), "max-min");
+  EXPECT_EQ(to_string(DynamicHeuristic::kSufferage), "sufferage");
+}
+
+// ----- property sweep ------------------------------------------------------
+
+class DynamicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicProperty, ProducesValidExecutions) {
+  const test::RandomCase c = test::make_random_case(GetParam());
+  for (const auto heuristic :
+       {DynamicHeuristic::kMinMin, DynamicHeuristic::kMaxMin,
+        DynamicHeuristic::kSufferage}) {
+    sim::TraceRecorder trace;
+    const DynamicRunResult result =
+        run_dynamic(c.workload.dag, c.model, c.pool, heuristic, &trace);
+    EXPECT_GT(result.makespan, 0.0);
+    test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace aheft::core

@@ -1,0 +1,240 @@
+// Execution-engine tests: faithful replay, mid-run snapshots, schedule
+// replacement semantics, file-transfer bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/execution_engine.h"
+#include "core/heft.h"
+#include "helpers.h"
+#include "sim/simulator.h"
+#include "support/assert.h"
+#include "workloads/sample.h"
+
+namespace aheft::core {
+namespace {
+
+TEST(Engine, ReplaysHeftScheduleExactly) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  sim::TraceRecorder trace;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool,
+                         &trace);
+  engine.submit(plan);
+  sim.run();
+  ASSERT_TRUE(engine.finished());
+  EXPECT_DOUBLE_EQ(engine.makespan(), 80.0);
+  EXPECT_EQ(engine.restarted_jobs(), 0u);
+
+  // Every compute interval matches the plan.
+  const auto computes = trace.sorted(sim::IntervalKind::kCompute);
+  ASSERT_EQ(computes.size(), 10u);
+  for (const auto& interval : computes) {
+    const Assignment& a = plan.assignment(interval.job);
+    EXPECT_EQ(interval.resource, a.resource);
+    EXPECT_DOUBLE_EQ(interval.start, a.start);
+    EXPECT_DOUBLE_EQ(interval.end, a.finish);
+  }
+  test::expect_valid_trace(trace, scenario.dag, scenario.model,
+                           scenario.pool);
+}
+
+TEST(Engine, RecordsCrossResourceTransfers) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  sim::TraceRecorder trace;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool,
+                         &trace);
+  engine.submit(plan);
+  sim.run();
+  const auto transfers = trace.sorted(sim::IntervalKind::kTransfer);
+  // n1 (r3) feeds n2 (r1) and n4, n6 (r2): at least those transfers exist.
+  EXPECT_GE(transfers.size(), 3u);
+  for (const auto& t : transfers) {
+    EXPECT_LT(t.start, t.end);  // real links take time in this scenario
+  }
+}
+
+TEST(Engine, SnapshotMidRunMatchesReality) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool);
+  engine.submit(plan);
+  sim.run_until(30.0);
+  const ExecutionSnapshot snap = engine.snapshot();
+  EXPECT_DOUBLE_EQ(snap.clock(), 30.0);
+  // By t=30: n1 [0,9) and n3 [9,28) finished on r3; n4 [18,26) on r2.
+  EXPECT_TRUE(snap.finished(0));
+  EXPECT_TRUE(snap.finished(2));
+  EXPECT_TRUE(snap.finished(3));
+  EXPECT_EQ(snap.finished_count(), 3u);
+  // n2 [27,40) and n5 [28,38) and n6 [26,42) are running.
+  EXPECT_TRUE(snap.running_info(1).has_value());
+  EXPECT_TRUE(snap.running_info(4).has_value());
+  EXPECT_TRUE(snap.running_info(5).has_value());
+  EXPECT_DOUBLE_EQ(snap.running_info(1)->expected_finish, 40.0);
+  // n1 -> n2 transfer (edge 0) reached r1 at 9 + 18 = 27.
+  const auto& arrivals = snap.arrivals(0);
+  ASSERT_TRUE(arrivals.count(0));
+  EXPECT_DOUBLE_EQ(arrivals.at(0), 27.0);
+  ASSERT_TRUE(arrivals.count(2));  // copy kept at the producer
+  EXPECT_DOUBLE_EQ(arrivals.at(2), 9.0);
+}
+
+TEST(Engine, ResubmittingSamePlanIsANoop) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool);
+  engine.submit(plan);
+  sim.run_until(30.0);
+  engine.submit(plan);  // identical plan: nothing restarts
+  sim.run();
+  EXPECT_DOUBLE_EQ(engine.makespan(), 80.0);
+  EXPECT_EQ(engine.restarted_jobs(), 0u);
+}
+
+TEST(Engine, ReplacementMovesPendingJob) {
+  // Two independent jobs on one resource; the replacement moves the second
+  // job to a second resource.
+  dag::Dag graph;
+  const dag::JobId a = graph.add_job("a");
+  const dag::JobId b = graph.add_job("b");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 2);
+  for (dag::JobId i = 0; i < 2; ++i) {
+    for (grid::ResourceId r = 0; r < 2; ++r) {
+      model.set_compute_cost(i, r, 10.0);
+    }
+  }
+  Schedule serial(2);
+  serial.assign(Assignment{a, 0, 0.0, 10.0});
+  serial.assign(Assignment{b, 0, 10.0, 20.0});
+
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, graph, model, pool);
+  engine.submit(serial);
+  sim.run_until(5.0);
+
+  Schedule parallel(2);
+  parallel.assign(Assignment{a, 0, 0.0, 10.0});  // keep running job
+  parallel.assign(Assignment{b, 1, 5.0, 15.0});
+  engine.submit(parallel);
+  sim.run();
+  EXPECT_DOUBLE_EQ(engine.makespan(), 15.0);
+  EXPECT_EQ(engine.restarted_jobs(), 0u);
+}
+
+TEST(Engine, ReplacementRestartsRunningJob) {
+  dag::Dag graph;
+  const dag::JobId a = graph.add_job("a");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  pool.add(grid::Resource{});
+  grid::MachineModel model(1, 2);
+  model.set_compute_cost(0, 0, 10.0);
+  model.set_compute_cost(0, 1, 3.0);
+
+  Schedule slow(1);
+  slow.assign(Assignment{a, 0, 0.0, 10.0});
+  sim::Simulator sim;
+  sim::TraceRecorder trace;
+  ExecutionEngine engine(sim, graph, model, pool, &trace);
+  engine.submit(slow);
+  sim.run_until(4.0);
+
+  Schedule fast(1);
+  fast.assign(Assignment{a, 1, 4.0, 7.0});  // restart elsewhere
+  engine.submit(fast);
+  sim.run();
+  EXPECT_DOUBLE_EQ(engine.makespan(), 7.0);
+  EXPECT_EQ(engine.restarted_jobs(), 1u);
+  // The cancelled partial run is visible in the trace.
+  const auto computes = trace.sorted(sim::IntervalKind::kCompute);
+  ASSERT_EQ(computes.size(), 2u);
+  EXPECT_DOUBLE_EQ(computes[0].end, 4.0);   // aborted at the switch
+  EXPECT_DOUBLE_EQ(computes[1].start, 4.0);
+}
+
+TEST(Engine, RewritingHistoryIsRejected) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool);
+  engine.submit(plan);
+  sim.run_until(15.0);  // n1 finished at 9 on r3
+
+  Schedule rewrite(10);
+  rewrite.assign(Assignment{0, 0, 0.0, 14.0});  // pretend n1 ran on r1
+  for (dag::JobId i = 1; i < 10; ++i) {
+    const Assignment& original = plan.assignment(i);
+    rewrite.assign(Assignment{i, original.resource,
+                              original.start + 100.0,
+                              original.finish + 100.0});
+  }
+  EXPECT_THROW(engine.submit(rewrite), AssertionError);
+}
+
+TEST(Engine, CompletionHookObservesEveryJob) {
+  const auto scenario = workloads::sample_scenario();
+  const Schedule plan =
+      heft_schedule(scenario.dag, scenario.model, scenario.pool);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool);
+  std::size_t completions = 0;
+  double last_finish = 0.0;
+  engine.set_completion_hook([&](dag::JobId, grid::ResourceId, sim::Time,
+                                 sim::Time aft) {
+    ++completions;
+    EXPECT_GE(aft, last_finish);
+    last_finish = aft;
+  });
+  engine.submit(plan);
+  sim.run();
+  EXPECT_EQ(completions, 10u);
+  EXPECT_DOUBLE_EQ(last_finish, 80.0);
+}
+
+TEST(Engine, RequiresCompleteSchedule) {
+  const auto scenario = workloads::sample_scenario();
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, scenario.dag, scenario.model, scenario.pool);
+  Schedule partial(10);
+  partial.assign(Assignment{0, 2, 0.0, 9.0});
+  EXPECT_THROW(engine.submit(partial), std::invalid_argument);
+  EXPECT_THROW((void)engine.current_schedule(), std::invalid_argument);
+}
+
+// ----- property sweep: replay fidelity over random cases ------------------
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, RealizedEqualsPlannedUnderPerfectPrediction) {
+  const test::RandomCase c = test::make_random_case(GetParam());
+  const Schedule plan = heft_schedule(c.workload.dag, c.model, c.pool);
+  sim::Simulator sim;
+  sim::TraceRecorder trace;
+  ExecutionEngine engine(sim, c.workload.dag, c.model, c.pool, &trace);
+  engine.submit(plan);
+  sim.run();
+  ASSERT_TRUE(engine.finished());
+  EXPECT_NEAR(engine.makespan(), plan.makespan(), 1e-6);
+  test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56, 63,
+                                           70));
+
+}  // namespace
+}  // namespace aheft::core

@@ -1,0 +1,179 @@
+// End-to-end integration tests: full planner/executor co-simulation on the
+// paper's application workflows, cross-strategy orderings, and the trace
+// validator over complete adaptive runs.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_run.h"
+#include "core/heft.h"
+#include "exp/case.h"
+#include "grid/predictor.h"
+#include "helpers.h"
+#include "support/rng.h"
+#include "workloads/apps.h"
+#include "workloads/scenario.h"
+
+namespace aheft {
+namespace {
+
+struct AppRun {
+  double heft = 0.0;
+  double aheft = 0.0;
+  std::size_t adoptions = 0;
+};
+
+AppRun run_app(exp::AppKind app, std::size_t parallelism, double ccr,
+               std::uint64_t seed, sim::TraceRecorder* trace = nullptr) {
+  RngStream rng(seed);
+  workloads::AppParams params;
+  params.parallelism = parallelism;
+  params.ccr = ccr;
+  RngStream dag_stream = rng.child("dag");
+  workloads::Workload w = app == exp::AppKind::kBlast
+                              ? workloads::generate_blast(params, dag_stream)
+                              : workloads::generate_wien2k(params, dag_stream);
+
+  const workloads::ResourceDynamics dynamics{8, 100.0, 0.25};
+  grid::ResourcePool initial;
+  for (std::size_t i = 0; i < dynamics.initial; ++i) {
+    initial.add(grid::Resource{});
+  }
+  const grid::MachineModel first_model = workloads::build_machine_model(
+      w, dynamics.initial, 0.5, mix64(seed, 3));
+  const core::Schedule plan =
+      core::heft_schedule(w.dag, first_model, initial);
+
+  const grid::ResourcePool pool =
+      workloads::build_dynamic_pool(dynamics, plan.makespan());
+  const grid::MachineModel model = workloads::build_machine_model(
+      w, pool.universe_size(), 0.5, mix64(seed, 3));
+
+  const core::StrategyOutcome outcome =
+      core::run_adaptive_aheft(w.dag, model, model, pool, {}, trace);
+  AppRun result;
+  result.heft = plan.makespan();
+  result.aheft = outcome.makespan;
+  result.adoptions = outcome.adoptions;
+
+  if (trace != nullptr) {
+    test::expect_valid_trace(*trace, w.dag, model, pool);
+  }
+  return result;
+}
+
+TEST(Integration, BlastAdaptiveRunIsValidAndNoWorse) {
+  sim::TraceRecorder trace;
+  const AppRun run = run_app(exp::AppKind::kBlast, 24, 1.0, 1, &trace);
+  EXPECT_LE(run.aheft, run.heft + 1e-6);
+}
+
+TEST(Integration, Wien2kAdaptiveRunIsValidAndNoWorse) {
+  sim::TraceRecorder trace;
+  const AppRun run = run_app(exp::AppKind::kWien2k, 24, 1.0, 2, &trace);
+  EXPECT_LE(run.aheft, run.heft + 1e-6);
+}
+
+TEST(Integration, BlastGainsMoreThanWien2kOnAverage) {
+  // The paper's Table 6 headline: the wide, balanced BLAST profits far more
+  // from new resources than the FERMI-gated WIEN2K. Averaged over seeds at
+  // matching sizes, BLAST's improvement rate should dominate.
+  double blast_heft = 0.0;
+  double blast_aheft = 0.0;
+  double wien_heft = 0.0;
+  double wien_aheft = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AppRun blast = run_app(exp::AppKind::kBlast, 32, 1.0, seed);
+    const AppRun wien = run_app(exp::AppKind::kWien2k, 32, 1.0, seed);
+    blast_heft += blast.heft;
+    blast_aheft += blast.aheft;
+    wien_heft += wien.heft;
+    wien_aheft += wien.aheft;
+  }
+  const double blast_improvement = (blast_heft - blast_aheft) / blast_heft;
+  const double wien_improvement = (wien_heft - wien_aheft) / wien_heft;
+  EXPECT_GE(blast_improvement, wien_improvement - 0.02);
+  EXPECT_GT(blast_improvement, 0.0);
+}
+
+TEST(Integration, AdoptionsHappenWhenResourcesArriveEarly) {
+  // A resource-starved initial pool plus frequent arrivals: the planner
+  // should adopt at least one reschedule on a wide DAG.
+  std::size_t total_adoptions = 0;
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    total_adoptions += run_app(exp::AppKind::kBlast, 24, 1.0, seed).adoptions;
+  }
+  EXPECT_GT(total_adoptions, 0u);
+}
+
+TEST(Integration, DynamicBaselineLosesOnDataIntensiveRandomDags) {
+  // §4.2's headline ordering: HEFT ~ AHEFT << Min-Min for data-intensive
+  // workloads, because just-in-time decisions serialize the transfers.
+  double heft_total = 0.0;
+  double aheft_total = 0.0;
+  double minmin_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    exp::CaseSpec spec;
+    spec.app = exp::AppKind::kRandom;
+    spec.size = 40;
+    spec.ccr = 5.0;
+    spec.out_degree = 0.3;
+    spec.beta = 0.5;
+    spec.dynamics = {8, 200.0, 0.2};
+    spec.seed = mix64(99, seed);
+    spec.run_dynamic = true;
+    spec.horizon_factor = 4.0;
+    const exp::CaseResult result = exp::run_case(spec);
+    heft_total += result.heft_makespan;
+    aheft_total += result.aheft_makespan;
+    minmin_total += result.minmin_makespan;
+  }
+  EXPECT_LE(aheft_total, heft_total + 1e-6);
+  EXPECT_GT(minmin_total, heft_total);
+}
+
+TEST(Integration, NoisyEstimatesStillCompleteAndStayReasonable) {
+  const test::RandomCase c = test::make_random_case(2024);
+  const grid::NoisyPredictor estimates(c.model, 0.25, 7);
+  core::PlannerConfig config;
+  config.react_to_variance = true;
+  config.variance_threshold = 0.15;
+  grid::PerformanceHistoryRepository history;
+  sim::TraceRecorder trace;
+  const core::StrategyOutcome outcome = core::run_adaptive_aheft(
+      c.workload.dag, estimates, c.model, c.pool, config, &trace, &history);
+  EXPECT_GT(outcome.makespan, 0.0);
+  EXPECT_GT(history.total_observations(), 0u);
+  test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
+}
+
+TEST(Integration, FailureInjectionRestartsAndCompletes) {
+  // Kill the resource that hosts the most work halfway through the plan;
+  // the forced reschedule must migrate everything and still finish.
+  test::RandomCaseOptions options;
+  options.jobs = 24;
+  options.initial_resources = 3;
+  options.interval = 1e8;  // no arrivals: isolate the failure event
+  test::RandomCase c = test::make_random_case(555, options);
+  const core::Schedule plan =
+      core::heft_schedule(c.workload.dag, c.model, c.pool);
+
+  // Find the busiest resource in the plan and schedule its departure.
+  grid::ResourceId busiest = 0;
+  std::size_t most = 0;
+  for (const grid::ResourceId r : plan.used_resources()) {
+    if (plan.timeline(r).size() > most) {
+      most = plan.timeline(r).size();
+      busiest = r;
+    }
+  }
+  c.pool.set_departure(busiest, plan.makespan() / 2.0);
+
+  sim::TraceRecorder trace;
+  const core::StrategyOutcome outcome = core::run_adaptive_aheft(
+      c.workload.dag, c.model, c.model, c.pool, {}, &trace);
+  EXPECT_GT(outcome.makespan, 0.0);
+  EXPECT_GE(outcome.adoptions, 1u);
+  test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
+}
+
+}  // namespace
+}  // namespace aheft

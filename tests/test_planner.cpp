@@ -1,0 +1,201 @@
+// Planner loop tests: the generic adaptive rescheduling algorithm (paper
+// Fig. 2) coupled to the executor.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_run.h"
+#include "core/heft.h"
+#include "core/planner.h"
+#include "grid/predictor.h"
+#include "helpers.h"
+#include "workloads/sample.h"
+
+namespace aheft::core {
+namespace {
+
+TEST(Planner, StaticRunRealizesTheInitialPlan) {
+  const auto scenario = workloads::sample_scenario(15.0);
+  const StrategyOutcome outcome = run_static_heft(
+      scenario.dag, scenario.model, scenario.model, scenario.pool);
+  EXPECT_DOUBLE_EQ(outcome.makespan, 80.0);
+  EXPECT_EQ(outcome.adoptions, 0u);
+  EXPECT_EQ(outcome.evaluations, 0u);
+}
+
+TEST(Planner, Fig5AdoptionRealizesPublished76) {
+  const auto scenario = workloads::sample_scenario(15.0);
+  PlannerConfig config;
+  config.scheduler.order_candidates = 8;  // see DESIGN.md: one tie swap
+  AdaptivePlanner planner(scenario.dag, scenario.model, scenario.model,
+                          scenario.pool, config);
+  const AdaptiveResult result = planner.run();
+  EXPECT_DOUBLE_EQ(result.initial_makespan, 80.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 76.0);
+  EXPECT_EQ(result.adoptions, 1u);
+  EXPECT_EQ(result.evaluations, 1u);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_TRUE(result.decisions[0].adopted);
+  EXPECT_DOUBLE_EQ(result.decisions[0].time, 15.0);
+  EXPECT_DOUBLE_EQ(result.decisions[0].current_makespan, 80.0);
+  EXPECT_DOUBLE_EQ(result.decisions[0].candidate_makespan, 76.0);
+  EXPECT_EQ(result.decisions[0].event, "resource-arrival");
+}
+
+TEST(Planner, StrictTransfersDeclineNonImprovingReschedule) {
+  const auto scenario = workloads::sample_scenario(15.0);
+  PlannerConfig config;
+  config.scheduler.transfer_policy = TransferPolicy::kRetransmitFromClock;
+  AdaptivePlanner planner(scenario.dag, scenario.model, scenario.model,
+                          scenario.pool, config);
+  const AdaptiveResult result = planner.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 80.0);
+  EXPECT_EQ(result.adoptions, 0u);
+  EXPECT_EQ(result.evaluations, 1u);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_FALSE(result.decisions[0].adopted);
+}
+
+TEST(Planner, AdoptionThresholdSuppressesSmallGains) {
+  const auto scenario = workloads::sample_scenario(15.0);
+  PlannerConfig config;
+  config.scheduler.order_candidates = 8;
+  config.scheduler.adoption_threshold = 0.10;  // demand >10% improvement
+  AdaptivePlanner planner(scenario.dag, scenario.model, scenario.model,
+                          scenario.pool, config);
+  const AdaptiveResult result = planner.run();
+  // 76 is only a 5% improvement over 80: rejected under the threshold.
+  EXPECT_DOUBLE_EQ(result.makespan, 80.0);
+  EXPECT_EQ(result.adoptions, 0u);
+}
+
+TEST(Planner, EventPerPoolChange) {
+  const auto c = test::make_random_case(1234);
+  PlannerConfig config;
+  AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool, config);
+  const AdaptiveResult result = planner.run();
+  // Every arrival before completion is evaluated; none after.
+  const auto changes =
+      c.pool.change_times(sim::kTimeZero, result.makespan);
+  EXPECT_LE(result.evaluations, changes.size());
+  EXPECT_EQ(result.decisions.size(), result.evaluations);
+}
+
+TEST(Planner, ResourceDepartureForcesAdoption) {
+  // r1 departs at t=7, too early for the chain a -> b to finish there, so
+  // the initial plan already routes b to r2; the departure event then
+  // forces a (no-op) adoption while b is mid-execution on r2.
+  dag::Dag graph;
+  const dag::JobId a = graph.add_job("a");
+  const dag::JobId b = graph.add_job("b");
+  graph.add_edge(a, b, 1.0);
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "r1", .arrival = 0.0});
+  pool.add(grid::Resource{.name = "r2", .arrival = 0.0});
+  pool.set_departure(0, 7.0);
+  grid::MachineModel model(2, 2);
+  model.set_compute_cost(a, 0, 5.0);
+  model.set_compute_cost(a, 1, 6.0);
+  model.set_compute_cost(b, 0, 5.0);
+  model.set_compute_cost(b, 1, 20.0);
+
+  AdaptivePlanner planner(graph, model, model, pool, {});
+  const AdaptiveResult result = planner.run();
+  ASSERT_FALSE(result.decisions.empty());
+  EXPECT_TRUE(result.decisions.back().forced);
+  EXPECT_EQ(result.decisions.back().event, "resource-departure");
+  EXPECT_GE(result.adoptions, 1u);
+  // b cannot fit on r1 before its departure, so it runs on r2.
+  EXPECT_EQ(result.final_schedule.assignment(b).resource, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 26.0);  // 5 + 1 (transfer) + 20
+}
+
+TEST(Planner, HistoryRepositoryCollectsActuals) {
+  const auto scenario = workloads::sample_scenario(15.0);
+  grid::PerformanceHistoryRepository history;
+  PlannerConfig config;
+  AdaptivePlanner planner(scenario.dag, scenario.model, scenario.model,
+                          scenario.pool, config, nullptr, &history);
+  (void)planner.run();
+  EXPECT_EQ(history.total_observations(), 10u);
+  // All sample jobs share one operation; r3 ran n1 (9), n3 (19), ...
+  EXPECT_TRUE(history.estimate("sample", 2).has_value());
+}
+
+TEST(Planner, VarianceEventsTriggerEvaluations) {
+  const auto c = test::make_random_case(777);
+  // Estimates are 30% off from reality: the monitor should fire.
+  const grid::NoisyPredictor estimates(c.model, 0.30, 99);
+  PlannerConfig config;
+  config.react_to_pool_changes = false;
+  config.react_to_variance = true;
+  config.variance_threshold = 0.05;
+  AdaptivePlanner planner(c.workload.dag, estimates, c.model, c.pool,
+                          config);
+  const AdaptiveResult result = planner.run();
+  EXPECT_GT(result.evaluations, 0u);
+  for (const AdoptionRecord& record : result.decisions) {
+    EXPECT_EQ(record.event, "performance-variance");
+  }
+}
+
+TEST(Planner, NoVarianceEventsUnderPerfectPrediction) {
+  const auto c = test::make_random_case(778);
+  PlannerConfig config;
+  config.react_to_pool_changes = false;
+  config.react_to_variance = true;
+  config.variance_threshold = 0.05;
+  AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool, config);
+  const AdaptiveResult result = planner.run();
+  EXPECT_EQ(result.evaluations, 0u);
+}
+
+// ----- the paper's core guarantee, as a property sweep --------------------
+
+struct SweepParam {
+  std::uint64_t seed;
+  double ccr;
+  std::size_t jobs;
+};
+
+class PlannerProperty : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PlannerProperty, AheftNeverWorseThanHeftAndRealizesPrediction) {
+  const SweepParam param = GetParam();
+  test::RandomCaseOptions options;
+  options.jobs = param.jobs;
+  options.ccr = param.ccr;
+  const test::RandomCase c = test::make_random_case(param.seed, options);
+
+  const Schedule heft = heft_schedule(c.workload.dag, c.model, c.pool);
+  PlannerConfig config;
+  AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool, config);
+  const AdaptiveResult result = planner.run();
+
+  // Initial plan matches static HEFT.
+  EXPECT_NEAR(result.initial_makespan, heft.makespan(), 1e-9);
+  // Adaptive rescheduling adopts only strict improvements, so under
+  // accurate estimates the realized makespan never exceeds static HEFT.
+  EXPECT_LE(result.makespan, heft.makespan() + 1e-6);
+  // Each adopted reschedule's prediction is realized exactly.
+  if (!result.decisions.empty()) {
+    sim::Time last_adopted = result.initial_makespan;
+    for (const AdoptionRecord& record : result.decisions) {
+      if (record.adopted) {
+        EXPECT_LT(record.candidate_makespan, record.current_makespan);
+        last_adopted = record.candidate_makespan;
+      }
+    }
+    EXPECT_NEAR(result.makespan, last_adopted, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlannerProperty,
+    ::testing::Values(SweepParam{1, 0.1, 20}, SweepParam{2, 1.0, 20},
+                      SweepParam{3, 10.0, 20}, SweepParam{4, 0.1, 60},
+                      SweepParam{5, 1.0, 60}, SweepParam{6, 10.0, 60},
+                      SweepParam{7, 5.0, 40}, SweepParam{8, 0.5, 80},
+                      SweepParam{9, 1.0, 100}, SweepParam{10, 5.0, 100}));
+
+}  // namespace
+}  // namespace aheft::core

@@ -1,0 +1,167 @@
+// Unit tests for the schedule representation, slot search, and validators.
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "support/assert.h"
+#include "workloads/sample.h"
+
+namespace aheft::core {
+namespace {
+
+TEST(Schedule, AssignAndLookup) {
+  Schedule s(3);
+  EXPECT_FALSE(s.assigned(0));
+  s.assign(Assignment{0, 1, 0.0, 5.0});
+  EXPECT_TRUE(s.assigned(0));
+  EXPECT_EQ(s.assignment(0).resource, 1u);
+  EXPECT_DOUBLE_EQ(s.assignment(0).duration(), 5.0);
+  EXPECT_EQ(s.assigned_count(), 1u);
+  EXPECT_FALSE(s.complete());
+  s.assign(Assignment{1, 1, 5.0, 7.0});
+  s.assign(Assignment{2, 0, 0.0, 1.0});
+  EXPECT_TRUE(s.complete());
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);
+  EXPECT_EQ(s.used_resources(), (std::vector<grid::ResourceId>{0, 1}));
+}
+
+TEST(Schedule, TimelineSortedByStart) {
+  Schedule s(3);
+  s.assign(Assignment{0, 0, 10.0, 12.0});
+  s.assign(Assignment{1, 0, 0.0, 5.0});
+  s.assign(Assignment{2, 0, 5.0, 10.0});
+  const auto& slots = s.timeline(0);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].job, 1u);
+  EXPECT_EQ(slots[1].job, 2u);
+  EXPECT_EQ(slots[2].job, 0u);
+  EXPECT_TRUE(s.timeline(9).empty());
+}
+
+TEST(Schedule, RejectsDoubleAssignmentAndOverlap) {
+  Schedule s(3);
+  s.assign(Assignment{0, 0, 0.0, 5.0});
+  EXPECT_THROW(s.assign(Assignment{0, 1, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(s.assign(Assignment{1, 0, 4.0, 6.0}), std::invalid_argument);
+  s.assign(Assignment{1, 0, 5.0, 6.0});  // touching is allowed
+  EXPECT_THROW(s.assign(Assignment{2, 0, 0.0, 20.0}), std::invalid_argument);
+}
+
+TEST(Schedule, InsertionSlotFindsGaps) {
+  Schedule s(4);
+  s.assign(Assignment{0, 0, 10.0, 20.0});
+  s.assign(Assignment{1, 0, 30.0, 40.0});
+  const auto policy = SlotPolicy::kInsertion;
+  // Fits before the first slot.
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 0.0, 10.0, policy, 0.0, sim::kTimeInfinity), 0.0);
+  // Too long for the head gap -> lands in the middle gap.
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 5.0, 8.0, policy, 0.0, sim::kTimeInfinity), 20.0);
+  // Too long for any gap -> after the last slot.
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 0.0, 15.0, policy, 0.0, sim::kTimeInfinity), 40.0);
+  // not_before pushes past a gap.
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 0.0, 5.0, policy, 22.0, sim::kTimeInfinity), 22.0);
+}
+
+TEST(Schedule, EndOfQueueIgnoresGaps) {
+  Schedule s(4);
+  s.assign(Assignment{0, 0, 10.0, 20.0});
+  s.assign(Assignment{1, 0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 5.0, SlotPolicy::kEndOfQueue, 0.0,
+                                   sim::kTimeInfinity),
+                   40.0);
+}
+
+TEST(Schedule, DeadlineMakesSlotInfeasible) {
+  Schedule s(2);
+  s.assign(Assignment{0, 0, 0.0, 10.0});
+  EXPECT_EQ(s.earliest_slot(0, 0.0, 5.0, SlotPolicy::kInsertion, 0.0, 12.0),
+            sim::kTimeInfinity);
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 0.0, 5.0, SlotPolicy::kInsertion, 0.0, 15.0), 10.0);
+}
+
+TEST(Schedule, EmptyResourceSlotUsesReadyAndFloor) {
+  const Schedule s(1);
+  EXPECT_DOUBLE_EQ(s.earliest_slot(5, 3.0, 2.0, SlotPolicy::kInsertion, 7.0,
+                                   sim::kTimeInfinity),
+                   7.0);
+}
+
+TEST(ScheduleValidation, AcceptsHeftScheduleOnSample) {
+  const auto scenario = workloads::sample_scenario();
+  Schedule s(10);
+  // The published HEFT schedule (paper Fig. 5a).
+  s.assign(Assignment{0, 2, 0.0, 9.0});     // n1 r3
+  s.assign(Assignment{2, 2, 9.0, 28.0});    // n3 r3
+  s.assign(Assignment{3, 1, 18.0, 26.0});   // n4 r2
+  s.assign(Assignment{1, 0, 27.0, 40.0});   // n2 r1
+  s.assign(Assignment{4, 2, 28.0, 38.0});   // n5 r3
+  s.assign(Assignment{5, 1, 26.0, 42.0});   // n6 r2
+  s.assign(Assignment{8, 1, 56.0, 68.0});   // n9 r2
+  s.assign(Assignment{6, 2, 38.0, 49.0});   // n7 r3
+  s.assign(Assignment{7, 0, 57.0, 62.0});   // n8 r1
+  s.assign(Assignment{9, 1, 73.0, 80.0});   // n10 r2
+  validate_static(s, scenario.dag, scenario.model, scenario.pool);
+  EXPECT_DOUBLE_EQ(s.makespan(), 80.0);
+}
+
+TEST(ScheduleValidation, DetectsCommViolation) {
+  const auto scenario = workloads::sample_scenario();
+  Schedule s(10);
+  s.assign(Assignment{0, 2, 0.0, 9.0});  // n1 on r3
+  // n2 on r1 must wait for 9 + c(1,2) = 27, but starts at 20.
+  s.assign(Assignment{1, 0, 20.0, 33.0});
+  for (const dag::JobId j : {2, 3, 4, 5, 6, 7, 8}) {
+    // Park remaining jobs far in the future so only the n2 edge violates.
+    s.assign(Assignment{static_cast<dag::JobId>(j), 3,
+                        1000.0 + 100.0 * j,
+                        1000.0 + 100.0 * j +
+                            scenario.model.compute_cost(
+                                static_cast<dag::JobId>(j), 3)});
+  }
+  s.assign(Assignment{9, 3, 5000.0,
+                      5000.0 + scenario.model.compute_cost(9, 3)});
+  validate_structure(s, scenario.dag, scenario.model, scenario.pool);
+  EXPECT_THROW(
+      validate_static(s, scenario.dag, scenario.model, scenario.pool),
+      AssertionError);
+}
+
+TEST(ScheduleValidation, DetectsWrongDurationAndMissingJob) {
+  const auto scenario = workloads::sample_scenario();
+  Schedule incomplete(10);
+  incomplete.assign(Assignment{0, 2, 0.0, 9.0});
+  EXPECT_THROW(validate_structure(incomplete, scenario.dag, scenario.model,
+                                  scenario.pool),
+               AssertionError);
+
+  Schedule wrong(10);
+  wrong.assign(Assignment{0, 2, 0.0, 10.0});  // n1 on r3 costs 9, not 10
+  EXPECT_THROW(
+      validate_structure(wrong, scenario.dag, scenario.model, scenario.pool),
+      AssertionError);
+}
+
+TEST(ScheduleValidation, DetectsResourceWindowViolation) {
+  const auto scenario = workloads::sample_scenario(15.0);  // r4 arrives at 15
+  Schedule s(10);
+  s.assign(Assignment{0, 3, 0.0, 14.0});  // n1 on r4 before it arrives
+  EXPECT_THROW(
+      validate_structure(s, scenario.dag, scenario.model, scenario.pool),
+      AssertionError);
+}
+
+TEST(Schedule, GanttMentionsJobsAndResources) {
+  const auto scenario = workloads::sample_scenario();
+  Schedule s(10);
+  s.assign(Assignment{0, 2, 0.0, 9.0});
+  const std::string gantt = s.gantt(scenario.dag, scenario.pool);
+  EXPECT_NE(gantt.find("r3"), std::string::npos);
+  EXPECT_NE(gantt.find("n1[0.0,9.0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aheft::core

@@ -1,0 +1,167 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace aheft::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(5.0, [&] { fired.push_back(5); });
+  queue.push(1.0, [&] { fired.push_back(1); });
+  queue.push(3.0, [&] { fired.push_back(3); });
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(2.0, [&] { fired.push_back(1); });
+  queue.push(2.0, [&] { fired.push_back(2); });
+  queue.push(2.0, [&] { fired.push_back(3); });
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // double cancel reports failure
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.push(1.0, [] {});
+  queue.push(4.0, [] {});
+  queue.cancel(early);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 4.0);
+  EXPECT_EQ(queue.live_count(), 1u);
+}
+
+TEST(EventQueue, RejectsNullAndInfinite) {
+  EventQueue queue;
+  EXPECT_THROW(queue.push(1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(queue.push(kTimeInfinity, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, AdvancesClockMonotonically) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  sim.schedule_at(10.0, [&] { stamps.push_back(sim.now()); });
+  sim.schedule_at(4.0, [&] {
+    stamps.push_back(sim.now());
+    sim.schedule_in(2.0, [&] { stamps.push_back(sim.now()); });
+  });
+  EXPECT_DOUBLE_EQ(sim.run(), 10.0);
+  EXPECT_EQ(stamps, (std::vector<Time>{4.0, 6.0, 10.0}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndResumes) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1); });
+  sim.schedule_at(7.0, [&] { fired.push_back(7); });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // idles forward to the horizon
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 7}));
+}
+
+TEST(Simulator, EventAtHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(3.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Trace, RecordsAndSortsIntervals) {
+  TraceRecorder trace;
+  trace.record_compute(1, 0, 5.0, 9.0);
+  trace.record_compute(0, 0, 0.0, 5.0);
+  trace.record_transfer(0, 1, 1, 5.0, 8.0);
+  const auto computes = trace.sorted(IntervalKind::kCompute);
+  ASSERT_EQ(computes.size(), 2u);
+  EXPECT_EQ(computes[0].job, 0u);
+  EXPECT_EQ(computes[1].job, 1u);
+  const auto transfers = trace.sorted(IntervalKind::kTransfer);
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(transfers[0].consumer, 1u);
+}
+
+TEST(Trace, RejectsBackwardIntervals) {
+  TraceRecorder trace;
+  EXPECT_THROW(trace.record_compute(0, 0, 5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(trace.record_transfer(0, 1, 0, 5.0, 4.0),
+               std::invalid_argument);
+}
+
+TEST(Trace, GanttNamesRowsByResource) {
+  TraceRecorder trace;
+  trace.record_compute(0, 0, 0.0, 2.0);
+  trace.record_compute(1, 1, 2.0, 3.0);
+  const std::string gantt = trace.gantt({"a", "b"}, {"r1", "r2"});
+  EXPECT_NE(gantt.find("r1"), std::string::npos);
+  EXPECT_NE(gantt.find("a[0.0,2.0)"), std::string::npos);
+  EXPECT_NE(gantt.find("b[2.0,3.0)"), std::string::npos);
+}
+
+TEST(TimeHelpers, ToleranceComparisons) {
+  EXPECT_TRUE(time_eq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(time_eq(1.0, 1.001));
+  EXPECT_TRUE(time_le(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(time_le(1.0 + 1e-12, 1.0));
+  EXPECT_TRUE(time_ge(5.0, 4.999999999999));
+  EXPECT_FALSE(time_le(2.0, 1.0));
+}
+
+}  // namespace
+}  // namespace aheft::sim

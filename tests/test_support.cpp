@@ -1,0 +1,323 @@
+// Unit tests for the support layer: RNG, stats, tables, CSV, env, pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "support/assert.h"
+#include "support/csv.h"
+#include "support/env.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace aheft {
+namespace {
+
+// ----- assert ------------------------------------------------------------
+
+TEST(Assert, ThrowsAssertionErrorWithContext) {
+  try {
+    AHEFT_ASSERT(1 == 2, "one is not two");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+  }
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(AHEFT_REQUIRE(false, "bad arg"), std::invalid_argument);
+}
+
+// ----- rng ---------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a(42);
+  RngStream b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  RngStream a(1);
+  RngStream b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ChildStreamsAreIndependentOfParentDraws) {
+  RngStream parent(7);
+  const RngStream child_before = parent.child("x");
+  parent.next_u64();
+  parent.next_u64();
+  const RngStream child_after = parent.child("x");
+  EXPECT_EQ(child_before.seed(), child_after.seed());
+}
+
+TEST(Rng, ChildTagsProduceDistinctStreams) {
+  RngStream parent(7);
+  EXPECT_NE(parent.child("a").seed(), parent.child("b").seed());
+  EXPECT_NE(parent.child(1).seed(), parent.child(2).seed());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  RngStream rng(11);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.uniform01();
+  }
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  RngStream rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(1, 6);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 6);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  RngStream rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  RngStream rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  RngStream rng(13);
+  double total = 0.0;
+  double total_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    total += x;
+    total_sq += x * x;
+  }
+  const double mean = total / n;
+  const double var = total_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  RngStream rng(17);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.exponential(4.0);
+  }
+  EXPECT_NEAR(total / n, 4.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  RngStream rng(19);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, Hash64IsStableAndSpread) {
+  EXPECT_EQ(hash64("abc"), hash64("abc"));
+  EXPECT_NE(hash64("abc"), hash64("abd"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+// ----- stats ---------------------------------------------------------------
+
+TEST(Stats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  RngStream rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+}
+
+TEST(Stats, MergeWithEmpty) {
+  OnlineStats a;
+  OnlineStats b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Stats, ImprovementRate) {
+  EXPECT_NEAR(improvement_rate(4939.3, 3933.1), 0.2037, 1e-3);
+  EXPECT_DOUBLE_EQ(improvement_rate(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_rate(10.0, 12.0), -0.2);
+}
+
+// ----- table ---------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"b", "22.25"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("  1.5 |"), std::string::npos);  // right-aligned number
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(4075.0, 0), "4075");
+  EXPECT_EQ(format_percent(0.204, 1), "20.4%");
+}
+
+// ----- csv -----------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/aheft_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.write_row({"1", "2"});
+    EXPECT_THROW(csv.write_row({"only"}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+// ----- env -----------------------------------------------------------------
+
+TEST(Env, ScaleRoundTrip) {
+  EXPECT_EQ(parse_scale("smoke"), Scale::kSmoke);
+  EXPECT_EQ(parse_scale("default"), Scale::kDefault);
+  EXPECT_EQ(parse_scale("paper"), Scale::kPaper);
+  EXPECT_EQ(parse_scale("full"), Scale::kPaper);
+  EXPECT_FALSE(parse_scale("bogus").has_value());
+  EXPECT_EQ(to_string(Scale::kPaper), "paper");
+}
+
+TEST(Env, ArgParserParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "--scale=smoke", "--jobs=40", "--flag",
+                        "positional"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.scale(), Scale::kSmoke);
+  EXPECT_EQ(args.get_int("jobs", 0), 40);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("ccr", 1.5), 1.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+// ----- thread pool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(&pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForInlineWithoutPool) {
+  std::vector<int> hits(50, 0);
+  parallel_for(nullptr, hits.size(), [&hits](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [](std::size_t i) {
+                     if (i == 37) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(&pool, 0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace aheft

@@ -1,0 +1,210 @@
+// Transfer-policy semantics: the three file-movement models must behave
+// identically in the planner's FEA and in the executor, and the realized
+// makespan must match the adopted prediction under every model.
+#include <gtest/gtest.h>
+
+#include "core/execution_engine.h"
+#include "core/heft.h"
+#include "core/planner.h"
+#include "core/rescheduler.h"
+#include "helpers.h"
+#include "sim/simulator.h"
+#include "workloads/sample.h"
+
+namespace aheft::core {
+namespace {
+
+/// Producer a (cost 5, on r1) feeds b (data 10). A filler job occupies r0
+/// so b — scheduled behind it — is still pending when the test reschedules
+/// b onto r2. The edge a->b is edge index 0.
+struct MoveFixture {
+  explicit MoveFixture(double filler_cost, sim::Time r2_arrival)
+      : model(3, 3) {
+    a = graph.add_job("a");
+    b = graph.add_job("b");
+    filler = graph.add_job("filler");
+    graph.add_edge(a, b, 10.0);
+    graph.finalize();
+    pool.add(grid::Resource{});                            // r0
+    pool.add(grid::Resource{});                            // r1
+    pool.add(grid::Resource{.arrival = r2_arrival});       // r2
+    for (grid::ResourceId r = 0; r < 3; ++r) {
+      model.set_compute_cost(a, r, 5.0);
+      model.set_compute_cost(b, r, 5.0);
+      model.set_compute_cost(filler, r, filler_cost);
+    }
+    filler_cost_ = filler_cost;
+  }
+
+  /// Initial plan: filler r0 [0,F), a r1 [0,5), b r0 [F, F+5).
+  [[nodiscard]] Schedule initial_plan() const {
+    Schedule plan(3);
+    plan.assign(Assignment{filler, 0, 0.0, filler_cost_});
+    plan.assign(Assignment{a, 1, 0.0, 5.0});
+    plan.assign(Assignment{b, 0, filler_cost_, filler_cost_ + 5.0});
+    return plan;
+  }
+
+  /// Runs to `clock`, then reschedules b onto r2 starting at `b_start`.
+  /// Returns b's realized start time.
+  sim::Time move_b_to_r2(TransferPolicy policy, sim::Time clock,
+                         sim::Time b_start) {
+    sim::Simulator sim;
+    ExecutionEngine engine(sim, graph, model, pool);
+    engine.set_transfer_policy(policy);
+    engine.submit(initial_plan());
+    sim.run_until(clock);
+
+    Schedule moved(3);
+    moved.assign(Assignment{filler, 0, 0.0, filler_cost_});
+    moved.assign(Assignment{a, 1, 0.0, 5.0});
+    moved.assign(Assignment{b, 2, b_start, b_start + 5.0});
+    engine.submit(moved);
+    sim.run();
+    EXPECT_TRUE(engine.finished());
+    const ExecutionSnapshot end = engine.snapshot();
+    return end.finished_info(b).ast;
+  }
+
+  dag::Dag graph;
+  grid::ResourcePool pool;
+  grid::MachineModel model;
+  dag::JobId a{};
+  dag::JobId b{};
+  dag::JobId filler{};
+  double filler_cost_ = 0.0;
+};
+
+TEST(TransferPolicies, StrictMoveWaitsForRetransmissionFromClock) {
+  MoveFixture fx(30.0, 0.0);
+  // a finished at 5 on r1; b moves to r2 at clock 20: the copy leaves at
+  // 20 and lands at 30.
+  EXPECT_DOUBLE_EQ(
+      fx.move_b_to_r2(TransferPolicy::kRetransmitFromClock, 20.0, 30.0),
+      30.0);
+}
+
+TEST(TransferPolicies, EagerMoveUsesTheProductionTimeCopy) {
+  MoveFixture fx(30.0, 0.0);
+  // The copy left r1 at AFT=5 and reached r2 at 15; b starts at the
+  // reschedule clock.
+  EXPECT_DOUBLE_EQ(
+      fx.move_b_to_r2(TransferPolicy::kEagerReplicate, 20.0, 20.0), 20.0);
+  MoveFixture fx2(30.0, 0.0);
+  EXPECT_DOUBLE_EQ(
+      fx2.move_b_to_r2(TransferPolicy::kPrestagedArrivals, 20.0, 20.0),
+      20.0);
+}
+
+TEST(TransferPolicies, LateResourceDistinguishesEagerFromPrestaged) {
+  // r2 joins at t=50, long after a finished at 5. Eager: the transfer can
+  // only start at the join -> file at 60. Prestaged: the machine joins
+  // already holding the file (staging counted from production) -> b can
+  // start at the reschedule clock 55.
+  {
+    MoveFixture fx(60.0, 50.0);
+    EXPECT_DOUBLE_EQ(
+        fx.move_b_to_r2(TransferPolicy::kEagerReplicate, 55.0, 60.0), 60.0);
+  }
+  {
+    MoveFixture fx(60.0, 50.0);
+    EXPECT_DOUBLE_EQ(
+        fx.move_b_to_r2(TransferPolicy::kPrestagedArrivals, 55.0, 55.0),
+        55.0);
+  }
+}
+
+TEST(TransferPolicies, FeaMatchesTheFileAvailabilityPerPolicy) {
+  for (const auto [policy, expected] :
+       {std::pair{TransferPolicy::kRetransmitFromClock, 30.0},
+        std::pair{TransferPolicy::kEagerReplicate, 15.0},
+        std::pair{TransferPolicy::kPrestagedArrivals, 15.0}}) {
+    MoveFixture fx(30.0, 0.0);
+    sim::Simulator sim;
+    ExecutionEngine engine(sim, fx.graph, fx.model, fx.pool);
+    engine.set_transfer_policy(policy);
+    engine.submit(fx.initial_plan());
+    sim.run_until(20.0);
+    const ExecutionSnapshot snap = engine.snapshot();
+
+    RescheduleRequest req;
+    req.dag = &fx.graph;
+    req.estimates = &fx.model;
+    req.pool = &fx.pool;
+    req.resources = {0, 1, 2};
+    req.clock = 20.0;
+    req.snapshot = &snap;
+    req.previous = &engine.current_schedule();
+    req.config.transfer_policy = policy;
+
+    Schedule s1(3);
+    EXPECT_DOUBLE_EQ(file_available(req, 0, 2, s1), expected)
+        << to_string(policy);
+  }
+}
+
+TEST(TransferPolicies, AdoptedPredictionRealizedUnderEveryPolicy) {
+  for (const TransferPolicy policy :
+       {TransferPolicy::kRetransmitFromClock, TransferPolicy::kEagerReplicate,
+        TransferPolicy::kPrestagedArrivals}) {
+    for (const std::uint64_t seed : {61u, 62u, 63u}) {
+      const test::RandomCase c = test::make_random_case(seed);
+      PlannerConfig config;
+      config.scheduler.transfer_policy = policy;
+      sim::TraceRecorder trace;
+      AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool,
+                              config, &trace);
+      const AdaptiveResult result = planner.run();
+      // Realized == last adopted prediction, and never worse than HEFT.
+      sim::Time last = result.initial_makespan;
+      for (const AdoptionRecord& record : result.decisions) {
+        if (record.adopted) {
+          last = record.candidate_makespan;
+        }
+      }
+      EXPECT_NEAR(result.makespan, last, 1e-6)
+          << to_string(policy) << " seed " << seed;
+      EXPECT_LE(result.makespan, result.initial_makespan + 1e-6);
+      test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
+    }
+  }
+}
+
+TEST(TransferPolicies, OptimisticPoliciesNeverPredictLaterAvailability) {
+  // For any finished producer and any target, availability under eager /
+  // prestaged is never later than under the strict policy.
+  const test::RandomCase c = test::make_random_case(77);
+  const Schedule plan = heft_schedule(c.workload.dag, c.model, c.pool);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, c.workload.dag, c.model, c.pool);
+  engine.submit(plan);
+  sim.run_until(plan.makespan() / 2.0);
+  const ExecutionSnapshot snap = engine.snapshot();
+
+  RescheduleRequest req;
+  req.dag = &c.workload.dag;
+  req.estimates = &c.model;
+  req.pool = &c.pool;
+  req.resources = c.pool.available_at(snap.clock());
+  req.clock = snap.clock();
+  req.snapshot = &snap;
+  req.previous = &engine.current_schedule();
+
+  Schedule s1(c.workload.dag.job_count());
+  for (std::size_t e = 0; e < c.workload.dag.edge_count(); ++e) {
+    if (!snap.finished(c.workload.dag.edges()[e].from)) {
+      continue;
+    }
+    for (const grid::ResourceId r : req.resources) {
+      req.config.transfer_policy = TransferPolicy::kRetransmitFromClock;
+      const sim::Time strict = file_available(req, e, r, s1);
+      req.config.transfer_policy = TransferPolicy::kEagerReplicate;
+      EXPECT_LE(file_available(req, e, r, s1), strict + 1e-9);
+      req.config.transfer_policy = TransferPolicy::kPrestagedArrivals;
+      EXPECT_LE(file_available(req, e, r, s1), strict + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aheft::core
