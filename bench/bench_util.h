@@ -5,6 +5,10 @@
 //   --threads=N                   (0 = hardware concurrency)
 //   --seed=N                      (master seed, default 42)
 //   --csv=path                    (optional per-case dump)
+//   --scenario-source=NAME        (grid environment backend; default keeps
+//                                  each sweep's own setting, usually
+//                                  "synthetic")
+//   --trace=path                  (trace file for --scenario-source=trace)
 // and prints measured values side by side with the paper's published
 // numbers. Default scale keeps each bench in the seconds-to-minutes range;
 // paper scale replays the full published grids.
@@ -29,6 +33,9 @@ struct BenchOptions {
   std::size_t threads = 0;
   std::uint64_t seed = 42;
   std::string csv;
+  /// Overrides every spec's scenario source when non-empty.
+  std::string scenario_source;
+  std::string trace_path;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -39,6 +46,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("threads", 0));
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   options.csv = args.get("csv", "");
+  options.scenario_source = args.get("scenario-source", "");
+  options.trace_path = args.get("trace", "");
   return options;
 }
 
@@ -49,9 +58,15 @@ inline void print_header(const std::string& title,
             << " cases=" << cases << "\n\n";
 }
 
-/// Runs the sweep with progress reporting and optional CSV dump.
+/// Runs the sweep with progress reporting and optional CSV dump. When
+/// --scenario-source was given, it overrides every spec's environment
+/// backend first (the sweep's scenario-source axis).
 inline exp::SweepOutcome run(const BenchOptions& options,
                              std::vector<exp::CaseSpec> specs) {
+  if (!options.scenario_source.empty()) {
+    exp::set_scenario_source(specs, options.scenario_source,
+                             options.trace_path);
+  }
   Stopwatch watch;
   exp::SweepOutcome outcome =
       exp::run_sweep(std::move(specs), options.threads, /*progress=*/true);

@@ -1,10 +1,13 @@
-// Trace replay with failure injection: loads a workflow from the plain-
-// text DAG format (writing a demo file first if none is given), runs it on
-// a grid that both gains and loses machines, and prints the full execution
-// trace plus the planner's decision log — rescheduling as the fault-
-// tolerance mechanism (paper §3.3).
+// Record-then-replay through the trace subsystem: generate a volatile
+// grid with the "bursty" scenario source, run AHEFT on it, persist the
+// environment to a plain-text grid trace, then reload the file through
+// the "trace" scenario source and verify the replay reproduces the
+// identical makespan and grid-event sequence.
 //
-// Usage: dynamic_trace_replay [--dag=path] [--seed=3]
+// Usage: dynamic_trace_replay [--dag=path] [--seed=3] [--out=path]
+//                             [--source=bursty|synthetic]
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -14,7 +17,9 @@
 #include "dag/io.h"
 #include "support/env.h"
 #include "support/rng.h"
-#include "workloads/scenario.h"
+#include "traces/compiler.h"
+#include "traces/scenario_source.h"
+#include "traces/trace_format.h"
 
 using namespace aheft;
 
@@ -40,11 +45,43 @@ edge 5 6 6
 edge 6 7 3
 )";
 
+grid::MachineModel make_costs(const dag::Dag& workflow,
+                              std::size_t universe, std::uint64_t seed) {
+  // Deterministic per (seed, job, resource) so the model regenerates
+  // identically however large the universe is.
+  grid::MachineModel model(workflow.job_count(), universe);
+  for (dag::JobId i = 0; i < workflow.job_count(); ++i) {
+    RngStream row(mix64(seed, i));
+    const double base = row.uniform(5.0, 15.0);
+    for (grid::ResourceId j = 0; j < universe; ++j) {
+      RngStream cell(mix64(seed, (static_cast<std::uint64_t>(i) << 24) ^ j));
+      model.set_compute_cost(i, j, base * cell.uniform(0.75, 1.25));
+    }
+  }
+  return model;
+}
+
+core::AdaptiveResult run_once(const dag::Dag& workflow,
+                              const traces::CompiledScenario& scenario,
+                              std::uint64_t seed,
+                              sim::TraceRecorder* trace) {
+  const grid::MachineModel model =
+      make_costs(workflow, scenario.pool.universe_size(), seed);
+  core::PlannerConfig config;
+  config.scheduler.order_candidates = 4;
+  config.load = scenario.load.empty() ? nullptr : &scenario.load;
+  core::AdaptivePlanner planner(workflow, model, model, scenario.pool,
+                                config, trace);
+  return planner.run();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const std::string out_path = args.get("out", "demo_run.trace");
+  const std::string source = args.get("source", "bursty");
 
   dag::Dag workflow;
   if (args.has("dag")) {
@@ -62,36 +99,78 @@ int main(int argc, char** argv) {
             << workflow.job_count() << " jobs, " << workflow.edge_count()
             << " edges\n\n";
 
-  // Grid: three machines; one joins late, one dies mid-run.
-  grid::ResourcePool pool;
-  pool.add(grid::Resource{.name = "stable", .arrival = 0.0});
-  pool.add(grid::Resource{.name = "doomed", .arrival = 0.0});
-  pool.add(grid::Resource{.name = "late", .arrival = 20.0});
+  // --- 1. generate a volatile environment through the registry ---------
+  traces::ScenarioRequest request;
+  request.dynamics.initial = 3;
+  request.dynamics.interval = 20.0;
+  request.dynamics.fraction = 0.4;
+  request.seed = seed;
+  request.bursty.mean_calm = 25.0;
+  request.bursty.mean_burst = 15.0;
+  request.bursty.calm_arrival_mean = 30.0;
+  request.bursty.burst_arrival_mean = 8.0;
 
-  RngStream rng(seed);
-  grid::MachineModel model(workflow.job_count(), pool.universe_size());
-  for (dag::JobId i = 0; i < workflow.job_count(); ++i) {
-    const double base = rng.uniform(5.0, 15.0);
-    for (grid::ResourceId j = 0; j < pool.universe_size(); ++j) {
-      model.set_compute_cost(i, j, base * rng.uniform(0.75, 1.25));
+  // Size the horizon off a static plan over the t = 0 pool.
+  request.horizon = sim::kTimeZero;
+  const traces::CompiledScenario sizing =
+      traces::build_scenario(source, request);
+  const grid::MachineModel sizing_model =
+      make_costs(workflow, sizing.pool.universe_size(), seed);
+  request.horizon =
+      2.0 * core::heft_schedule(workflow, sizing_model, sizing.pool)
+                .makespan();
+
+  traces::CompiledScenario scenario = traces::build_scenario(source, request);
+
+  // Inject one predictable failure (paper §3.3): a machine from the
+  // initial pool leaves halfway through the static plan, forcing the
+  // planner to reschedule (and restart) whatever it hosted. Pick one
+  // without load segments — a load spike could stretch a job past the
+  // window, which the executor rejects as unsupported. The mutation is
+  // part of the environment: it gets recorded and replayed like
+  // everything else.
+  {
+    const sim::Time doom_at = request.horizon / 4.0;
+    bool doomed = false;
+    for (const grid::Resource& r : scenario.pool.all()) {
+      // Only segments starting before the departure matter: the engine
+      // samples the load factor at job start, and no job starts on the
+      // machine after it is gone.
+      const bool spiked_before_doom = std::any_of(
+          scenario.load.segments().begin(), scenario.load.segments().end(),
+          [&r, doom_at](const traces::LoadSegment& s) {
+            return s.resource == r.id && s.start < doom_at;
+          });
+      if (!spiked_before_doom && r.arrival == sim::kTimeZero) {
+        scenario.pool.set_departure(r.id, doom_at);
+        scenario.events =
+            traces::derive_events(scenario.pool, scenario.load);
+        std::cout << "machine '" << r.name
+                  << "' will leave the grid at t=" << doom_at << "\n";
+        doomed = true;
+        break;
+      }
+    }
+    if (!doomed) {
+      std::cout << "(every initial machine is load-spiked before t="
+                << doom_at << "; skipping failure injection)\n";
     }
   }
-  // "doomed" leaves halfway through the fault-free plan.
-  {
-    const core::Schedule probe = core::heft_schedule(workflow, model, pool);
-    pool.set_departure(1, probe.makespan() / 2.0);
-    std::cout << "machine 'doomed' will leave the grid at t="
-              << probe.makespan() / 2.0 << "\n\n";
+
+  std::cout << "scenario source '" << source << "': "
+            << scenario.pool.universe_size() << " resources, "
+            << scenario.load.segments().size() << " load segments, "
+            << scenario.events.size() << " grid events\n";
+  for (const grid::GridEvent& event : scenario.events) {
+    std::cout << "  " << grid::describe(event) << "\n";
   }
 
-  core::PlannerConfig config;
-  config.scheduler.order_candidates = 4;
-  sim::TraceRecorder trace;
-  core::AdaptivePlanner planner(workflow, model, model, pool, config,
-                                &trace);
-  const core::AdaptiveResult result = planner.run();
+  // --- 2. run AHEFT on the live scenario -------------------------------
+  sim::TraceRecorder exec_trace;
+  const core::AdaptiveResult result =
+      run_once(workflow, scenario, seed, &exec_trace);
 
-  std::cout << "decision log:\n";
+  std::cout << "\ndecision log:\n";
   for (const core::AdoptionRecord& d : result.decisions) {
     std::ostringstream line;
     line << "  t=" << d.time << " [" << d.event << "] "
@@ -106,14 +185,41 @@ int main(int argc, char** argv) {
             << " (initial plan: " << result.initial_makespan
             << ", restarted jobs: " << result.restarts << ")\n\n";
 
+  // --- 3. record the environment to a trace file -----------------------
+  const traces::GridTrace recorded =
+      traces::record_scenario(scenario, workflow.name());
+  traces::write_trace_file(out_path, recorded);
+  std::cout << "environment recorded to " << out_path << "\n";
+
+  // --- 4. replay the file through the 'trace' source and verify -------
+  traces::ScenarioRequest replay_request;
+  replay_request.trace_path = out_path;
+  const traces::CompiledScenario replay =
+      traces::build_scenario("trace", replay_request);
+  const core::AdaptiveResult replayed =
+      run_once(workflow, replay, seed, nullptr);
+
+  const bool same_makespan = replayed.makespan == result.makespan;
+  const bool same_events = replay.events == scenario.events;
+  std::cout << "replayed makespan:  " << replayed.makespan
+            << (same_makespan ? "  (identical)" : "  (MISMATCH!)") << "\n"
+            << "event sequence:     "
+            << (same_events ? "identical" : "MISMATCH") << " ("
+            << replay.events.size() << " events)\n\n";
+
   std::vector<std::string> jobs;
   std::vector<std::string> machines;
   for (dag::JobId i = 0; i < workflow.job_count(); ++i) {
     jobs.push_back(workflow.job(i).name);
   }
-  for (const grid::Resource& r : pool.all()) {
+  for (const grid::Resource& r : scenario.pool.all()) {
     machines.push_back(r.name);
   }
-  std::cout << "execution trace:\n" << trace.gantt(jobs, machines);
+  std::cout << "execution trace:\n" << exec_trace.gantt(jobs, machines);
+
+  if (!same_makespan || !same_events) {
+    std::cerr << "replay diverged from the recorded run\n";
+    return 1;
+  }
   return 0;
 }

@@ -7,11 +7,13 @@ StrategyOutcome run_static_heft(const dag::Dag& dag,
                                 const grid::CostProvider& actual,
                                 const grid::ResourcePool& pool,
                                 SchedulerConfig config,
-                                sim::TraceRecorder* trace) {
+                                sim::TraceRecorder* trace,
+                                const grid::LoadProfile* load) {
   PlannerConfig planner_config;
   planner_config.scheduler = config;
   planner_config.react_to_pool_changes = false;  // plan once, never adapt
   planner_config.react_to_variance = false;
+  planner_config.load = load;
   AdaptivePlanner planner(dag, estimates, actual, pool, planner_config,
                           trace);
   const AdaptiveResult result = planner.run();

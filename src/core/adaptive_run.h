@@ -17,10 +17,12 @@ struct StrategyOutcome {
 };
 
 /// Static HEFT: plan once at t = 0 over the initial pool, never react.
+/// `load` optionally scales the realized run times (trace scenarios).
 [[nodiscard]] StrategyOutcome run_static_heft(
     const dag::Dag& dag, const grid::CostProvider& estimates,
     const grid::CostProvider& actual, const grid::ResourcePool& pool,
-    SchedulerConfig config = {}, sim::TraceRecorder* trace = nullptr);
+    SchedulerConfig config = {}, sim::TraceRecorder* trace = nullptr,
+    const grid::LoadProfile* load = nullptr);
 
 /// AHEFT: plan at t = 0, then reschedule on pool-change events (Fig. 2).
 [[nodiscard]] StrategyOutcome run_adaptive_aheft(

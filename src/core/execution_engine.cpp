@@ -221,7 +221,27 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
 void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
   const sim::Time now = simulator_->now();
   const grid::Resource& machine = pool_->resource(resource);
-  const double duration = actual_->compute_cost(job, resource);
+  double duration = actual_->compute_cost(job, resource);
+  if (load_ != nullptr) {
+    const double factor = load_->factor(resource, now);
+    AHEFT_ASSERT(factor > 0.0,
+                 "load factor must be positive on " + machine.name);
+    duration *= factor;
+    // The planner fits jobs against nominal costs, so a load spike can
+    // legitimately stretch one past a finite departure window. That is
+    // a scenario the engine cannot honor (restart-on-unpredicted-failure
+    // semantics don't exist yet), not an internal invariant violation —
+    // report it as such.
+    if (!sim::time_le(now + duration, machine.departure)) {
+      throw std::runtime_error(
+          "load-stretched job " + dag_->job(job).name + " (" +
+          std::to_string(duration) + " units at factor " +
+          std::to_string(factor) + ") would outlive resource " +
+          machine.name +
+          ": scenarios combining load segments with finite departures "
+          "need restart semantics (unsupported; see ROADMAP)");
+    }
+  }
   AHEFT_ASSERT(sim::time_le(now + duration, machine.departure),
                "job " + dag_->job(job).name +
                    " would outlive resource " + machine.name);

@@ -24,6 +24,7 @@
 #include "core/snapshot.h"
 #include "dag/dag.h"
 #include "grid/cost_provider.h"
+#include "grid/load_profile.h"
 #include "grid/resource_pool.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -72,6 +73,15 @@ class ExecutionEngine {
     return transfer_policy_;
   }
 
+  /// Time-varying effective cost scaling (trace/volatility scenarios): a
+  /// job started at time t on resource j realizes
+  /// compute_cost(i, j) * load->factor(j, t). Null means nominal costs.
+  /// The profile must outlive the engine.
+  void set_load_profile(const grid::LoadProfile* load) { load_ = load; }
+  [[nodiscard]] const grid::LoadProfile* load_profile() const {
+    return load_;
+  }
+
  private:
   enum class Phase { kPending, kRunning, kFinished };
   struct JobState {
@@ -98,6 +108,7 @@ class ExecutionEngine {
   const grid::CostProvider* actual_;
   const grid::ResourcePool* pool_;
   sim::TraceRecorder* trace_;
+  const grid::LoadProfile* load_ = nullptr;
 
   Schedule schedule_;
   bool has_schedule_ = false;

@@ -113,6 +113,7 @@ AdaptiveResult AdaptivePlanner::run() {
   sim::Simulator simulator;
   ExecutionEngine engine(simulator, dag_, actual_, pool_, trace_);
   engine.set_transfer_policy(config_.scheduler.transfer_policy);
+  engine.set_load_profile(config_.load);
 
   if (history_ != nullptr || config_.react_to_variance) {
     engine.set_completion_hook([this, &simulator, &engine](
@@ -154,13 +155,7 @@ AdaptiveResult AdaptivePlanner::run() {
       simulator.schedule_at(when, [this, &simulator, &engine, when] {
         // Departures make the current plan infeasible for jobs mapped to
         // the lost resource, so adoption is forced in that case.
-        bool forced = false;
-        for (const grid::Resource& r : pool_.all()) {
-          if (r.departure == when) {
-            forced = true;
-            break;
-          }
-        }
+        const bool forced = !pool_.departures_at(when).empty();
         evaluate(simulator, engine,
                  forced ? "resource-departure" : "resource-arrival", forced);
       });

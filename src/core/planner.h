@@ -12,6 +12,7 @@
 #include "core/schedule.h"
 #include "grid/cost_provider.h"
 #include "grid/history.h"
+#include "grid/load_profile.h"
 #include "grid/reservation.h"
 #include "grid/resource_pool.h"
 #include "sim/trace.h"
@@ -38,6 +39,10 @@ struct PlannerConfig {
   /// Relative |actual - estimate| / estimate beyond which the monitor
   /// notifies the planner.
   double variance_threshold = 0.2;
+  /// Time-varying effective cost scaling the executor realizes (trace /
+  /// volatility scenarios); the planner keeps estimating with nominal
+  /// costs. Must outlive the run. Null means nominal.
+  const grid::LoadProfile* load = nullptr;
 };
 
 /// Result of a full planner+executor co-simulation.

@@ -61,50 +61,84 @@ workloads::Workload generate_workload(const CaseSpec& spec,
 
 }  // namespace
 
+CaseEnvironment build_case_environment(const CaseSpec& spec) {
+  RngStream rng(spec.seed);
+  RngStream dag_stream = rng.child("dag");
+  workloads::Workload workload = generate_workload(spec, dag_stream);
+  const std::uint64_t cost_seed = mix64(spec.seed, hash64("costs"));
+
+  traces::ScenarioRequest request;
+  request.dynamics = spec.dynamics;
+  request.seed = mix64(spec.seed, hash64("scenario"));
+  request.trace_path = spec.trace_path;
+  request.bursty = spec.bursty;
+
+  const traces::ScenarioSource& source =
+      traces::ScenarioSourceRegistry::instance().require(
+          spec.scenario_source);
+
+  // Pass 1: plan on the environment's t = 0 pool alone to size the
+  // arrival horizon (generator sources emit no dynamics at horizon 0;
+  // the trace source carries its own timeline regardless).
+  request.horizon = sim::kTimeZero;
+  traces::CompiledScenario initial = source.build(request);
+  const grid::MachineModel initial_model = workloads::build_machine_model(
+      workload, initial.pool.universe_size(), spec.beta, cost_seed);
+  const core::Schedule initial_plan = core::heft_schedule(
+      workload.dag, initial_model, initial.pool, spec.scheduler);
+  const sim::Time heft_makespan = initial_plan.makespan();
+
+  // Pass 2: extend the universe with the generated dynamics up to the
+  // horizon; cost columns shared with pass 1 regenerate identically
+  // (deterministic per (seed, job, column)). Horizon-insensitive
+  // sources (trace replay) would rebuild the identical scenario, so
+  // reuse pass 1 instead of re-reading them.
+  request.horizon = heft_makespan * spec.horizon_factor;
+  traces::CompiledScenario scenario = source.horizon_sensitive()
+                                          ? source.build(request)
+                                          : std::move(initial);
+  grid::MachineModel model = workloads::build_machine_model(
+      workload, scenario.pool.universe_size(), spec.beta, cost_seed);
+
+  return CaseEnvironment{std::move(workload), std::move(scenario),
+                         std::move(model), heft_makespan};
+}
+
 CaseResult run_case(const CaseSpec& spec) {
   AHEFT_REQUIRE(spec.horizon_factor >= 1.0 || !spec.run_dynamic,
                 "dynamic baseline needs horizon_factor >= 1");
-  RngStream rng(spec.seed);
-  RngStream dag_stream = rng.child("dag");
-  const workloads::Workload workload = generate_workload(spec, dag_stream);
-  const std::uint64_t cost_seed = mix64(spec.seed, hash64("costs"));
-
-  // Pass 1: plan on the initial pool alone to size the arrival horizon.
-  const workloads::ResourceDynamics& dynamics = spec.dynamics;
-  grid::ResourcePool initial_pool;
-  for (std::size_t i = 0; i < dynamics.initial; ++i) {
-    initial_pool.add(grid::Resource{.name = "", .arrival = sim::kTimeZero});
-  }
-  const grid::MachineModel initial_model = workloads::build_machine_model(
-      workload, dynamics.initial, spec.beta, cost_seed);
-  const core::Schedule initial_plan = core::heft_schedule(
-      workload.dag, initial_model, initial_pool, spec.scheduler);
-  const sim::Time heft_makespan = initial_plan.makespan();
-
-  // Pass 2: extend the universe with arrivals up to the horizon; columns
-  // 0..R-1 regenerate identically (deterministic per (seed, job, column)).
-  const sim::Time horizon = heft_makespan * spec.horizon_factor;
-  const grid::ResourcePool pool =
-      workloads::build_dynamic_pool(dynamics, horizon);
-  const grid::MachineModel model = workloads::build_machine_model(
-      workload, pool.universe_size(), spec.beta, cost_seed);
+  const CaseEnvironment env = build_case_environment(spec);
+  const grid::ResourcePool& pool = env.scenario.pool;
+  const grid::MachineModel& model = env.model;
+  const bool loaded = !env.scenario.load.empty();
 
   CaseResult result;
-  result.jobs = workload.dag.job_count();
+  result.jobs = env.workload.dag.job_count();
   result.universe = pool.universe_size();
-  result.heft_makespan = heft_makespan;
+  // Under load the static plan's prediction is no longer what a static
+  // run realizes, so simulate it; otherwise the plan is exact.
+  result.heft_makespan =
+      loaded ? core::run_static_heft(env.workload.dag, model, model, pool,
+                                     spec.scheduler, nullptr,
+                                     &env.scenario.load)
+                   .makespan
+             : env.heft_plan_makespan;
 
   core::PlannerConfig planner_config;
   planner_config.scheduler = spec.scheduler;
+  planner_config.react_to_variance = spec.react_to_variance;
+  planner_config.load = loaded ? &env.scenario.load : nullptr;
   const core::StrategyOutcome aheft = core::run_adaptive_aheft(
-      workload.dag, model, model, pool, planner_config);
+      env.workload.dag, model, model, pool, planner_config);
   result.aheft_makespan = aheft.makespan;
   result.evaluations = aheft.evaluations;
   result.adoptions = aheft.adoptions;
 
   if (spec.run_dynamic) {
+    // The just-in-time baseline keeps nominal costs: its decision loop
+    // predates the load subsystem and the paper compares it load-free.
     const core::StrategyOutcome minmin = core::run_dynamic_baseline(
-        workload.dag, model, pool, core::DynamicHeuristic::kMinMin);
+        env.workload.dag, model, pool, core::DynamicHeuristic::kMinMin);
     result.minmin_makespan = minmin.makespan;
   }
   return result;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/policies.h"
+#include "traces/scenario_source.h"
 #include "workloads/scenario.h"
 
 namespace aheft::exp {
@@ -32,6 +33,16 @@ struct CaseSpec {
   /// can finish well after the static plan would have.
   double horizon_factor = 1.0;
   core::SchedulerConfig scheduler;
+  /// Scenario-source registry key building the grid environment
+  /// ("synthetic", "trace", "bursty", or a custom registration).
+  std::string scenario_source = "synthetic";
+  /// Trace file consumed by the "trace" source.
+  std::string trace_path;
+  /// Volatility knobs consumed by the "bursty" source.
+  traces::BurstyParams bursty;
+  /// Also react to Performance Monitor variance events (load-driven
+  /// estimate/actual divergence), not just pool changes.
+  bool react_to_variance = false;
 };
 
 struct CaseResult {
@@ -43,6 +54,23 @@ struct CaseResult {
   std::size_t jobs = 0;          ///< realized DAG size
   std::size_t universe = 0;      ///< total resources (initial + arrivals)
 };
+
+/// The fully resolved environment a spec compiles to: the generated
+/// workload, the pass-2 scenario (pool + load + event stream) built by
+/// the spec's scenario source, the ground-truth cost model over the
+/// universe, and the sizing pass's static HEFT plan makespan. Exposed so
+/// benches and examples can record a case's environment to a trace file
+/// and replay it through the "trace" source.
+struct CaseEnvironment {
+  workloads::Workload workload;
+  traces::CompiledScenario scenario;
+  grid::MachineModel model;
+  sim::Time heft_plan_makespan = sim::kTimeZero;
+};
+
+/// Deterministically resolves a spec's environment (same spec, same
+/// environment, on any thread).
+[[nodiscard]] CaseEnvironment build_case_environment(const CaseSpec& spec);
 
 /// Generates the workload and grid deterministically from the spec's seed
 /// and simulates the requested strategies. The same spec always produces

@@ -197,6 +197,22 @@ double axis_value(SweepAxis axis, const CaseSpec& spec) {
   return 0.0;
 }
 
+void set_scenario_source(std::vector<CaseSpec>& specs,
+                         std::string_view source,
+                         std::string_view trace_path) {
+  // Validate eagerly so a typo'd --scenario-source or a forgotten
+  // --trace fails before the sweep starts, not on the first case.
+  (void)traces::ScenarioSourceRegistry::instance().require(source);
+  if (source == "trace" && trace_path.empty()) {
+    throw std::invalid_argument(
+        "scenario source 'trace' needs a trace file (--trace=path)");
+  }
+  for (CaseSpec& spec : specs) {
+    spec.scenario_source = source;
+    spec.trace_path = trace_path;
+  }
+}
+
 std::vector<CaseSpec> build_fig8_sweep(AppKind app, SweepAxis axis,
                                        Scale scale, std::uint64_t master) {
   AHEFT_REQUIRE(app != AppKind::kRandom,

@@ -11,6 +11,7 @@
 #ifndef AHEFT_EXP_SWEEPS_H_
 #define AHEFT_EXP_SWEEPS_H_
 
+#include <string_view>
 #include <vector>
 
 #include "exp/case.h"
@@ -48,6 +49,13 @@ enum class SweepAxis { kCcr, kBeta, kJobs, kPool, kInterval, kFraction };
 
 /// The swept value of `axis` in a spec (used as the grouping key).
 [[nodiscard]] double axis_value(SweepAxis axis, const CaseSpec& spec);
+
+/// Applies a scenario-source axis to every spec: the benches'
+/// --scenario-source=NAME knob. `trace_path` feeds the "trace" source.
+/// Throws std::invalid_argument when the source is not registered.
+void set_scenario_source(std::vector<CaseSpec>& specs,
+                         std::string_view source,
+                         std::string_view trace_path = {});
 
 }  // namespace aheft::exp
 

@@ -1,6 +1,9 @@
 #include "grid/events.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "grid/resource_pool.h"
 
 namespace aheft::grid {
 
@@ -14,6 +17,12 @@ std::string describe(const GridEvent& event) {
           os << "resource r" << payload.resource + 1 << " added";
         } else if constexpr (std::is_same_v<T, ResourceRemovedEvent>) {
           os << "resource r" << payload.resource + 1 << " removed";
+        } else if (payload.job == dag::kInvalidJob) {
+          // Load-driven environment feed: no specific job, the
+          // estimate/actual pair carries the load multiplier.
+          os << "load on r" << payload.resource + 1 << " shifted to "
+             << payload.actual << "x (nominal " << payload.estimated
+             << "x)";
         } else {
           os << "job n" << payload.job + 1 << " on r" << payload.resource + 1
              << " ran " << payload.actual << " vs estimate "
@@ -22,6 +31,33 @@ std::string describe(const GridEvent& event) {
       },
       event.payload);
   return os.str();
+}
+
+std::vector<GridEvent> pool_change_events(const ResourcePool& pool,
+                                          sim::Time after,
+                                          sim::Time horizon) {
+  std::vector<GridEvent> events;
+  for (const Resource& r : pool.all()) {
+    if (r.arrives_in(after, horizon)) {
+      events.push_back(GridEvent{r.arrival, ResourceAddedEvent{r.id}});
+    }
+    if (r.departs_in(after, horizon)) {
+      events.push_back(GridEvent{r.departure, ResourceRemovedEvent{r.id}});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const GridEvent& a, const GridEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.payload.index() != b.payload.index()) {
+                return a.payload.index() < b.payload.index();
+              }
+              const auto id = [](const GridEvent& e) {
+                return std::visit([](const auto& p) { return p.resource; },
+                                  e.payload);
+              };
+              return id(a) < id(b);
+            });
+  return events;
 }
 
 }  // namespace aheft::grid

@@ -15,20 +15,28 @@ namespace aheft::grid {
 /// "Resource Pool Change" — a new resource was discovered.
 struct ResourceAddedEvent {
   ResourceId resource = kInvalidResource;
+
+  bool operator==(const ResourceAddedEvent&) const = default;
 };
 
 /// "Resource Pool Change" — a resource left (predictable failure).
 struct ResourceRemovedEvent {
   ResourceId resource = kInvalidResource;
+
+  bool operator==(const ResourceRemovedEvent&) const = default;
 };
 
 /// "Resource Performance Variance" — a job's observed run time deviated
-/// from its estimate by more than the monitor's threshold.
+/// from its estimate by more than the monitor's threshold. Load-driven
+/// environment feeds use job = kInvalidJob with estimated/actual carrying
+/// the nominal (1.0) and effective load multiplier.
 struct PerformanceVarianceEvent {
   dag::JobId job = dag::kInvalidJob;
   ResourceId resource = kInvalidResource;
   double estimated = 0.0;
   double actual = 0.0;
+
+  bool operator==(const PerformanceVarianceEvent&) const = default;
 };
 
 struct GridEvent {
@@ -36,9 +44,21 @@ struct GridEvent {
   std::variant<ResourceAddedEvent, ResourceRemovedEvent,
                PerformanceVarianceEvent>
       payload;
+
+  bool operator==(const GridEvent&) const = default;
 };
 
 [[nodiscard]] std::string describe(const GridEvent& event);
+
+class ResourcePool;
+
+/// The pool-change event stream a pool's availability windows imply:
+/// one ResourceAddedEvent per arrival in (after, horizon], one
+/// ResourceRemovedEvent per finite departure in the same window, sorted
+/// by (time, kind, resource) — the deterministic order scenario replays
+/// compare against.
+[[nodiscard]] std::vector<GridEvent> pool_change_events(
+    const ResourcePool& pool, sim::Time after, sim::Time horizon);
 
 }  // namespace aheft::grid
 

@@ -1,0 +1,28 @@
+// Time-varying resource load: the multiplicative slowdown a resource
+// exhibits at a point in simulated time.
+//
+// The execution engine samples the profile when a job starts, so realized
+// run times become w_{i,j} * factor(j, start) while the planner keeps
+// scheduling against the nominal estimates — exactly the estimate/actual
+// divergence the Performance Monitor (paper Fig. 1) is there to observe.
+#ifndef AHEFT_GRID_LOAD_PROFILE_H_
+#define AHEFT_GRID_LOAD_PROFILE_H_
+
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::grid {
+
+class LoadProfile {
+ public:
+  virtual ~LoadProfile() = default;
+
+  /// Multiplicative slowdown of `resource` at time `t`; 1.0 is nominal,
+  /// values > 1 stretch realized run times. Must be strictly positive.
+  [[nodiscard]] virtual double factor(ResourceId resource,
+                                      sim::Time t) const = 0;
+};
+
+}  // namespace aheft::grid
+
+#endif  // AHEFT_GRID_LOAD_PROFILE_H_

@@ -33,6 +33,22 @@ struct Resource {
   [[nodiscard]] bool available_at(sim::Time t) const noexcept {
     return arrival <= t && t < departure;
   }
+
+  /// The resource joins the grid within (after, horizon].
+  [[nodiscard]] bool arrives_in(sim::Time after,
+                                sim::Time horizon) const noexcept {
+    return arrival > after && arrival <= horizon;
+  }
+
+  /// The resource leaves the grid within (after, horizon] (an infinite
+  /// departure never counts). The single definition of the visibility-
+  /// change window shared by the pool's change scan and the replayable
+  /// event stream.
+  [[nodiscard]] bool departs_in(sim::Time after,
+                                sim::Time horizon) const noexcept {
+    return departure > after && departure <= horizon &&
+           departure < sim::kTimeInfinity;
+  }
 };
 
 }  // namespace aheft::grid

@@ -45,11 +45,10 @@ std::vector<sim::Time> ResourcePool::change_times(sim::Time after,
                                                   sim::Time horizon) const {
   std::set<sim::Time> times;
   for (const Resource& r : resources_) {
-    if (r.arrival > after && r.arrival <= horizon) {
+    if (r.arrives_in(after, horizon)) {
       times.insert(r.arrival);
     }
-    if (r.departure > after && r.departure <= horizon &&
-        r.departure < sim::kTimeInfinity) {
+    if (r.departs_in(after, horizon)) {
       times.insert(r.departure);
     }
   }
@@ -59,10 +58,10 @@ std::vector<sim::Time> ResourcePool::change_times(sim::Time after,
 sim::Time ResourcePool::next_change_after(sim::Time after) const {
   sim::Time best = sim::kTimeInfinity;
   for (const Resource& r : resources_) {
-    if (r.arrival > after) {
+    if (r.arrives_in(after, sim::kTimeInfinity)) {
       best = std::min(best, r.arrival);
     }
-    if (r.departure > after && r.departure < sim::kTimeInfinity) {
+    if (r.departs_in(after, sim::kTimeInfinity)) {
       best = std::min(best, r.departure);
     }
   }
@@ -73,6 +72,16 @@ std::vector<ResourceId> ResourcePool::arrivals_at(sim::Time t) const {
   std::vector<ResourceId> out;
   for (const Resource& r : resources_) {
     if (r.arrival == t) {
+      out.push_back(r.id);
+    }
+  }
+  return out;
+}
+
+std::vector<ResourceId> ResourcePool::departures_at(sim::Time t) const {
+  std::vector<ResourceId> out;
+  for (const Resource& r : resources_) {
+    if (r.departure == t) {
       out.push_back(r.id);
     }
   }

@@ -42,6 +42,9 @@ class ResourcePool {
   /// Resources arriving exactly at time t.
   [[nodiscard]] std::vector<ResourceId> arrivals_at(sim::Time t) const;
 
+  /// Resources departing exactly at time t.
+  [[nodiscard]] std::vector<ResourceId> departures_at(sim::Time t) const;
+
   /// Marks a resource as departing at time t (failure-injection extension).
   void set_departure(ResourceId id, sim::Time t);
 

@@ -1,0 +1,72 @@
+#include "traces/compiler.h"
+
+#include <algorithm>
+
+namespace aheft::traces {
+
+CompiledScenario TraceCompiler::compile(const GridTrace& trace) const {
+  CompiledScenario scenario;
+  for (const ResourceRecord& record : trace.resources) {
+    scenario.pool.add(grid::Resource{.name = record.name,
+                                     .arrival = record.arrival,
+                                     .departure = record.departure});
+  }
+  for (const LoadRecord& record : trace.load) {
+    scenario.load.add(record.resource, record.start, record.end,
+                      record.multiplier);
+  }
+  scenario.load.sort();
+  scenario.events =
+      derive_events(scenario.pool, scenario.load, options_.event_horizon);
+  scenario.job_arrivals = trace.jobs;
+  return scenario;
+}
+
+std::vector<grid::GridEvent> derive_events(const grid::ResourcePool& pool,
+                                           const LoadTimeline& load,
+                                           sim::Time horizon) {
+  std::vector<grid::GridEvent> events =
+      grid::pool_change_events(pool, sim::kTimeZero, horizon);
+  for (const LoadSegment& segment : load.segments()) {
+    if (segment.start > horizon) {
+      continue;
+    }
+    events.push_back(grid::GridEvent{
+        segment.start,
+        grid::PerformanceVarianceEvent{dag::kInvalidJob, segment.resource,
+                                       1.0, segment.multiplier}});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const grid::GridEvent& a, const grid::GridEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.payload.index() < b.payload.index();
+                   });
+  return events;
+}
+
+GridTrace record_scenario(const grid::ResourcePool& pool,
+                          const LoadTimeline& load, std::string name,
+                          std::vector<JobArrivalRecord> jobs) {
+  GridTrace trace;
+  trace.name = std::move(name);
+  for (const grid::Resource& r : pool.all()) {
+    trace.resources.push_back(
+        ResourceRecord{r.id, r.arrival, r.departure, r.name});
+  }
+  LoadTimeline canonical = load;
+  canonical.sort();
+  for (const LoadSegment& segment : canonical.segments()) {
+    trace.load.push_back(LoadRecord{segment.resource, segment.start,
+                                    segment.end, segment.multiplier});
+  }
+  trace.jobs = std::move(jobs);
+  return trace;
+}
+
+GridTrace record_scenario(const CompiledScenario& scenario,
+                          std::string name) {
+  return record_scenario(scenario.pool, scenario.load, std::move(name),
+                         scenario.job_arrivals);
+}
+
+}  // namespace aheft::traces

@@ -1,0 +1,41 @@
+#include "traces/load_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace aheft::traces {
+
+void LoadTimeline::add(grid::ResourceId resource, sim::Time start,
+                       sim::Time end, double multiplier) {
+  AHEFT_REQUIRE(start >= 0.0, "load segment start must be non-negative");
+  AHEFT_REQUIRE(end > start, "load segment must end after it starts");
+  AHEFT_REQUIRE(multiplier > 0.0 && !std::isinf(multiplier) &&
+                    !std::isnan(multiplier),
+                "load multiplier must be finite and > 0");
+  segments_.push_back(LoadSegment{resource, start, end, multiplier});
+}
+
+double LoadTimeline::factor(grid::ResourceId resource, sim::Time t) const {
+  double product = 1.0;
+  for (const LoadSegment& segment : segments_) {
+    if (segment.resource == resource && segment.start <= t &&
+        t < segment.end) {
+      product *= segment.multiplier;
+    }
+  }
+  return product;
+}
+
+void LoadTimeline::sort() {
+  std::sort(segments_.begin(), segments_.end(),
+            [](const LoadSegment& a, const LoadSegment& b) {
+              if (a.resource != b.resource) return a.resource < b.resource;
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return a.multiplier < b.multiplier;
+            });
+}
+
+}  // namespace aheft::traces

@@ -1,0 +1,230 @@
+#include "traces/scenario_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace aheft::traces {
+
+namespace {
+
+// ---------------------------------------------------------- synthetic --
+
+/// Wraps the paper's fixed-interval arrival law (Table 2/5).
+class SyntheticSource final : public ScenarioSource {
+ public:
+  [[nodiscard]] std::string name() const override { return "synthetic"; }
+  [[nodiscard]] std::string description() const override {
+    return "fixed-interval resource arrivals (paper Table 2/5), no load";
+  }
+
+  [[nodiscard]] CompiledScenario build(
+      const ScenarioRequest& request) const override {
+    workloads::validate(request.dynamics);
+    CompiledScenario scenario;
+    scenario.pool =
+        workloads::build_dynamic_pool(request.dynamics, request.horizon);
+    scenario.events = derive_events(scenario.pool, scenario.load);
+    return scenario;
+  }
+};
+
+// -------------------------------------------------------------- trace --
+
+/// Replays a recorded trace file (or inline text) through the compiler.
+class TraceSource final : public ScenarioSource {
+ public:
+  [[nodiscard]] std::string name() const override { return "trace"; }
+  [[nodiscard]] std::string description() const override {
+    return "replay of a recorded grid trace (trace_path or trace_text)";
+  }
+  [[nodiscard]] bool horizon_sensitive() const override { return false; }
+
+  [[nodiscard]] CompiledScenario build(
+      const ScenarioRequest& request) const override {
+    if (request.trace_text.empty() && request.trace_path.empty()) {
+      throw std::invalid_argument(
+          "trace scenario source needs trace_path or trace_text");
+    }
+    if (!request.trace_text.empty()) {
+      return TraceCompiler().compile(read_trace_string(request.trace_text));
+    }
+    // Sweeps run hundreds of cases against the same file from worker
+    // threads; parse each path once for the process lifetime. (A file
+    // rewritten in place mid-process keeps serving the first parse.)
+    // Entries are never erased and std::map nodes are stable, so only
+    // the lookup needs the lock — per-case compilation runs outside it.
+    const GridTrace* trace = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(request.trace_path);
+      if (it == cache_.end()) {
+        it = cache_.emplace(request.trace_path,
+                            read_trace_file(request.trace_path))
+                 .first;
+      }
+      trace = &it->second;
+    }
+    return TraceCompiler().compile(*trace);
+  }
+
+ private:
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::string, GridTrace, std::less<>> cache_;
+};
+
+// ------------------------------------------------------------- bursty --
+
+/// MMPP-style on/off volatility: the grid alternates between calm and
+/// burst phases with exponentially distributed durations. Resources
+/// arrive as a Poisson process whose rate depends on the phase, and each
+/// burst puts a load spike on a random subset of the machines live at
+/// its onset. Departures are never generated (the paper's §4.1
+/// assumption 3), so bursty scenarios compose safely with load scaling.
+class BurstySource final : public ScenarioSource {
+ public:
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+  [[nodiscard]] std::string description() const override {
+    return "MMPP-style on/off volatility: bursty arrivals and load spikes";
+  }
+
+  [[nodiscard]] CompiledScenario build(
+      const ScenarioRequest& request) const override {
+    const BurstyParams& params = request.bursty;
+    AHEFT_REQUIRE(request.dynamics.initial > 0,
+                  "bursty scenario needs at least one initial resource");
+    AHEFT_REQUIRE(params.mean_calm > 0.0 && params.mean_burst > 0.0,
+                  "bursty phase durations must be positive");
+    AHEFT_REQUIRE(
+        params.calm_arrival_mean > 0.0 && params.burst_arrival_mean > 0.0,
+        "bursty arrival means must be positive");
+    AHEFT_REQUIRE(params.spike_fraction >= 0.0 && params.spike_fraction <= 1.0,
+                  "spike_fraction must lie in [0, 1]");
+    AHEFT_REQUIRE(params.spike_min > 0.0 &&
+                      params.spike_max >= params.spike_min,
+                  "spike multipliers need 0 < spike_min <= spike_max");
+
+    CompiledScenario scenario;
+    for (std::size_t i = 0; i < request.dynamics.initial; ++i) {
+      scenario.pool.add(grid::Resource{.name = "", .arrival = sim::kTimeZero});
+    }
+
+    RngStream phases = RngStream(request.seed).child("phases");
+    RngStream arrivals = RngStream(request.seed).child("arrivals");
+    RngStream spikes = RngStream(request.seed).child("spikes");
+
+    sim::Time t = sim::kTimeZero;
+    bool burst = false;
+    while (t < request.horizon) {
+      const double mean = burst ? params.mean_burst : params.mean_calm;
+      const sim::Time phase_end =
+          std::min(t + phases.exponential(mean), request.horizon);
+
+      if (burst) {
+        // Spike a random subset of the machines live at burst onset.
+        std::vector<grid::ResourceId> live;
+        for (const grid::Resource& r : scenario.pool.all()) {
+          if (r.arrival <= t) {
+            live.push_back(r.id);
+          }
+        }
+        spikes.shuffle(live);
+        const auto count = static_cast<std::size_t>(std::lround(
+            params.spike_fraction * static_cast<double>(live.size())));
+        for (std::size_t i = 0; i < std::min(count, live.size()); ++i) {
+          scenario.load.add(live[i], t, phase_end,
+                            spikes.uniform(params.spike_min,
+                                           params.spike_max));
+        }
+      }
+
+      // Poisson resource arrivals at the phase's rate.
+      const double arrival_mean =
+          burst ? params.burst_arrival_mean : params.calm_arrival_mean;
+      sim::Time at = t + arrivals.exponential(arrival_mean);
+      while (at < phase_end) {
+        scenario.pool.add(grid::Resource{.name = "", .arrival = at});
+        at += arrivals.exponential(arrival_mean);
+      }
+
+      t = phase_end;
+      burst = !burst;
+    }
+
+    scenario.load.sort();
+    scenario.events = derive_events(scenario.pool, scenario.load);
+    return scenario;
+  }
+};
+
+}  // namespace
+
+struct ScenarioSourceRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<ScenarioSource>, std::less<>>
+      sources;
+};
+
+ScenarioSourceRegistry::ScenarioSourceRegistry()
+    : impl_(std::make_shared<Impl>()) {
+  register_source(std::make_unique<SyntheticSource>());
+  register_source(std::make_unique<TraceSource>());
+  register_source(std::make_unique<BurstySource>());
+}
+
+ScenarioSourceRegistry& ScenarioSourceRegistry::instance() {
+  static ScenarioSourceRegistry registry;
+  return registry;
+}
+
+void ScenarioSourceRegistry::register_source(
+    std::unique_ptr<ScenarioSource> source) {
+  AHEFT_REQUIRE(source != nullptr, "cannot register a null scenario source");
+  AHEFT_REQUIRE(!source->name().empty(), "scenario source needs a name");
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sources[source->name()] = std::move(source);
+}
+
+const ScenarioSource* ScenarioSourceRegistry::find(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->sources.find(name);
+  return it == impl_->sources.end() ? nullptr : it->second.get();
+}
+
+const ScenarioSource& ScenarioSourceRegistry::require(
+    std::string_view name) const {
+  const ScenarioSource* source = find(name);
+  if (source == nullptr) {
+    std::ostringstream os;
+    os << "unknown scenario source '" << name << "' (known:";
+    for (const std::string& known : names()) {
+      os << ' ' << known;
+    }
+    os << ')';
+    throw std::invalid_argument(os.str());
+  }
+  return *source;
+}
+
+std::vector<std::string> ScenarioSourceRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->sources.size());
+  for (const auto& [name, source] : impl_->sources) {
+    out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+CompiledScenario build_scenario(std::string_view source,
+                                const ScenarioRequest& request) {
+  return ScenarioSourceRegistry::instance().require(source).build(request);
+}
+
+}  // namespace aheft::traces

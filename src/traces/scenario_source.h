@@ -1,0 +1,107 @@
+// Pluggable scenario sources: named backends that turn a ScenarioRequest
+// into a CompiledScenario (pool + load + event stream).
+//
+// Modeled on the codes-workload generator-method registry: simulations
+// select an environment by name, new backends register themselves
+// without the consumers changing. Built-ins:
+//
+//   synthetic  the paper's Table 2/5 resource dynamics — fixed-interval
+//              arrivals via workloads::build_dynamic_pool, no load
+//   trace      file- or text-driven replay through the TraceCompiler
+//   bursty     MMPP-style on/off volatility: calm/burst phases with
+//              phase-dependent Poisson resource arrivals and load spikes
+//              on a random subset of machines during bursts
+#ifndef AHEFT_TRACES_SCENARIO_SOURCE_H_
+#define AHEFT_TRACES_SCENARIO_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "traces/compiler.h"
+#include "workloads/scenario.h"
+
+namespace aheft::traces {
+
+/// Knobs of the `bursty` backend (means are of exponential draws).
+struct BurstyParams {
+  double mean_calm = 600.0;         ///< calm-phase duration
+  double mean_burst = 150.0;        ///< burst-phase duration
+  double calm_arrival_mean = 1200.0;  ///< resource inter-arrival, calm
+  double burst_arrival_mean = 40.0;   ///< resource inter-arrival, burst
+  /// Fraction of the machines live at burst onset that get a load spike.
+  double spike_fraction = 0.4;
+  double spike_min = 1.5;  ///< spike multiplier lower bound
+  double spike_max = 3.5;  ///< spike multiplier upper bound
+};
+
+/// Everything a backend may consume; each one reads the fields it needs
+/// and ignores the rest (the codes-workload "params" convention).
+struct ScenarioRequest {
+  /// Initial pool size and synthetic arrival law.
+  workloads::ResourceDynamics dynamics;
+  /// Generate environment dynamics up to this time; 0 yields the t = 0
+  /// pool alone (used by sizing pre-passes). Ignored by `trace`.
+  sim::Time horizon = sim::kTimeZero;
+  /// Generator entropy; same (seed, horizon) always reproduces the same
+  /// scenario. Ignored by `trace`.
+  std::uint64_t seed = 0;
+  /// `trace` backend: file to replay, or inline text when non-empty.
+  std::string trace_path;
+  std::string trace_text;
+  BurstyParams bursty;
+};
+
+class ScenarioSource {
+ public:
+  virtual ~ScenarioSource() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Builds the scenario; throws std::invalid_argument on a bad request.
+  [[nodiscard]] virtual CompiledScenario build(
+      const ScenarioRequest& request) const = 0;
+  /// Whether the scenario depends on request.horizon. Replay-style
+  /// backends carrying a fixed timeline return false, which lets
+  /// two-pass consumers (horizon sizing, then full build) reuse the
+  /// first build instead of re-reading the source.
+  [[nodiscard]] virtual bool horizon_sensitive() const { return true; }
+};
+
+/// Process-wide, thread-safe source registry.
+class ScenarioSourceRegistry {
+ public:
+  /// The global registry, pre-populated with the built-in backends.
+  static ScenarioSourceRegistry& instance();
+
+  /// Registers a backend; a source with the same name is replaced.
+  void register_source(std::unique_ptr<ScenarioSource> source);
+
+  /// Looks a backend up; nullptr when unknown. The pointer stays valid
+  /// for the registry's lifetime.
+  [[nodiscard]] const ScenarioSource* find(std::string_view name) const;
+
+  /// Like find(), but throws std::invalid_argument listing the known
+  /// backends when the name is unknown.
+  [[nodiscard]] const ScenarioSource& require(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+ private:
+  ScenarioSourceRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: resolves `source` in the global registry and builds the
+/// scenario; throws std::invalid_argument listing the known backends
+/// when the name is unknown.
+[[nodiscard]] CompiledScenario build_scenario(std::string_view source,
+                                              const ScenarioRequest& request);
+
+}  // namespace aheft::traces
+
+#endif  // AHEFT_TRACES_SCENARIO_SOURCE_H_

@@ -8,6 +8,29 @@
 
 namespace aheft::workloads {
 
+namespace {
+
+[[noreturn]] void reject(const char* field, double value,
+                         const char* constraint) {
+  throw std::invalid_argument(std::string("ResourceDynamics.") + field +
+                              " must be " + constraint + " (got " +
+                              std::to_string(value) + ")");
+}
+
+}  // namespace
+
+void validate(const ResourceDynamics& dynamics) {
+  if (dynamics.initial == 0) {
+    reject("initial", 0.0, "at least 1");
+  }
+  if (!(dynamics.interval > 0.0)) {
+    reject("interval", dynamics.interval, "> 0");
+  }
+  if (!(dynamics.fraction >= 0.0)) {
+    reject("fraction", dynamics.fraction, ">= 0");
+  }
+}
+
 std::size_t arrivals_per_change(const ResourceDynamics& d) {
   return std::max<std::size_t>(
       1, static_cast<std::size_t>(
@@ -16,9 +39,7 @@ std::size_t arrivals_per_change(const ResourceDynamics& d) {
 
 grid::ResourcePool build_dynamic_pool(const ResourceDynamics& dynamics,
                                       sim::Time horizon) {
-  AHEFT_REQUIRE(dynamics.initial > 0, "pool needs at least one resource");
-  AHEFT_REQUIRE(dynamics.interval > 0.0, "change interval must be positive");
-  AHEFT_REQUIRE(dynamics.fraction >= 0.0, "change fraction must be >= 0");
+  validate(dynamics);
   AHEFT_REQUIRE(horizon >= 0.0, "horizon must be non-negative");
 
   grid::ResourcePool pool;

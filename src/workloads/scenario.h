@@ -24,6 +24,12 @@ struct ResourceDynamics {
   double fraction = 0.15;     ///< delta: fraction of R added per change
 };
 
+/// Validates dynamics parameters; throws std::invalid_argument naming the
+/// offending field and value (initial == 0, interval <= 0 or fraction < 0
+/// would otherwise build a degenerate pool). Every pool builder and
+/// scenario source funnels through this.
+void validate(const ResourceDynamics& dynamics);
+
 /// Number of resources added at each change: max(1, round(delta * R)).
 [[nodiscard]] std::size_t arrivals_per_change(const ResourceDynamics& d);
 

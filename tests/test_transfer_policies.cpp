@@ -27,7 +27,7 @@ struct MoveFixture {
     graph.finalize();
     pool.add(grid::Resource{});                            // r0
     pool.add(grid::Resource{});                            // r1
-    pool.add(grid::Resource{.arrival = r2_arrival});       // r2
+    pool.add(grid::Resource{.name = "", .arrival = r2_arrival});  // r2
     for (grid::ResourceId r = 0; r < 3; ++r) {
       model.set_compute_cost(a, r, 5.0);
       model.set_compute_cost(b, r, 5.0);
@@ -115,7 +115,7 @@ TEST(TransferPolicies, LateResourceDistinguishesEagerFromPrestaged) {
 }
 
 TEST(TransferPolicies, FeaMatchesTheFileAvailabilityPerPolicy) {
-  for (const auto [policy, expected] :
+  for (const auto& [policy, expected] :
        {std::pair{TransferPolicy::kRetransmitFromClock, 30.0},
         std::pair{TransferPolicy::kEagerReplicate, 15.0},
         std::pair{TransferPolicy::kPrestagedArrivals, 15.0}}) {
