@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "support/rng.h"
 #include "workloads/random_dag.h"
 #include "workloads/scenario.h"
@@ -65,8 +65,10 @@ int main(int argc, char** argv) {
             heft_makespan * failure_stream.uniform(0.25, 0.75));
       }
 
-      const core::StrategyOutcome outcome =
-          core::run_adaptive_aheft(w.dag, model, model, pool, {});
+      core::SessionEnvironment env;
+      env.pool = &pool;
+      const core::StrategyOutcome outcome = core::run_strategy(
+          core::StrategyKind::kAdaptiveAheft, w.dag, model, model, env);
       makespan.add(outcome.makespan);
       adoptions.add(static_cast<double>(outcome.adoptions));
       restarts.add(static_cast<double>(outcome.restarts));

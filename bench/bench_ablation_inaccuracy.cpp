@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "grid/predictor.h"
 #include "support/rng.h"
 #include "workloads/random_dag.h"
@@ -72,34 +72,41 @@ int main(int argc, char** argv) {
       const CaseBundle c = make_case(mix64(options.seed, i));
       const grid::NoisyPredictor noisy(c.model, error, mix64(options.seed, i));
 
+      core::SessionEnvironment env;
+      env.pool = &c.pool;
       {  // oracle: perfect estimates
-        const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-            c.workload.dag, c.model, c.model, c.pool, {});
+        const core::StrategyOutcome outcome =
+            core::run_strategy(core::StrategyKind::kAdaptiveAheft,
+                               c.workload.dag, c.model, c.model, env);
         oracle.add(outcome.makespan);
       }
       {  // plain: trusts the wrong numbers, reacts only to pool changes
-        const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-            c.workload.dag, noisy, c.model, c.pool, {});
+        const core::StrategyOutcome outcome =
+            core::run_strategy(core::StrategyKind::kAdaptiveAheft,
+                               c.workload.dag, noisy, c.model, env);
         plain.add(outcome.makespan);
       }
       {  // reacts to observed deviations as well
-        core::PlannerConfig config;
-        config.react_to_variance = true;
-        config.variance_threshold = 0.10;
-        const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-            c.workload.dag, noisy, c.model, c.pool, config);
+        core::StrategyConfig config;
+        config.planner.react_to_variance = true;
+        config.planner.variance_threshold = 0.10;
+        const core::StrategyOutcome outcome =
+            core::run_strategy(core::StrategyKind::kAdaptiveAheft,
+                               c.workload.dag, noisy, c.model, env, config);
         reactive.add(outcome.makespan);
       }
       {  // additionally feeds observations back into the predictor
-        core::PlannerConfig config;
-        config.react_to_variance = true;
-        config.variance_threshold = 0.10;
+        core::StrategyConfig config;
+        config.planner.react_to_variance = true;
+        config.planner.variance_threshold = 0.10;
         grid::PerformanceHistoryRepository history(0.7);
         const grid::HistoryBlendingPredictor predictor(noisy, c.workload.dag,
                                                        history);
-        const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-            c.workload.dag, predictor, c.model, c.pool, config, nullptr,
-            &history);
+        core::SessionEnvironment learning = env;
+        learning.history = &history;
+        const core::StrategyOutcome outcome = core::run_strategy(
+            core::StrategyKind::kAdaptiveAheft, c.workload.dag, predictor,
+            c.model, learning, config);
         blended.add(outcome.makespan);
       }
     }

@@ -1,0 +1,129 @@
+// EXP-S1 — strategy comparison under multi-DAG workflow streams.
+//
+// The paper evaluates static HEFT, dynamic Min-Min, and adaptive AHEFT
+// on one workflow at a time; a production grid serves many at once. This
+// bench submits 1, 4, and 16 concurrent workflow instances (arrival
+// records from the `bursty` scenario source, exponential inter-arrival
+// gaps) into one shared SimulationSession per strategy, so instances
+// contend for the same volatile machines, and reports per-workflow
+// makespan statistics, slowdown versus an uncontended solo run of the
+// same instance, and aggregate throughput.
+//
+// The whole table is deterministic for a fixed --seed; the closing
+// determinism probe re-runs one stream case and fails the bench if any
+// per-workflow makespan moved.
+//
+// Extra knobs: --smoke (alias for --scale=smoke, used by CI),
+// --streams=a,b,c to override the concurrency axis.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace aheft;
+
+namespace {
+
+exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
+                          std::size_t stream_jobs) {
+  exp::CaseSpec spec;
+  spec.app = exp::AppKind::kRandom;
+  spec.size = scale == Scale::kSmoke ? 20 : 40;
+  spec.ccr = 1.0;
+  spec.out_degree = 0.25;
+  spec.dynamics = {8, 300.0, 0.2};
+  spec.scenario_source = "bursty";
+  spec.bursty.mean_calm = 400.0;
+  spec.bursty.mean_burst = 120.0;
+  spec.bursty.calm_arrival_mean = 500.0;
+  spec.bursty.burst_arrival_mean = 60.0;
+  spec.react_to_variance = true;  // load spikes feed the monitor
+  spec.horizon_factor = 4.0;      // arrivals keep coming while streams drain
+  spec.stream_jobs = stream_jobs;
+  spec.stream_interarrival = scale == Scale::kSmoke ? 150.0 : 250.0;
+  spec.seed = exp::case_seed(master, spec, /*instance=*/stream_jobs);
+  return spec;
+}
+
+void report(std::size_t streams, const exp::StreamCaseResult& result) {
+  AsciiTable table({"strategy", "mean makespan", "max makespan",
+                    "mean slowdown", "throughput/1k", "adoptions"});
+  const auto row = [&](const char* name,
+                       const exp::StreamStrategySummary& s) {
+    table.add_row({name, format_double(s.mean_makespan, 1),
+                   format_double(s.max_makespan, 1),
+                   format_double(s.mean_slowdown, 2),
+                   format_double(s.throughput * 1000.0, 3),
+                   std::to_string(s.adoptions)});
+  };
+  row("HEFT (static)", result.heft);
+  row("Min-Min (dynamic)", result.minmin);
+  row("AHEFT (adaptive)", result.aheft);
+  std::cout << streams << " concurrent workflow(s), " << result.universe
+            << " machines in the universe:\n"
+            << table.to_string() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+  const ArgParser args(argc, argv);
+  if (args.has("smoke")) {
+    options.scale = Scale::kSmoke;
+  }
+
+  std::vector<std::size_t> streams = {1, 4, 16};
+  if (args.has("streams")) {
+    streams.clear();
+    std::stringstream in(args.get("streams", ""));
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      try {
+        const unsigned long value = std::stoul(token);
+        if (value == 0) {
+          throw std::invalid_argument("zero");
+        }
+        streams.push_back(static_cast<std::size_t>(value));
+      } catch (const std::exception&) {
+        std::cerr << "bad --streams token '" << token
+                  << "' (want positive integers, e.g. --streams=1,4,16)\n";
+        return 2;
+      }
+    }
+    if (streams.empty()) {
+      std::cerr << "--streams needs at least one positive integer\n";
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Multi-DAG workflow streams: HEFT vs Min-Min vs AHEFT",
+      options, streams.size());
+
+  std::vector<exp::StreamCaseResult> results;
+  results.reserve(streams.size());
+  for (const std::size_t n : streams) {
+    results.push_back(
+        exp::run_stream_case(stream_spec(options.scale, options.seed, n)));
+    report(n, results.back());
+  }
+
+  // Determinism probe: the acceptance bar for stream experiments is
+  // bit-identical per-workflow makespans under a fixed seed. Reuse the
+  // main loop's result as the first run.
+  const std::size_t probe_index = streams.size() > 1 ? 1 : 0;
+  const std::size_t probe = streams[probe_index];
+  const exp::StreamCaseResult& a = results[probe_index];
+  const exp::StreamCaseResult b =
+      exp::run_stream_case(stream_spec(options.scale, options.seed, probe));
+  const bool deterministic = a.heft.makespans == b.heft.makespans &&
+                             a.aheft.makespans == b.aheft.makespans &&
+                             a.minmin.makespans == b.minmin.makespans;
+  std::cout << "determinism probe (" << probe << " workflows, re-run): "
+            << (deterministic ? "bit-identical per-workflow makespans"
+                              : "MISMATCH")
+            << "\n";
+  return deterministic ? 0 : 1;
+}

@@ -6,8 +6,8 @@
 //                       [--fraction=0.25] [--seed=7]
 #include <iostream>
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "dag/algorithms.h"
 #include "support/env.h"
 #include "support/rng.h"
@@ -58,13 +58,16 @@ int main(int argc, char** argv) {
             << dynamics.interval << " time units (universe "
             << pool.universe_size() << ")\n\n";
 
-  const core::StrategyOutcome heft =
-      core::run_static_heft(blast.dag, model, model, pool);
-  core::PlannerConfig planner_config;
-  const core::StrategyOutcome aheft =
-      core::run_adaptive_aheft(blast.dag, model, model, pool, planner_config);
-  const core::StrategyOutcome minmin =
-      core::run_dynamic_baseline(blast.dag, model, pool);
+  // All three strategies run through the same session environment: the
+  // one pool (and, for trace scenarios, one load profile) by construction.
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  const core::StrategyOutcome heft = core::run_strategy(
+      core::StrategyKind::kStaticHeft, blast.dag, model, model, env);
+  const core::StrategyOutcome aheft = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, blast.dag, model, model, env);
+  const core::StrategyOutcome minmin = core::run_strategy(
+      core::StrategyKind::kDynamic, blast.dag, model, model, env);
 
   AsciiTable table({"strategy", "makespan", "vs HEFT", "reschedules"});
   table.add_row({"HEFT (static)", format_double(heft.makespan, 1), "1.00",

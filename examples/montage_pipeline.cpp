@@ -6,8 +6,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "dag/algorithms.h"
 #include "dag/dot.h"
 #include "support/env.h"
@@ -57,12 +57,14 @@ int main(int argc, char** argv) {
   const grid::MachineModel model = workloads::build_machine_model(
       montage, pool.universe_size(), 0.5, mix64(seed, 17));
 
-  const core::StrategyOutcome heft =
-      core::run_static_heft(montage.dag, model, model, pool);
-  const core::StrategyOutcome aheft =
-      core::run_adaptive_aheft(montage.dag, model, model, pool, {});
-  const core::StrategyOutcome minmin =
-      core::run_dynamic_baseline(montage.dag, model, pool);
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  const core::StrategyOutcome heft = core::run_strategy(
+      core::StrategyKind::kStaticHeft, montage.dag, model, model, env);
+  const core::StrategyOutcome aheft = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, montage.dag, model, model, env);
+  const core::StrategyOutcome minmin = core::run_strategy(
+      core::StrategyKind::kDynamic, montage.dag, model, model, env);
 
   AsciiTable table({"strategy", "makespan", "vs HEFT"});
   table.add_row({"HEFT", format_double(heft.makespan, 1), "1.00"});

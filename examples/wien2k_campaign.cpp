@@ -7,8 +7,8 @@
 //                        [--fraction=0.25] [--seed=7]
 #include <iostream>
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "dag/algorithms.h"
 #include "support/env.h"
 #include "support/rng.h"
@@ -58,12 +58,14 @@ int main(int argc, char** argv) {
   const grid::MachineModel model = workloads::build_machine_model(
       wien, pool.universe_size(), 0.5, mix64(seed, 13));
 
-  const core::StrategyOutcome heft =
-      core::run_static_heft(wien.dag, model, model, pool);
-  const core::StrategyOutcome aheft =
-      core::run_adaptive_aheft(wien.dag, model, model, pool, {});
-  const core::StrategyOutcome minmin =
-      core::run_dynamic_baseline(wien.dag, model, pool);
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  const core::StrategyOutcome heft = core::run_strategy(
+      core::StrategyKind::kStaticHeft, wien.dag, model, model, env);
+  const core::StrategyOutcome aheft = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, wien.dag, model, model, env);
+  const core::StrategyOutcome minmin = core::run_strategy(
+      core::StrategyKind::kDynamic, wien.dag, model, model, env);
 
   AsciiTable table({"strategy", "makespan", "vs HEFT", "reschedules"});
   table.add_row({"HEFT (static)", format_double(heft.makespan, 1), "1.00",

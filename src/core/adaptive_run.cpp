@@ -9,16 +9,14 @@ StrategyOutcome run_static_heft(const dag::Dag& dag,
                                 SchedulerConfig config,
                                 sim::TraceRecorder* trace,
                                 const grid::LoadProfile* load) {
-  PlannerConfig planner_config;
-  planner_config.scheduler = config;
-  planner_config.react_to_pool_changes = false;  // plan once, never adapt
-  planner_config.react_to_variance = false;
-  planner_config.load = load;
-  AdaptivePlanner planner(dag, estimates, actual, pool, planner_config,
-                          trace);
-  const AdaptiveResult result = planner.run();
-  return StrategyOutcome{result.makespan, result.evaluations,
-                         result.adoptions, result.restarts};
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.load = load;
+  env.trace = trace;
+  StrategyConfig strategy;
+  strategy.planner.scheduler = config;
+  return run_strategy(StrategyKind::kStaticHeft, dag, estimates, actual,
+                      env, strategy);
 }
 
 StrategyOutcome run_adaptive_aheft(const dag::Dag& dag,
@@ -28,21 +26,31 @@ StrategyOutcome run_adaptive_aheft(const dag::Dag& dag,
                                    PlannerConfig config,
                                    sim::TraceRecorder* trace,
                                    grid::PerformanceHistoryRepository* history) {
-  AdaptivePlanner planner(dag, estimates, actual, pool, config, trace,
-                          history);
-  const AdaptiveResult result = planner.run();
-  return StrategyOutcome{result.makespan, result.evaluations,
-                         result.adoptions, result.restarts};
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.load = config.load;
+  env.trace = trace;
+  env.history = history;
+  StrategyConfig strategy;
+  strategy.planner = config;
+  return run_strategy(StrategyKind::kAdaptiveAheft, dag, estimates, actual,
+                      env, strategy);
 }
 
 StrategyOutcome run_dynamic_baseline(const dag::Dag& dag,
                                      const grid::CostProvider& actual,
                                      const grid::ResourcePool& pool,
                                      DynamicHeuristic heuristic,
-                                     sim::TraceRecorder* trace) {
-  const DynamicRunResult result =
-      run_dynamic(dag, actual, pool, heuristic, trace);
-  return StrategyOutcome{result.makespan, result.batches, 0, 0};
+                                     sim::TraceRecorder* trace,
+                                     const grid::LoadProfile* load) {
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.load = load;
+  env.trace = trace;
+  StrategyConfig strategy;
+  strategy.heuristic = heuristic;
+  return run_strategy(StrategyKind::kDynamic, dag, actual, actual, env,
+                      strategy);
 }
 
 }  // namespace aheft::core

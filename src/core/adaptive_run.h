@@ -1,20 +1,20 @@
-// One-call entry points for the three strategies the paper compares:
-// static HEFT, adaptive AHEFT, and dynamic just-in-time scheduling.
+// Legacy one-call entry points for the three strategies the paper
+// compares: static HEFT, adaptive AHEFT, and dynamic just-in-time
+// scheduling.
+//
+// DEPRECATED in favor of core::run_strategy (strategy.h): all three
+// functions are thin shims that assemble a SessionEnvironment from their
+// historical argument lists and route through the unified
+// StrategyDriver/SimulationSession machinery. They are kept because the
+// per-strategy signatures read well in examples and tests; new code —
+// and anything that needs multi-DAG streams — should use strategy.h /
+// workflow_stream.h directly.
 #ifndef AHEFT_CORE_ADAPTIVE_RUN_H_
 #define AHEFT_CORE_ADAPTIVE_RUN_H_
 
-#include "core/dynamic_scheduler.h"
-#include "core/planner.h"
+#include "core/strategy.h"
 
 namespace aheft::core {
-
-/// Makespan and bookkeeping of one simulated strategy run.
-struct StrategyOutcome {
-  sim::Time makespan = sim::kTimeZero;
-  std::size_t evaluations = 0;
-  std::size_t adoptions = 0;
-  std::size_t restarts = 0;
-};
 
 /// Static HEFT: plan once at t = 0 over the initial pool, never react.
 /// `load` optionally scales the realized run times (trace scenarios).
@@ -32,11 +32,13 @@ struct StrategyOutcome {
     grid::PerformanceHistoryRepository* history = nullptr);
 
 /// Dynamic baseline: just-in-time decisions with the given heuristic.
+/// `load` optionally scales the realized run times.
 [[nodiscard]] StrategyOutcome run_dynamic_baseline(
     const dag::Dag& dag, const grid::CostProvider& actual,
     const grid::ResourcePool& pool,
     DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
-    sim::TraceRecorder* trace = nullptr);
+    sim::TraceRecorder* trace = nullptr,
+    const grid::LoadProfile* load = nullptr);
 
 }  // namespace aheft::core
 

@@ -1,8 +1,7 @@
 #include "core/dynamic_scheduler.h"
 
 #include <algorithm>
-#include <map>
-#include <vector>
+#include <stdexcept>
 
 #include "sim/simulator.h"
 #include "support/assert.h"
@@ -21,204 +20,242 @@ std::string to_string(DynamicHeuristic heuristic) {
   return "unknown";
 }
 
-namespace {
+DynamicExecution::DynamicExecution(SimulationSession& session,
+                                   const dag::Dag& dag,
+                                   const grid::CostProvider& actual,
+                                   DynamicHeuristic heuristic)
+    : session_(&session),
+      dag_(&dag),
+      actual_(&actual),
+      pool_(&session.pool()),
+      load_(session.load()),
+      trace_(session.trace()),
+      heuristic_(heuristic),
+      schedule_(dag.job_count()),
+      finished_(dag.job_count(), false),
+      location_(dag.job_count(), grid::kInvalidResource),
+      aft_(dag.job_count(), sim::kTimeZero),
+      pending_preds_(dag.job_count(), 0) {
+  AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
+  session.add_participant(this);
+}
 
-/// Shared state of one dynamic run, driven by simulator events.
-class DynamicRun {
- public:
-  DynamicRun(const dag::Dag& dag, const grid::CostProvider& actual,
-             const grid::ResourcePool& pool, DynamicHeuristic heuristic,
-             sim::TraceRecorder* trace)
-      : dag_(dag),
-        actual_(actual),
-        pool_(pool),
-        heuristic_(heuristic),
-        trace_(trace),
-        schedule_(dag.job_count()),
-        finished_(dag.job_count(), false),
-        assigned_(dag.job_count(), false),
-        location_(dag.job_count(), grid::kInvalidResource),
-        aft_(dag.job_count(), sim::kTimeZero),
-        pending_preds_(dag.job_count(), 0) {}
+void DynamicExecution::launch(sim::Time release, Completion done) {
+  AHEFT_REQUIRE(sim::time_le(session_->simulator().now(), release),
+                "dynamic launch release lies in the simulator's past");
+  release_ = release;
+  done_ = std::move(done);
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    pending_preds_[i] = static_cast<std::uint32_t>(dag_->in_edges(i).size());
+    if (pending_preds_[i] == 0) {
+      ready_.push_back(i);
+    }
+  }
+  session_->simulator().schedule_at(release, [this] {
+    AHEFT_REQUIRE(pool_->count_available_at(release_) > 0,
+                  "dynamic run needs at least one resource at release");
+    dispatch();
+  });
+}
 
-  DynamicRunResult run() {
-    for (dag::JobId i = 0; i < dag_.job_count(); ++i) {
-      pending_preds_[i] = static_cast<std::uint32_t>(dag_.in_edges(i).size());
-      if (pending_preds_[i] == 0) {
-        ready_.push_back(i);
+sim::Time DynamicExecution::busy_until(grid::ResourceId resource) const {
+  const auto it = avail_.find(resource);
+  return it == avail_.end() ? sim::kTimeZero : it->second;
+}
+
+sim::Time DynamicExecution::inputs_ready(dag::JobId job,
+                                         grid::ResourceId resource,
+                                         sim::Time now) const {
+  sim::Time ready = now;
+  for (const std::uint32_t e : dag_->in_edges(job)) {
+    const dag::Edge& edge = dag_->edges()[e];
+    AHEFT_ASSERT(finished_[edge.from], "ready job with unfinished pred");
+    const sim::Time arrival =
+        location_[edge.from] == resource
+            ? aft_[edge.from]
+            : now + actual_->comm_cost(edge, location_[edge.from], resource);
+    ready = std::max(ready, arrival);
+  }
+  return ready;
+}
+
+sim::Time DynamicExecution::machine_free(grid::ResourceId resource) const {
+  return std::max({busy_until(resource), pool_->resource(resource).arrival,
+                   session_->contended_until(this, resource)});
+}
+
+sim::Time DynamicExecution::completion_time(dag::JobId job,
+                                            grid::ResourceId resource,
+                                            sim::Time now) const {
+  return std::max(inputs_ready(job, resource, now),
+                  machine_free(resource)) +
+         actual_->compute_cost(job, resource);
+}
+
+/// Runs one just-in-time decision round over every currently ready job.
+void DynamicExecution::dispatch() {
+  if (ready_.empty()) {
+    return;
+  }
+  const sim::Time now = session_->simulator().now();
+  const std::vector<grid::ResourceId> visible = pool_->available_at(now);
+  AHEFT_ASSERT(!visible.empty(), "no resource available for dispatch");
+  ++batches_;
+
+  while (!ready_.empty()) {
+    // For each ready job, its best and second-best completion times.
+    dag::JobId chosen = dag::kInvalidJob;
+    grid::ResourceId chosen_resource = grid::kInvalidResource;
+    double chosen_key = 0.0;
+    bool first = true;
+
+    for (const dag::JobId job : ready_) {
+      sim::Time best = sim::kTimeInfinity;
+      sim::Time second = sim::kTimeInfinity;
+      grid::ResourceId best_r = grid::kInvalidResource;
+      for (const grid::ResourceId r : visible) {
+        const sim::Time ct = completion_time(job, r, now);
+        // Departures are announced (the window is in the pool), so a
+        // just-in-time decision never books a machine that would leave
+        // before the job finishes.
+        if (!sim::time_le(ct, pool_->resource(r).departure)) {
+          continue;
+        }
+        if (ct < best) {
+          second = best;
+          best = ct;
+          best_r = r;
+        } else if (ct < second) {
+          second = ct;
+        }
+      }
+      if (best_r == grid::kInvalidResource) {
+        throw std::runtime_error(
+            "dynamic dispatch: no visible machine can finish job " +
+            dag_->job(job).name +
+            " before departing (the dynamic baseline does not defer "
+            "dispatch until repairs arrive)");
+      }
+      double key = 0.0;
+      switch (heuristic_) {
+        case DynamicHeuristic::kMinMin:
+          key = -best;  // prefer the smallest completion time
+          break;
+        case DynamicHeuristic::kMaxMin:
+          key = best;  // prefer the largest minimum completion time
+          break;
+        case DynamicHeuristic::kSufferage:
+          key = (second == sim::kTimeInfinity) ? 0.0 : second - best;
+          break;
+      }
+      if (first || key > chosen_key) {
+        first = false;
+        chosen = job;
+        chosen_resource = best_r;
+        chosen_key = key;
       }
     }
-    simulator_.schedule_at(sim::kTimeZero, [this] { dispatch(); });
-    simulator_.run();
-    AHEFT_ASSERT(finished_count_ == dag_.job_count(),
-                 "dynamic run ended with unfinished jobs");
+
+    assign(chosen, chosen_resource, now);
+    ready_.erase(std::find(ready_.begin(), ready_.end(), chosen));
+  }
+}
+
+void DynamicExecution::assign(dag::JobId job, grid::ResourceId resource,
+                              sim::Time now) {
+  const sim::Time start =
+      std::max(inputs_ready(job, resource, now), machine_free(resource));
+  double duration = actual_->compute_cost(job, resource);
+  if (load_ != nullptr) {
+    const double factor = load_->factor(resource, start);
+    AHEFT_ASSERT(factor > 0.0, "load factor must be positive");
+    duration *= factor;
+  }
+  const sim::Time finish = start + duration;
+  // The dispatch loop vetted the nominal completion against the window;
+  // a load spike can still stretch the realized run past it, which is
+  // the same unsupported combination the execution engine reports.
+  if (!sim::time_le(finish, pool_->resource(resource).departure)) {
+    throw std::runtime_error(
+        "load-stretched job " + dag_->job(job).name +
+        " would outlive its machine: scenarios combining load segments "
+        "with finite departures need restart semantics (unsupported; "
+        "see ROADMAP)");
+  }
+  schedule_.assign(Assignment{job, resource, start, finish});
+  if (trace_ != nullptr) {
+    for (const std::uint32_t e : dag_->in_edges(job)) {
+      const dag::Edge& edge = dag_->edges()[e];
+      if (location_[edge.from] != resource) {
+        trace_->record_transfer(
+            edge.from, job, resource, now,
+            now + actual_->comm_cost(edge, location_[edge.from], resource));
+      }
+    }
+  }
+  auto& booked = avail_[resource];
+  booked = std::max(booked, finish);
+  session_->simulator().schedule_at(
+      finish, [this, job, resource, start, finish] {
+        complete(job, resource, start, finish);
+      });
+}
+
+void DynamicExecution::complete(dag::JobId job, grid::ResourceId resource,
+                                sim::Time start, sim::Time finish) {
+  finished_[job] = true;
+  ++finished_count_;
+  location_[job] = resource;
+  aft_[job] = finish;
+  makespan_ = std::max(makespan_, finish);
+  if (trace_ != nullptr) {
+    trace_->record_compute(job, resource, start, finish);
+  }
+  bool any_ready = false;
+  for (const std::uint32_t e : dag_->out_edges(job)) {
+    const dag::JobId succ = dag_->edges()[e].to;
+    AHEFT_ASSERT(pending_preds_[succ] > 0, "pred counter underflow");
+    if (--pending_preds_[succ] == 0) {
+      ready_.push_back(succ);
+      any_ready = true;
+    }
+  }
+  if (any_ready) {
+    dispatch();
+  }
+  if (finished() && done_) {
     DynamicRunResult result;
     result.makespan = makespan_;
     result.batches = batches_;
-    result.schedule = std::move(schedule_);
-    return result;
+    result.schedule = schedule_;
+    done_(result);
   }
-
- private:
-  /// Earliest completion time of `job` on `resource` when decided now.
-  [[nodiscard]] sim::Time completion_time(dag::JobId job,
-                                          grid::ResourceId resource,
-                                          sim::Time now) const {
-    sim::Time ready = now;
-    for (const std::uint32_t e : dag_.in_edges(job)) {
-      const dag::Edge& edge = dag_.edges()[e];
-      AHEFT_ASSERT(finished_[edge.from], "ready job with unfinished pred");
-      const sim::Time arrival =
-          location_[edge.from] == resource
-              ? aft_[edge.from]
-              : now + actual_.comm_cost(edge, location_[edge.from], resource);
-      ready = std::max(ready, arrival);
-    }
-    const auto it = avail_.find(resource);
-    const sim::Time machine_free =
-        std::max(it == avail_.end() ? sim::kTimeZero : it->second,
-                 pool_.resource(resource).arrival);
-    return std::max(ready, machine_free) +
-           actual_.compute_cost(job, resource);
-  }
-
-  /// Runs one just-in-time decision round over every currently ready job.
-  void dispatch() {
-    if (ready_.empty()) {
-      return;
-    }
-    const sim::Time now = simulator_.now();
-    const std::vector<grid::ResourceId> visible = pool_.available_at(now);
-    AHEFT_ASSERT(!visible.empty(), "no resource available for dispatch");
-    ++batches_;
-
-    while (!ready_.empty()) {
-      // For each ready job, its best and second-best completion times.
-      dag::JobId chosen = dag::kInvalidJob;
-      grid::ResourceId chosen_resource = grid::kInvalidResource;
-      sim::Time chosen_ct = sim::kTimeZero;
-      double chosen_key = 0.0;
-      bool first = true;
-
-      for (const dag::JobId job : ready_) {
-        sim::Time best = sim::kTimeInfinity;
-        sim::Time second = sim::kTimeInfinity;
-        grid::ResourceId best_r = grid::kInvalidResource;
-        for (const grid::ResourceId r : visible) {
-          const sim::Time ct = completion_time(job, r, now);
-          if (ct < best) {
-            second = best;
-            best = ct;
-            best_r = r;
-          } else if (ct < second) {
-            second = ct;
-          }
-        }
-        double key = 0.0;
-        switch (heuristic_) {
-          case DynamicHeuristic::kMinMin:
-            key = -best;  // prefer the smallest completion time
-            break;
-          case DynamicHeuristic::kMaxMin:
-            key = best;  // prefer the largest minimum completion time
-            break;
-          case DynamicHeuristic::kSufferage:
-            key = (second == sim::kTimeInfinity) ? 0.0 : second - best;
-            break;
-        }
-        if (first || key > chosen_key) {
-          first = false;
-          chosen = job;
-          chosen_resource = best_r;
-          chosen_ct = best;
-          chosen_key = key;
-        }
-      }
-
-      assign(chosen, chosen_resource, chosen_ct, now);
-      ready_.erase(std::find(ready_.begin(), ready_.end(), chosen));
-    }
-  }
-
-  void assign(dag::JobId job, grid::ResourceId resource, sim::Time finish,
-              sim::Time now) {
-    const double w = actual_.compute_cost(job, resource);
-    const sim::Time start = finish - w;
-    assigned_[job] = true;
-    schedule_.assign(Assignment{job, resource, start, finish});
-    if (trace_ != nullptr) {
-      for (const std::uint32_t e : dag_.in_edges(job)) {
-        const dag::Edge& edge = dag_.edges()[e];
-        if (location_[edge.from] != resource) {
-          trace_->record_transfer(
-              edge.from, job, resource, now,
-              now + actual_.comm_cost(edge, location_[edge.from], resource));
-        }
-      }
-    }
-    auto& machine_free = avail_[resource];
-    machine_free = std::max(machine_free, finish);
-    simulator_.schedule_at(finish, [this, job, resource, start, finish] {
-      complete(job, resource, start, finish);
-    });
-  }
-
-  void complete(dag::JobId job, grid::ResourceId resource, sim::Time start,
-                sim::Time finish) {
-    finished_[job] = true;
-    ++finished_count_;
-    location_[job] = resource;
-    aft_[job] = finish;
-    makespan_ = std::max(makespan_, finish);
-    if (trace_ != nullptr) {
-      trace_->record_compute(job, resource, start, finish);
-    }
-    bool any_ready = false;
-    for (const std::uint32_t e : dag_.out_edges(job)) {
-      const dag::JobId succ = dag_.edges()[e].to;
-      AHEFT_ASSERT(pending_preds_[succ] > 0, "pred counter underflow");
-      if (--pending_preds_[succ] == 0) {
-        ready_.push_back(succ);
-        any_ready = true;
-      }
-    }
-    if (any_ready) {
-      dispatch();
-    }
-  }
-
-  const dag::Dag& dag_;
-  const grid::CostProvider& actual_;
-  const grid::ResourcePool& pool_;
-  DynamicHeuristic heuristic_;
-  sim::TraceRecorder* trace_;
-
-  sim::Simulator simulator_;
-  Schedule schedule_;
-  std::vector<bool> finished_;
-  std::vector<bool> assigned_;
-  std::vector<grid::ResourceId> location_;
-  std::vector<sim::Time> aft_;
-  std::vector<std::uint32_t> pending_preds_;
-  std::vector<dag::JobId> ready_;
-  std::map<grid::ResourceId, sim::Time> avail_;
-  std::size_t finished_count_ = 0;
-  std::size_t batches_ = 0;
-  sim::Time makespan_ = sim::kTimeZero;
-};
-
-}  // namespace
+}
 
 DynamicRunResult run_dynamic(const dag::Dag& dag,
                              const grid::CostProvider& actual,
                              const grid::ResourcePool& pool,
                              DynamicHeuristic heuristic,
-                             sim::TraceRecorder* trace) {
+                             sim::TraceRecorder* trace,
+                             const grid::LoadProfile* load) {
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
   AHEFT_REQUIRE(pool.count_available_at(sim::kTimeZero) > 0,
                 "dynamic run needs at least one initial resource");
-  DynamicRun run(dag, actual, pool, heuristic, trace);
-  return run.run();
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.load = load;
+  env.trace = trace;
+  SimulationSession session(env);
+  DynamicExecution execution(session, dag, actual, heuristic);
+  DynamicRunResult result;
+  bool completed = false;
+  execution.launch(sim::kTimeZero, [&](const DynamicRunResult& r) {
+    result = r;
+    completed = true;
+  });
+  session.run();
+  AHEFT_ASSERT(completed, "dynamic run ended with unfinished jobs");
+  return result;
 }
 
 }  // namespace aheft::core

@@ -8,14 +8,26 @@
 // the transfer then starts at decision time.
 //
 // Max-Min and Sufferage are provided as additional baselines (extension).
+//
+// DynamicExecution is the session form: it runs inside a shared
+// SimulationSession, realizes load-scaled run times from the session's
+// LoadProfile (decisions still use nominal costs — just-in-time schedulers
+// don't see the future either), and participates in cross-workflow
+// resource contention. run_dynamic() wraps it for the classic
+// one-DAG-one-call usage.
 #ifndef AHEFT_CORE_DYNAMIC_SCHEDULER_H_
 #define AHEFT_CORE_DYNAMIC_SCHEDULER_H_
 
+#include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/schedule.h"
+#include "core/session.h"
 #include "dag/dag.h"
 #include "grid/cost_provider.h"
+#include "grid/load_profile.h"
 #include "grid/resource_pool.h"
 #include "sim/trace.h"
 
@@ -31,13 +43,86 @@ struct DynamicRunResult {
   Schedule schedule;            ///< realized placement (for inspection)
 };
 
-/// Simulates a full just-in-time execution of `dag` over the dynamic pool.
-/// New resources are used by any job that becomes ready after they arrive.
+/// Event-driven just-in-time execution of one DAG inside a shared
+/// session. Decisions are made with nominal costs over the resources
+/// visible at decision time; realized run times are stretched by the
+/// session's load profile, and machine bookings respect (and are visible
+/// to) every other workflow in the session.
+class DynamicExecution : public SessionParticipant {
+ public:
+  DynamicExecution(SimulationSession& session, const dag::Dag& dag,
+                   const grid::CostProvider& actual,
+                   DynamicHeuristic heuristic = DynamicHeuristic::kMinMin);
+
+  using Completion = std::function<void(const DynamicRunResult&)>;
+
+  /// Schedules the first decision round at `release` (>= the session
+  /// clock); `done` fires on the session clock once every job finished.
+  /// The execution must outlive the session's run.
+  void launch(sim::Time release, Completion done);
+
+  [[nodiscard]] bool finished() const {
+    return finished_count_ == dag_->job_count();
+  }
+  [[nodiscard]] sim::Time makespan() const { return makespan_; }
+
+  // SessionParticipant: committed bookings (running and queued-behind
+  // decisions) on `resource`.
+  [[nodiscard]] sim::Time busy_until(
+      grid::ResourceId resource) const override;
+
+ private:
+  /// Earliest time `job`'s inputs can all be present on `resource` when
+  /// the transfer decisions are taken now.
+  [[nodiscard]] sim::Time inputs_ready(dag::JobId job,
+                                       grid::ResourceId resource,
+                                       sim::Time now) const;
+  /// Time `resource` is free for this workflow: own bookings, the
+  /// machine's arrival, and every other session participant's bookings.
+  [[nodiscard]] sim::Time machine_free(grid::ResourceId resource) const;
+  /// Nominal completion time used by the decision heuristics.
+  [[nodiscard]] sim::Time completion_time(dag::JobId job,
+                                          grid::ResourceId resource,
+                                          sim::Time now) const;
+
+  void dispatch();
+  void assign(dag::JobId job, grid::ResourceId resource, sim::Time now);
+  void complete(dag::JobId job, grid::ResourceId resource, sim::Time start,
+                sim::Time finish);
+
+  SimulationSession* session_;
+  const dag::Dag* dag_;
+  const grid::CostProvider* actual_;
+  const grid::ResourcePool* pool_;
+  const grid::LoadProfile* load_;
+  sim::TraceRecorder* trace_;
+  DynamicHeuristic heuristic_;
+
+  sim::Time release_ = sim::kTimeZero;
+  Completion done_;
+
+  Schedule schedule_;
+  std::vector<bool> finished_;
+  std::vector<grid::ResourceId> location_;
+  std::vector<sim::Time> aft_;
+  std::vector<std::uint32_t> pending_preds_;
+  std::vector<dag::JobId> ready_;
+  std::map<grid::ResourceId, sim::Time> avail_;
+  std::size_t finished_count_ = 0;
+  std::size_t batches_ = 0;
+  sim::Time makespan_ = sim::kTimeZero;
+};
+
+/// Simulates a full just-in-time execution of `dag` over the dynamic pool
+/// in a private session. New resources are used by any job that becomes
+/// ready after they arrive. `load` optionally stretches realized run
+/// times (the decision loop keeps using nominal costs).
 [[nodiscard]] DynamicRunResult run_dynamic(
     const dag::Dag& dag, const grid::CostProvider& actual,
     const grid::ResourcePool& pool,
     DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
-    sim::TraceRecorder* trace = nullptr);
+    sim::TraceRecorder* trace = nullptr,
+    const grid::LoadProfile* load = nullptr);
 
 }  // namespace aheft::core
 

@@ -21,6 +21,21 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& simulator,
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
 }
 
+ExecutionEngine::ExecutionEngine(SimulationSession& session,
+                                 const dag::Dag& dag,
+                                 const grid::CostProvider& actual)
+    : ExecutionEngine(session.simulator(), dag, actual, session.pool(),
+                      session.trace()) {
+  load_ = session.load();
+  session_ = &session;
+  session.add_participant(this);
+}
+
+sim::Time ExecutionEngine::busy_until(grid::ResourceId resource) const {
+  const auto it = resource_free_.find(resource);
+  return it == resource_free_.end() ? sim::kTimeZero : it->second;
+}
+
 const Schedule& ExecutionEngine::current_schedule() const {
   AHEFT_REQUIRE(has_schedule_, "no schedule submitted yet");
   return schedule_;
@@ -198,6 +213,10 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
     if (const auto free_it = resource_free_.find(resource);
         free_it != resource_free_.end()) {
       start = std::max(start, free_it->second);
+    }
+    // (d) machine not booked by a concurrent workflow in the session.
+    if (session_ != nullptr) {
+      start = std::max(start, session_->contended_until(this, resource));
     }
 
     if (start > now) {

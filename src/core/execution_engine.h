@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "core/session.h"
 #include "core/snapshot.h"
 #include "dag/dag.h"
 #include "grid/cost_provider.h"
@@ -31,7 +32,7 @@
 
 namespace aheft::core {
 
-class ExecutionEngine {
+class ExecutionEngine : public SessionParticipant {
  public:
   /// `actual` is the ground-truth cost model (run times and transfer
   /// durations the simulated grid really exhibits). `trace` may be null.
@@ -39,6 +40,13 @@ class ExecutionEngine {
                   const grid::CostProvider& actual,
                   const grid::ResourcePool& pool,
                   sim::TraceRecorder* trace = nullptr);
+
+  /// Session form: simulator, pool, trace, and load profile all come from
+  /// the session's environment, and the engine registers itself for
+  /// cross-workflow resource contention. The session must outlive the
+  /// engine's execution.
+  ExecutionEngine(SimulationSession& session, const dag::Dag& dag,
+                  const grid::CostProvider& actual);
 
   /// Installs `schedule` (complete over all jobs) at the current simulation
   /// time. The first call starts execution; later calls replace the
@@ -82,6 +90,12 @@ class ExecutionEngine {
     return load_;
   }
 
+  // SessionParticipant: how long this workflow has `resource` booked
+  // (values at or before the clock mean free — completed history never
+  // gates a concurrent workflow because consumers clamp with `now`).
+  [[nodiscard]] sim::Time busy_until(
+      grid::ResourceId resource) const override;
+
  private:
   enum class Phase { kPending, kRunning, kFinished };
   struct JobState {
@@ -109,6 +123,7 @@ class ExecutionEngine {
   const grid::ResourcePool* pool_;
   sim::TraceRecorder* trace_;
   const grid::LoadProfile* load_ = nullptr;
+  SimulationSession* session_ = nullptr;  ///< contention; null standalone
 
   Schedule schedule_;
   bool has_schedule_ = false;

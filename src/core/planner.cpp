@@ -52,16 +52,13 @@ AdaptivePlanner::AdaptivePlanner(const dag::Dag& dag,
       trace_(trace),
       history_(history) {
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
-  AHEFT_REQUIRE(pool.count_available_at(sim::kTimeZero) > 0,
-                "planner needs at least one initial resource");
 }
 
-void AdaptivePlanner::evaluate(sim::Simulator& simulator,
-                               ExecutionEngine& engine,
-                               const std::string& reason, bool forced) {
-  if (engine.finished()) {
+void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
+  if (engine_->finished()) {
     return;
   }
+  sim::Simulator& simulator = session_->simulator();
   const sim::Time clock = simulator.now();
   const std::vector<grid::ResourceId> visible = pool_.available_at(clock);
   if (visible.empty()) {
@@ -71,7 +68,7 @@ void AdaptivePlanner::evaluate(sim::Simulator& simulator,
   }
   ++result_.evaluations;
 
-  const ExecutionSnapshot snapshot = engine.snapshot();
+  const ExecutionSnapshot snapshot = engine_->snapshot();
   RescheduleRequest request;
   request.dag = &dag_;
   request.estimates = &estimates_;
@@ -79,7 +76,7 @@ void AdaptivePlanner::evaluate(sim::Simulator& simulator,
   request.resources = visible;
   request.clock = clock;
   request.snapshot = &snapshot;
-  request.previous = &engine.current_schedule();
+  request.previous = &engine_->current_schedule();
   request.config = config_.scheduler;
 
   const Schedule candidate = aheft_schedule(request);
@@ -102,72 +99,115 @@ void AdaptivePlanner::evaluate(sim::Simulator& simulator,
                          << predicted_makespan_ << " -> "
                          << candidate_makespan << " (" << reason << ")");
     refresh_reservations(ledger_, candidate, clock);
-    engine.submit(candidate);
+    engine_->submit(candidate);
     predicted_makespan_ = candidate_makespan;
     ++result_.adoptions;
   }
 }
 
-AdaptiveResult AdaptivePlanner::run() {
+void AdaptivePlanner::launch(SimulationSession& session, sim::Time release,
+                             Completion done) {
+  AHEFT_REQUIRE(&session.pool() == &pool_,
+                "planner launched into a session over a different pool");
+  AHEFT_REQUIRE(sim::time_le(session.simulator().now(), release),
+                "planner launch release lies in the simulator's past");
+  session_ = &session;
+  release_ = release;
+  done_ = std::move(done);
+  completed_ = false;
   result_ = AdaptiveResult{};
-  sim::Simulator simulator;
-  ExecutionEngine engine(simulator, dag_, actual_, pool_, trace_);
-  engine.set_transfer_policy(config_.scheduler.transfer_policy);
-  engine.set_load_profile(config_.load);
+  predicted_makespan_ = sim::kTimeZero;
+  engine_.reset();
+  session.simulator().schedule_at(release, [this] { start(); });
+}
 
-  if (history_ != nullptr || config_.react_to_variance) {
-    engine.set_completion_hook([this, &simulator, &engine](
-                                   dag::JobId job, grid::ResourceId resource,
-                                   sim::Time ast, sim::Time aft) {
-      const double observed = aft - ast;
-      if (history_ != nullptr) {
-        history_->record(dag_.job(job).operation, resource, observed);
-      }
-      if (!config_.react_to_variance || engine.finished()) {
-        return;
-      }
-      const double estimated = estimates_.compute_cost(job, resource);
-      const double deviation =
-          estimated > 0.0 ? std::fabs(observed - estimated) / estimated : 0.0;
-      if (deviation > config_.variance_threshold) {
-        // Defer to a fresh event so the engine finishes its completion
-        // bookkeeping before the planner mutates the schedule.
-        simulator.schedule_at(simulator.now(), [this, &simulator, &engine] {
-          evaluate(simulator, engine, "performance-variance", false);
-        });
-      }
-    });
-  }
+void AdaptivePlanner::start() {
+  AHEFT_REQUIRE(pool_.count_available_at(release_) > 0,
+                "planner needs at least one resource at release");
+  engine_ = std::make_unique<ExecutionEngine>(*session_, dag_, actual_);
+  engine_->set_transfer_policy(config_.scheduler.transfer_policy);
 
-  // Initial static plan over the resources visible at t=0 (Fig. 2: S0 is
-  // null, so schedule unconditionally).
+  grid::PerformanceHistoryRepository* history = session_->history();
+  engine_->set_completion_hook([this, history](dag::JobId job,
+                                               grid::ResourceId resource,
+                                               sim::Time ast, sim::Time aft) {
+    const double observed = aft - ast;
+    if (history != nullptr) {
+      history->record(dag_.job(job).operation, resource, observed);
+    }
+    if (engine_->finished()) {
+      finish();
+      return;
+    }
+    if (!config_.react_to_variance) {
+      return;
+    }
+    const double estimated = estimates_.compute_cost(job, resource);
+    const double deviation =
+        estimated > 0.0 ? std::fabs(observed - estimated) / estimated : 0.0;
+    if (deviation > config_.variance_threshold) {
+      // Defer to a fresh event so the engine finishes its completion
+      // bookkeeping before the planner mutates the schedule.
+      sim::Simulator& simulator = session_->simulator();
+      simulator.schedule_at(simulator.now(), [this] {
+        evaluate("performance-variance", false);
+      });
+    }
+  });
+
+  // Initial static plan over the resources visible at the release time
+  // (Fig. 2: S0 is null, so schedule unconditionally).
   const Schedule initial =
-      heft_schedule(dag_, estimates_, pool_, config_.scheduler);
+      heft_schedule(dag_, estimates_, pool_, config_.scheduler, release_);
   predicted_makespan_ = initial.makespan();
   result_.initial_makespan = predicted_makespan_;
-  refresh_reservations(ledger_, initial, sim::kTimeZero);
-  engine.submit(initial);
+  refresh_reservations(ledger_, initial, release_);
+  engine_->submit(initial);
 
-  // Subscribe to every resource-pool change (arrivals and departures).
+  // Subscribe to every later resource-pool change (arrivals, departures).
   if (config_.react_to_pool_changes) {
     for (const sim::Time when :
-         pool_.change_times(sim::kTimeZero, sim::kTimeInfinity)) {
-      simulator.schedule_at(when, [this, &simulator, &engine, when] {
+         pool_.change_times(release_, sim::kTimeInfinity)) {
+      session_->simulator().schedule_at(when, [this, when] {
+        if (completed_) {
+          return;
+        }
         // Departures make the current plan infeasible for jobs mapped to
         // the lost resource, so adoption is forced in that case.
         const bool forced = !pool_.departures_at(when).empty();
-        evaluate(simulator, engine,
-                 forced ? "resource-departure" : "resource-arrival", forced);
+        evaluate(forced ? "resource-departure" : "resource-arrival", forced);
       });
     }
   }
+}
 
-  simulator.run();
-  AHEFT_ASSERT(engine.finished(), "workflow did not complete");
-  result_.makespan = engine.makespan();
-  result_.restarts = engine.restarted_jobs();
-  result_.final_schedule = engine.current_schedule();
-  return result_;
+void AdaptivePlanner::finish() {
+  AHEFT_ASSERT(!completed_, "planner finished twice");
+  completed_ = true;
+  result_.makespan = engine_->makespan();
+  result_.restarts = engine_->restarted_jobs();
+  result_.final_schedule = engine_->current_schedule();
+  if (done_) {
+    done_(result_);
+  }
+}
+
+AdaptiveResult AdaptivePlanner::run() {
+  SessionEnvironment env;
+  env.pool = &pool_;
+  env.load = config_.load;
+  env.trace = trace_;
+  env.history = history_;
+  SimulationSession session(env);
+  launch(session, sim::kTimeZero, {});
+  session.run();
+  AHEFT_ASSERT(completed_, "workflow did not complete");
+  const AdaptiveResult result = result_;
+  // The engine references the session's simulator; drop it before the
+  // session goes out of scope so no stale pointer survives this call.
+  engine_.reset();
+  session_ = nullptr;
+  return result;
 }
 
 }  // namespace aheft::core

@@ -1,15 +1,28 @@
 // The Planner (paper Fig. 1) and the generic adaptive rescheduling loop
 // (paper Fig. 2): schedule, listen for events, evaluate, adopt when the
 // predicted makespan improves.
+//
+// The planner runs in one of two forms:
+//  - run(): the classic one-call co-simulation — builds a private
+//    SimulationSession from the constructor arguments and drives it to
+//    completion.
+//  - launch(): event-driven — plans at a release time inside a shared
+//    session (whose environment supersedes the constructor's trace /
+//    history / load arguments) and fires a completion callback on the
+//    session clock, so many workflows can share one simulator and one
+//    contended pool.
 #ifndef AHEFT_CORE_PLANNER_H_
 #define AHEFT_CORE_PLANNER_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/execution_engine.h"
 #include "core/policies.h"
 #include "core/schedule.h"
+#include "core/session.h"
 #include "grid/cost_provider.h"
 #include "grid/history.h"
 #include "grid/load_profile.h"
@@ -41,14 +54,15 @@ struct PlannerConfig {
   double variance_threshold = 0.2;
   /// Time-varying effective cost scaling the executor realizes (trace /
   /// volatility scenarios); the planner keeps estimating with nominal
-  /// costs. Must outlive the run. Null means nominal.
+  /// costs. Must outlive the run. Null means nominal. Only consulted by
+  /// run(); in launch() mode the session environment's profile wins.
   const grid::LoadProfile* load = nullptr;
 };
 
 /// Result of a full planner+executor co-simulation.
 struct AdaptiveResult {
   sim::Time makespan = sim::kTimeZero;       ///< realized (executor clock)
-  sim::Time initial_makespan = sim::kTimeZero;  ///< the t=0 static plan
+  sim::Time initial_makespan = sim::kTimeZero;  ///< the release-time plan
   std::size_t evaluations = 0;               ///< events evaluated
   std::size_t adoptions = 0;                 ///< reschedules submitted
   std::size_t restarts = 0;                  ///< running jobs restarted
@@ -72,9 +86,21 @@ class AdaptivePlanner {
   /// Runs the co-simulation to completion and returns the outcome.
   [[nodiscard]] AdaptiveResult run();
 
+  using Completion = std::function<void(const AdaptiveResult&)>;
+
+  /// Event-driven form: schedules the initial plan at `release` (>= the
+  /// session clock) inside `session` and subscribes to its event feeds;
+  /// `done` fires on the session clock when the workflow completes. The
+  /// session environment supplies the pool (must be the constructor's),
+  /// trace recorder, load profile, and history repository. The planner
+  /// must outlive the session's run.
+  void launch(SimulationSession& session, sim::Time release,
+              Completion done);
+
  private:
-  void evaluate(sim::Simulator& simulator, ExecutionEngine& engine,
-                const std::string& reason, bool forced);
+  void start();  ///< release-time event: initial plan + subscriptions
+  void evaluate(const std::string& reason, bool forced);
+  void finish();
 
   const dag::Dag& dag_;
   const grid::CostProvider& estimates_;
@@ -83,6 +109,12 @@ class AdaptivePlanner {
   PlannerConfig config_;
   sim::TraceRecorder* trace_;
   grid::PerformanceHistoryRepository* history_;
+
+  SimulationSession* session_ = nullptr;
+  std::unique_ptr<ExecutionEngine> engine_;
+  sim::Time release_ = sim::kTimeZero;
+  Completion done_;
+  bool completed_ = false;
 
   grid::ReservationLedger ledger_;
   sim::Time predicted_makespan_ = sim::kTimeZero;

@@ -1,0 +1,36 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+SimulationSession::SimulationSession(const SessionEnvironment& env)
+    : env_(env) {
+  AHEFT_REQUIRE(env.pool != nullptr, "session environment needs a pool");
+}
+
+void SimulationSession::add_participant(
+    const SessionParticipant* participant) {
+  AHEFT_REQUIRE(participant != nullptr,
+                "cannot register a null session participant");
+  if (std::find(participants_.begin(), participants_.end(), participant) ==
+      participants_.end()) {
+    participants_.push_back(participant);
+  }
+}
+
+sim::Time SimulationSession::contended_until(
+    const SessionParticipant* self, grid::ResourceId resource) const {
+  sim::Time until = sim::kTimeZero;
+  for (const SessionParticipant* participant : participants_) {
+    if (participant == self) {
+      continue;
+    }
+    until = std::max(until, participant->busy_until(resource));
+  }
+  return until;
+}
+
+}  // namespace aheft::core

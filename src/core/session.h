@@ -1,0 +1,103 @@
+// SimulationSession: the shared home of one simulated experiment.
+//
+// Historically each strategy entry point built its own simulator, wired
+// its own subset of the environment (only two accepted a LoadProfile,
+// only AHEFT accepted a history repository), and ran one DAG to
+// completion. The session inverts that: it owns the simulator clock and
+// the full environment — resource pool, load profile, trace recorder,
+// performance-history repository — and every strategy driver plugs into
+// it, so all strategies get identical plumbing by construction.
+//
+// The session also arbitrates cross-workflow resource contention: each
+// executing workflow registers as a SessionParticipant, and before a
+// participant occupies a machine it asks the session how long the other
+// participants have it booked. A single-workflow session has exactly one
+// participant and behaves as the pre-session code did.
+#ifndef AHEFT_CORE_SESSION_H_
+#define AHEFT_CORE_SESSION_H_
+
+#include <vector>
+
+#include "grid/history.h"
+#include "grid/load_profile.h"
+#include "grid/resource_pool.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace aheft::core {
+
+/// Everything a strategy run observes about the simulated grid. The pool
+/// is mandatory; the optional members default to "absent" (nominal costs,
+/// no trace, no history). All pointers must outlive the session.
+struct SessionEnvironment {
+  const grid::ResourcePool* pool = nullptr;
+  /// Time-varying effective cost scaling the executors realize; null
+  /// means nominal costs.
+  const grid::LoadProfile* load = nullptr;
+  sim::TraceRecorder* trace = nullptr;
+  grid::PerformanceHistoryRepository* history = nullptr;
+};
+
+/// One workflow execution sharing the session's machines. Participants
+/// expose how long they have a resource booked so concurrent workflows
+/// contend for machine time instead of double-booking it.
+class SessionParticipant {
+ public:
+  virtual ~SessionParticipant() = default;
+
+  /// Latest simulation time up to which this participant occupies
+  /// `resource`; values at or before the current clock mean "free".
+  [[nodiscard]] virtual sim::Time busy_until(
+      grid::ResourceId resource) const = 0;
+};
+
+class SimulationSession {
+ public:
+  explicit SimulationSession(const SessionEnvironment& env);
+
+  SimulationSession(const SimulationSession&) = delete;
+  SimulationSession& operator=(const SimulationSession&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] const grid::ResourcePool& pool() const noexcept {
+    return *env_.pool;
+  }
+  [[nodiscard]] const grid::LoadProfile* load() const noexcept {
+    return env_.load;
+  }
+  [[nodiscard]] sim::TraceRecorder* trace() const noexcept {
+    return env_.trace;
+  }
+  [[nodiscard]] grid::PerformanceHistoryRepository* history() const noexcept {
+    return env_.history;
+  }
+  [[nodiscard]] const SessionEnvironment& environment() const noexcept {
+    return env_;
+  }
+
+  /// Registers an executing workflow for contention arbitration. The
+  /// participant must stay alive for as long as the simulator runs;
+  /// registering the same participant twice is a no-op.
+  void add_participant(const SessionParticipant* participant);
+
+  /// Latest time any participant other than `self` occupies `resource`.
+  /// kTimeZero when uncontended (callers clamp with the current clock).
+  [[nodiscard]] sim::Time contended_until(const SessionParticipant* self,
+                                          grid::ResourceId resource) const;
+
+  [[nodiscard]] std::size_t participant_count() const noexcept {
+    return participants_.size();
+  }
+
+  /// Drains the event set; returns the final clock value.
+  sim::Time run() { return simulator_.run(); }
+
+ private:
+  SessionEnvironment env_;
+  sim::Simulator simulator_;
+  std::vector<const SessionParticipant*> participants_;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_SESSION_H_

@@ -1,0 +1,131 @@
+#include "core/strategy.h"
+
+#include <utility>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kStaticHeft:
+      return "heft";
+    case StrategyKind::kAdaptiveAheft:
+      return "aheft";
+    case StrategyKind::kDynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Static HEFT and AHEFT share the planner machinery; they differ only in
+/// whether the planner reacts to events after the release-time plan.
+class PlannerDriver final : public StrategyDriver {
+ public:
+  PlannerDriver(StrategyKind kind, const StrategyConfig& config)
+      : kind_(kind), config_(config.planner) {
+    if (kind == StrategyKind::kStaticHeft) {
+      config_.react_to_pool_changes = false;  // plan once, never adapt
+      config_.react_to_variance = false;
+    }
+    // The session environment is the single source of the load profile.
+    config_.load = nullptr;
+  }
+
+  [[nodiscard]] StrategyKind kind() const override { return kind_; }
+  [[nodiscard]] std::string name() const override {
+    return kind_ == StrategyKind::kStaticHeft ? "HEFT (static)"
+                                              : "AHEFT (adaptive)";
+  }
+
+  void launch(SimulationSession& session, const dag::Dag& dag,
+              const grid::CostProvider& estimates,
+              const grid::CostProvider& actual, sim::Time release,
+              Completion done) override {
+    launches_.push_back(std::make_unique<AdaptivePlanner>(
+        dag, estimates, actual, session.pool(), config_));
+    launches_.back()->launch(
+        session, release,
+        [done = std::move(done)](const AdaptiveResult& result) {
+          if (done) {
+            done(StrategyOutcome{result.makespan, result.evaluations,
+                                 result.adoptions, result.restarts});
+          }
+        });
+  }
+
+ private:
+  StrategyKind kind_;
+  PlannerConfig config_;
+  std::vector<std::unique_ptr<AdaptivePlanner>> launches_;
+};
+
+class DynamicDriver final : public StrategyDriver {
+ public:
+  explicit DynamicDriver(const StrategyConfig& config)
+      : heuristic_(config.heuristic) {}
+
+  [[nodiscard]] StrategyKind kind() const override {
+    return StrategyKind::kDynamic;
+  }
+  [[nodiscard]] std::string name() const override {
+    return to_string(heuristic_) + " (dynamic)";
+  }
+
+  void launch(SimulationSession& session, const dag::Dag& dag,
+              const grid::CostProvider& /*estimates*/,
+              const grid::CostProvider& actual, sim::Time release,
+              Completion done) override {
+    launches_.push_back(std::make_unique<DynamicExecution>(
+        session, dag, actual, heuristic_));
+    launches_.back()->launch(
+        release, [done = std::move(done)](const DynamicRunResult& result) {
+          if (done) {
+            done(StrategyOutcome{result.makespan, result.batches, 0, 0});
+          }
+        });
+  }
+
+ private:
+  DynamicHeuristic heuristic_;
+  std::vector<std::unique_ptr<DynamicExecution>> launches_;
+};
+
+}  // namespace
+
+std::unique_ptr<StrategyDriver> make_strategy_driver(
+    StrategyKind kind, const StrategyConfig& config) {
+  switch (kind) {
+    case StrategyKind::kStaticHeft:
+    case StrategyKind::kAdaptiveAheft:
+      return std::make_unique<PlannerDriver>(kind, config);
+    case StrategyKind::kDynamic:
+      return std::make_unique<DynamicDriver>(config);
+  }
+  throw std::invalid_argument("unknown strategy kind");
+}
+
+StrategyOutcome run_strategy(StrategyKind kind, const dag::Dag& dag,
+                             const grid::CostProvider& estimates,
+                             const grid::CostProvider& actual,
+                             const SessionEnvironment& env,
+                             const StrategyConfig& config) {
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(kind, config);
+  SimulationSession session(env);
+  StrategyOutcome outcome;
+  bool completed = false;
+  driver->launch(session, dag, estimates, actual, sim::kTimeZero,
+                 [&](const StrategyOutcome& result) {
+                   outcome = result;
+                   completed = true;
+                 });
+  session.run();
+  AHEFT_ASSERT(completed, "strategy run ended with unfinished workflow");
+  return outcome;
+}
+
+}  // namespace aheft::core

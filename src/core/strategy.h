@@ -1,0 +1,86 @@
+// Unified strategy drivers for the three approaches the paper compares:
+// static HEFT, adaptive AHEFT, and dynamic just-in-time scheduling.
+//
+// Every strategy runs inside a SimulationSession and receives the exact
+// same environment — resource pool event stream, load profile, trace
+// recorder, performance-history repository — by construction, which is
+// what makes their makespans comparable. A driver can be launched many
+// times into one session (concurrent workflow streams) or once into a
+// private session (run_strategy, the classic single-DAG comparison).
+#ifndef AHEFT_CORE_STRATEGY_H_
+#define AHEFT_CORE_STRATEGY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/dynamic_scheduler.h"
+#include "core/planner.h"
+#include "core/session.h"
+#include "dag/dag.h"
+#include "grid/cost_provider.h"
+
+namespace aheft::core {
+
+enum class StrategyKind { kStaticHeft, kAdaptiveAheft, kDynamic };
+
+[[nodiscard]] std::string to_string(StrategyKind kind);
+
+/// Makespan and bookkeeping of one simulated strategy run. `makespan` is
+/// the absolute completion time on the session clock (for a workflow
+/// released at t the duration is makespan - t).
+struct StrategyOutcome {
+  sim::Time makespan = sim::kTimeZero;
+  std::size_t evaluations = 0;  ///< events evaluated (dynamic: batches)
+  std::size_t adoptions = 0;
+  std::size_t restarts = 0;
+};
+
+/// Per-strategy knobs. The planner config drives HEFT (reaction flags
+/// forced off) and AHEFT; the heuristic drives the dynamic baseline.
+/// PlannerConfig::load is ignored here — the session environment is the
+/// single source of the load profile.
+struct StrategyConfig {
+  PlannerConfig planner;
+  DynamicHeuristic heuristic = DynamicHeuristic::kMinMin;
+};
+
+/// One scheduling strategy, launchable into any session. Drivers own the
+/// per-launch state (planner or dynamic execution) until the session's
+/// run completes, so a driver must outlive every session it launched
+/// into; the DAG and cost providers must outlive the run as well.
+class StrategyDriver {
+ public:
+  virtual ~StrategyDriver() = default;
+
+  [[nodiscard]] virtual StrategyKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  using Completion = std::function<void(const StrategyOutcome&)>;
+
+  /// Begins executing `dag` inside `session` at `release` (>= the session
+  /// clock); `done` fires on the session clock when the workflow
+  /// completes. May be called any number of times, including for
+  /// concurrently executing workflows in one session.
+  virtual void launch(SimulationSession& session, const dag::Dag& dag,
+                      const grid::CostProvider& estimates,
+                      const grid::CostProvider& actual, sim::Time release,
+                      Completion done) = 0;
+};
+
+/// Builds the driver for `kind` with the given knobs.
+[[nodiscard]] std::unique_ptr<StrategyDriver> make_strategy_driver(
+    StrategyKind kind, const StrategyConfig& config = {});
+
+/// Convenience: runs one DAG through a private session over `env` to
+/// completion. This is the single code path behind the legacy
+/// run_static_heft / run_adaptive_aheft / run_dynamic_baseline entry
+/// points.
+[[nodiscard]] StrategyOutcome run_strategy(
+    StrategyKind kind, const dag::Dag& dag,
+    const grid::CostProvider& estimates, const grid::CostProvider& actual,
+    const SessionEnvironment& env, const StrategyConfig& config = {});
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_STRATEGY_H_

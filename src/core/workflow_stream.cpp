@@ -1,0 +1,109 @@
+#include "core/workflow_stream.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+namespace {
+
+/// Solo makespan of one instance: the same driver, grid, and release
+/// time, but a fresh session with no competing workflows. The trace
+/// recorder and history repository are NOT shared — the measured stream
+/// run must stay the only thing they observe.
+sim::Time solo_makespan(const SessionEnvironment& env,
+                        StrategyDriver& driver,
+                        const WorkflowInstance& instance) {
+  SessionEnvironment solo_env = env;
+  solo_env.trace = nullptr;
+  solo_env.history = nullptr;
+  SimulationSession session(solo_env);
+  sim::Time finish = sim::kTimeZero;
+  bool completed = false;
+  driver.launch(session, *instance.dag, *instance.estimates,
+                *instance.actual, instance.arrival,
+                [&](const StrategyOutcome& outcome) {
+                  finish = outcome.makespan;
+                  completed = true;
+                });
+  session.run();
+  AHEFT_ASSERT(completed, "solo baseline did not complete");
+  return finish - instance.arrival;
+}
+
+}  // namespace
+
+StreamOutcome run_workflow_stream(const SessionEnvironment& env,
+                                  StrategyDriver& driver,
+                                  std::vector<WorkflowInstance> instances,
+                                  StreamConfig config) {
+  AHEFT_REQUIRE(!instances.empty(), "workflow stream needs >= 1 instance");
+  for (const WorkflowInstance& instance : instances) {
+    AHEFT_REQUIRE(instance.dag != nullptr && instance.estimates != nullptr &&
+                      instance.actual != nullptr,
+                  "workflow instance is missing its DAG or cost model");
+    AHEFT_REQUIRE(sim::time_le(sim::kTimeZero, instance.arrival),
+                  "workflow arrival must be >= 0");
+  }
+
+  // Launch in (arrival, insertion) order: the simulator breaks same-time
+  // ties by insertion, so the stream is deterministic for a fixed input.
+  std::vector<std::size_t> order(instances.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instances[a].arrival < instances[b].arrival;
+                   });
+
+  SimulationSession session(env);
+  StreamOutcome stream;
+  stream.workflows.resize(instances.size());
+  std::size_t completed = 0;
+  for (const std::size_t i : order) {
+    const WorkflowInstance& instance = instances[i];
+    WorkflowResult& slot = stream.workflows[i];
+    slot.name = instance.name;
+    slot.arrival = instance.arrival;
+    driver.launch(session, *instance.dag, *instance.estimates,
+                  *instance.actual, instance.arrival,
+                  [&slot, &completed](const StrategyOutcome& outcome) {
+                    slot.outcome = outcome;
+                    slot.finish = outcome.makespan;
+                    slot.makespan = outcome.makespan - slot.arrival;
+                    ++completed;
+                  });
+  }
+  session.run();
+  AHEFT_ASSERT(completed == instances.size(),
+               "stream ended with unfinished workflows");
+
+  if (config.compute_slowdowns) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const sim::Time solo = solo_makespan(env, driver, instances[i]);
+      stream.workflows[i].slowdown =
+          solo > 0.0 ? stream.workflows[i].makespan / solo : 1.0;
+    }
+  }
+
+  sim::Time first_arrival = sim::kTimeInfinity;
+  sim::Time last_finish = sim::kTimeZero;
+  double sum_makespan = 0.0;
+  double sum_slowdown = 0.0;
+  for (const WorkflowResult& wf : stream.workflows) {
+    first_arrival = std::min(first_arrival, wf.arrival);
+    last_finish = std::max(last_finish, wf.finish);
+    sum_makespan += wf.makespan;
+    stream.max_makespan = std::max(stream.max_makespan, wf.makespan);
+    sum_slowdown += wf.slowdown;
+  }
+  const auto count = static_cast<double>(stream.workflows.size());
+  stream.span = last_finish - first_arrival;
+  stream.throughput = stream.span > 0.0 ? count / stream.span : 0.0;
+  stream.mean_makespan = sum_makespan / count;
+  stream.mean_slowdown = sum_slowdown / count;
+  return stream;
+}
+
+}  // namespace aheft::core

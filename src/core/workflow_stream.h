@@ -1,0 +1,69 @@
+// Multi-DAG workflow streams: many independent workflow instances
+// submitted to one shared session at their arrival times.
+//
+// The paper evaluates strategies on one workflow at a time; a production
+// grid serves a stream of competing jobs. The stream layer consumes
+// arrival records (typically CompiledScenario::job_arrivals), launches
+// one strategy execution per instance on the shared simulator clock, and
+// lets them contend for the same machines through the session's
+// participant arbitration. Per-workflow makespans and slowdowns (vs an
+// uncontended solo run of the same instance at the same release time)
+// plus aggregate throughput land in a StreamOutcome.
+#ifndef AHEFT_CORE_WORKFLOW_STREAM_H_
+#define AHEFT_CORE_WORKFLOW_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace aheft::core {
+
+/// One workflow instance of the stream. The DAG and cost providers must
+/// outlive the stream run.
+struct WorkflowInstance {
+  std::string name;
+  const dag::Dag* dag = nullptr;
+  const grid::CostProvider* estimates = nullptr;
+  const grid::CostProvider* actual = nullptr;
+  sim::Time arrival = sim::kTimeZero;
+};
+
+struct WorkflowResult {
+  std::string name;
+  sim::Time arrival = sim::kTimeZero;
+  sim::Time finish = sim::kTimeZero;    ///< completion on the shared clock
+  sim::Time makespan = sim::kTimeZero;  ///< finish - arrival (response time)
+  /// Contended makespan over the instance's solo makespan in the same
+  /// environment (>= ~1 under contention; exactly 1 when not computed).
+  double slowdown = 1.0;
+  StrategyOutcome outcome;
+};
+
+struct StreamOutcome {
+  std::vector<WorkflowResult> workflows;  ///< arrival order
+  sim::Time span = sim::kTimeZero;        ///< max finish - min arrival
+  double throughput = 0.0;                ///< workflows per unit of span
+  double mean_makespan = 0.0;
+  double max_makespan = 0.0;
+  double mean_slowdown = 1.0;
+};
+
+struct StreamConfig {
+  /// Also run every instance solo (same environment and release, empty
+  /// session) to price the contention: slowdown = contended / solo.
+  bool compute_slowdowns = true;
+};
+
+/// Runs `instances` through `driver` inside one session over `env`.
+/// Instances are launched in (arrival, insertion) order, which makes the
+/// whole stream deterministic for a fixed input. The driver keeps the
+/// per-launch state alive, so one driver can serve the stream run plus
+/// the solo baselines.
+[[nodiscard]] StreamOutcome run_workflow_stream(
+    const SessionEnvironment& env, StrategyDriver& driver,
+    std::vector<WorkflowInstance> instances, StreamConfig config = {});
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_WORKFLOW_STREAM_H_

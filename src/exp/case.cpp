@@ -1,7 +1,7 @@
 #include "exp/case.h"
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "support/assert.h"
 #include "support/rng.h"
 #include "workloads/apps.h"
@@ -59,6 +59,22 @@ workloads::Workload generate_workload(const CaseSpec& spec,
   throw std::invalid_argument("unknown application kind");
 }
 
+/// The session environment every strategy of a case runs under: the one
+/// pool and (when the scenario carries load segments) the one profile.
+core::SessionEnvironment session_environment(const CaseEnvironment& env) {
+  core::SessionEnvironment session;
+  session.pool = &env.scenario.pool;
+  session.load = env.scenario.load.empty() ? nullptr : &env.scenario.load;
+  return session;
+}
+
+core::StrategyConfig strategy_config(const CaseSpec& spec) {
+  core::StrategyConfig config;
+  config.planner.scheduler = spec.scheduler;
+  config.planner.react_to_variance = spec.react_to_variance;
+  return config;
+}
+
 }  // namespace
 
 CaseEnvironment build_case_environment(const CaseSpec& spec) {
@@ -72,6 +88,8 @@ CaseEnvironment build_case_environment(const CaseSpec& spec) {
   request.seed = mix64(spec.seed, hash64("scenario"));
   request.trace_path = spec.trace_path;
   request.bursty = spec.bursty;
+  request.stream.jobs = spec.stream_jobs;
+  request.stream.interarrival_mean = spec.stream_interarrival;
 
   const traces::ScenarioSource& source =
       traces::ScenarioSourceRegistry::instance().require(
@@ -92,8 +110,13 @@ CaseEnvironment build_case_environment(const CaseSpec& spec) {
   // horizon; cost columns shared with pass 1 regenerate identically
   // (deterministic per (seed, job, column)). Horizon-insensitive
   // sources (trace replay) would rebuild the identical scenario, so
-  // reuse pass 1 instead of re-reading them.
-  request.horizon = heft_makespan * spec.horizon_factor;
+  // reuse pass 1 instead of re-reading them. Workflow streams push the
+  // horizon out by the arrival span (known after pass 1: generators
+  // emit the arrival records at any horizon).
+  const sim::Time arrival_span = initial.job_arrivals.empty()
+                                     ? sim::kTimeZero
+                                     : initial.job_arrivals.back().arrival;
+  request.horizon = arrival_span + heft_makespan * spec.horizon_factor;
   traces::CompiledScenario scenario = source.horizon_sensitive()
                                           ? source.build(request)
                                           : std::move(initial);
@@ -107,40 +130,132 @@ CaseEnvironment build_case_environment(const CaseSpec& spec) {
 CaseResult run_case(const CaseSpec& spec) {
   AHEFT_REQUIRE(spec.horizon_factor >= 1.0 || !spec.run_dynamic,
                 "dynamic baseline needs horizon_factor >= 1");
+  // A stream axis would silently shift the environment (arrival-span
+  // horizon extension) while this path simulates only one workflow;
+  // multi-workflow specs belong to run_stream_case.
+  AHEFT_REQUIRE(spec.stream_jobs <= 1,
+                "spec carries a multi-DAG stream axis; use run_stream_case");
   const CaseEnvironment env = build_case_environment(spec);
-  const grid::ResourcePool& pool = env.scenario.pool;
+  const core::SessionEnvironment session = session_environment(env);
+  const core::StrategyConfig config = strategy_config(spec);
   const grid::MachineModel& model = env.model;
-  const bool loaded = !env.scenario.load.empty();
+  const dag::Dag& dag = env.workload.dag;
+  const bool loaded = session.load != nullptr;
 
   CaseResult result;
-  result.jobs = env.workload.dag.job_count();
-  result.universe = pool.universe_size();
+  result.jobs = dag.job_count();
+  result.universe = env.scenario.pool.universe_size();
   // Under load the static plan's prediction is no longer what a static
   // run realizes, so simulate it; otherwise the plan is exact.
   result.heft_makespan =
-      loaded ? core::run_static_heft(env.workload.dag, model, model, pool,
-                                     spec.scheduler, nullptr,
-                                     &env.scenario.load)
+      loaded ? core::run_strategy(core::StrategyKind::kStaticHeft, dag,
+                                  model, model, session, config)
                    .makespan
              : env.heft_plan_makespan;
 
-  core::PlannerConfig planner_config;
-  planner_config.scheduler = spec.scheduler;
-  planner_config.react_to_variance = spec.react_to_variance;
-  planner_config.load = loaded ? &env.scenario.load : nullptr;
-  const core::StrategyOutcome aheft = core::run_adaptive_aheft(
-      env.workload.dag, model, model, pool, planner_config);
+  const core::StrategyOutcome aheft = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, dag, model, model, session,
+      config);
   result.aheft_makespan = aheft.makespan;
   result.evaluations = aheft.evaluations;
   result.adoptions = aheft.adoptions;
 
   if (spec.run_dynamic) {
-    // The just-in-time baseline keeps nominal costs: its decision loop
-    // predates the load subsystem and the paper compares it load-free.
-    const core::StrategyOutcome minmin = core::run_dynamic_baseline(
-        env.workload.dag, model, pool, core::DynamicHeuristic::kMinMin);
+    // The just-in-time baseline shares the session environment, so under
+    // trace/volatility scenarios it realizes the same load-scaled run
+    // times as the other two strategies.
+    const core::StrategyOutcome minmin = core::run_strategy(
+        core::StrategyKind::kDynamic, dag, model, model, session, config);
     result.minmin_makespan = minmin.makespan;
   }
+  return result;
+}
+
+namespace {
+
+StreamStrategySummary summarize(const core::StreamOutcome& outcome) {
+  StreamStrategySummary summary;
+  summary.makespans.reserve(outcome.workflows.size());
+  summary.slowdowns.reserve(outcome.workflows.size());
+  for (const core::WorkflowResult& wf : outcome.workflows) {
+    summary.makespans.push_back(wf.makespan);
+    summary.slowdowns.push_back(wf.slowdown);
+    summary.adoptions += wf.outcome.adoptions;
+  }
+  summary.span = outcome.span;
+  summary.throughput = outcome.throughput;
+  summary.mean_makespan = outcome.mean_makespan;
+  summary.max_makespan = outcome.max_makespan;
+  summary.mean_slowdown = outcome.mean_slowdown;
+  return summary;
+}
+
+}  // namespace
+
+StreamCaseResult run_stream_case(const CaseSpec& spec) {
+  // Streams always simulate the dynamic baseline, which can outlive the
+  // static plan's horizon — the same guard run_case applies when
+  // run_dynamic is set.
+  AHEFT_REQUIRE(spec.horizon_factor >= 1.0,
+                "stream cases need horizon_factor >= 1");
+  const CaseEnvironment env = build_case_environment(spec);
+  const core::SessionEnvironment session = session_environment(env);
+  const core::StrategyConfig config = strategy_config(spec);
+  const std::size_t universe = env.scenario.pool.universe_size();
+
+  // One workflow instance per arrival record; a scenario without records
+  // (single-DAG trace, stream_jobs = 0) degenerates to one arrival at 0.
+  std::vector<traces::JobArrivalRecord> arrivals =
+      env.scenario.job_arrivals;
+  if (arrivals.empty()) {
+    arrivals.push_back(traces::JobArrivalRecord{0, sim::kTimeZero, "wf0"});
+  }
+
+  // Materialize every instance's workload and cost matrix first (the
+  // instances hold pointers into these vectors). Instance 0 reuses the
+  // environment's base workload; later instances draw fresh DAGs of the
+  // same shape and fresh cost columns over the shared universe.
+  std::vector<workloads::Workload> workloads_store;
+  std::vector<grid::MachineModel> models;
+  workloads_store.reserve(arrivals.size());
+  models.reserve(arrivals.size());
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    if (k == 0) {
+      workloads_store.push_back(env.workload);
+      models.push_back(env.model);
+      continue;
+    }
+    RngStream dag_stream =
+        RngStream(spec.seed).child("dag@" + std::to_string(k));
+    workloads_store.push_back(generate_workload(spec, dag_stream));
+    models.push_back(workloads::build_machine_model(
+        workloads_store.back(), universe, spec.beta,
+        mix64(spec.seed, hash64("costs@" + std::to_string(k)))));
+  }
+
+  std::vector<core::WorkflowInstance> instances;
+  instances.reserve(arrivals.size());
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    core::WorkflowInstance instance;
+    instance.name = arrivals[k].name;
+    instance.dag = &workloads_store[k].dag;
+    instance.estimates = &models[k];
+    instance.actual = &models[k];
+    instance.arrival = arrivals[k].arrival;
+    instances.push_back(instance);
+  }
+
+  StreamCaseResult result;
+  result.workflows = arrivals.size();
+  result.universe = universe;
+  const auto run_stream = [&](core::StrategyKind kind) {
+    const std::unique_ptr<core::StrategyDriver> driver =
+        core::make_strategy_driver(kind, config);
+    return summarize(core::run_workflow_stream(session, *driver, instances));
+  };
+  result.heft = run_stream(core::StrategyKind::kStaticHeft);
+  result.aheft = run_stream(core::StrategyKind::kAdaptiveAheft);
+  result.minmin = run_stream(core::StrategyKind::kDynamic);
   return result;
 }
 

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/policies.h"
+#include "core/workflow_stream.h"
 #include "traces/scenario_source.h"
 #include "workloads/scenario.h"
 
@@ -43,6 +45,13 @@ struct CaseSpec {
   /// Also react to Performance Monitor variance events (load-driven
   /// estimate/actual divergence), not just pool changes.
   bool react_to_variance = false;
+  /// Multi-DAG stream axis: number of concurrent workflow instances
+  /// submitted from the scenario's job-arrival records (run_stream_case).
+  /// 0 keeps the classic single-DAG case. Generator sources emit the
+  /// arrival records; the trace source carries its own.
+  std::size_t stream_jobs = 0;
+  /// Mean gap between consecutive workflow arrivals (generator sources).
+  double stream_interarrival = 400.0;
 };
 
 struct CaseResult {
@@ -76,6 +85,33 @@ struct CaseEnvironment {
 /// and simulates the requested strategies. The same spec always produces
 /// the same result, on any thread.
 [[nodiscard]] CaseResult run_case(const CaseSpec& spec);
+
+/// Per-strategy aggregate of one multi-DAG stream run.
+struct StreamStrategySummary {
+  std::vector<double> makespans;   ///< per workflow, arrival order
+  std::vector<double> slowdowns;   ///< contended / solo, arrival order
+  double span = 0.0;               ///< last finish - first arrival
+  double throughput = 0.0;         ///< workflows per unit of span
+  double mean_makespan = 0.0;
+  double max_makespan = 0.0;
+  double mean_slowdown = 1.0;
+  std::size_t adoptions = 0;       ///< summed over workflows (AHEFT)
+};
+
+struct StreamCaseResult {
+  StreamStrategySummary heft;
+  StreamStrategySummary aheft;
+  StreamStrategySummary minmin;
+  std::size_t workflows = 0;  ///< stream length
+  std::size_t universe = 0;   ///< total resources (initial + arrivals)
+};
+
+/// Multi-DAG stream case: materializes one workflow instance per
+/// job-arrival record of the spec's scenario (each an independently
+/// generated DAG of the spec's shape with its own cost matrix over the
+/// shared universe) and runs all three strategies through identical
+/// shared sessions. Deterministic for a fixed spec, on any thread.
+[[nodiscard]] StreamCaseResult run_stream_case(const CaseSpec& spec);
 
 }  // namespace aheft::exp
 

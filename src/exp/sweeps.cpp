@@ -213,6 +213,17 @@ void set_scenario_source(std::vector<CaseSpec>& specs,
   }
 }
 
+void set_stream(std::vector<CaseSpec>& specs, std::size_t jobs,
+                double interarrival_mean) {
+  AHEFT_REQUIRE(jobs > 0, "a workflow stream needs at least one instance");
+  AHEFT_REQUIRE(interarrival_mean > 0.0,
+                "stream interarrival mean must be positive");
+  for (CaseSpec& spec : specs) {
+    spec.stream_jobs = jobs;
+    spec.stream_interarrival = interarrival_mean;
+  }
+}
+
 std::vector<CaseSpec> build_fig8_sweep(AppKind app, SweepAxis axis,
                                        Scale scale, std::uint64_t master) {
   AHEFT_REQUIRE(app != AppKind::kRandom,

@@ -57,6 +57,13 @@ void set_scenario_source(std::vector<CaseSpec>& specs,
                          std::string_view source,
                          std::string_view trace_path = {});
 
+/// Applies the multi-DAG stream axis to every spec: `jobs` concurrent
+/// workflow instances with the given mean inter-arrival gap. Specs
+/// carrying a stream axis are meant for run_stream_case — run_case
+/// rejects them (jobs > 1) rather than silently ignoring the axis.
+void set_stream(std::vector<CaseSpec>& specs, std::size_t jobs,
+                double interarrival_mean = 400.0);
+
 }  // namespace aheft::exp
 
 #endif  // AHEFT_EXP_SWEEPS_H_

@@ -13,6 +13,20 @@ namespace aheft::traces {
 
 namespace {
 
+/// Emits `count` workflow-arrival records with the given gaps: arrival k
+/// lands at the sum of gaps[0..k) (workflow 0 at t = 0).
+void emit_job_arrivals(CompiledScenario& scenario, std::size_t count,
+                       const std::vector<sim::Time>& gaps) {
+  sim::Time at = sim::kTimeZero;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (k > 0) {
+      at += gaps[k - 1];
+    }
+    scenario.job_arrivals.push_back(JobArrivalRecord{
+        static_cast<std::uint32_t>(k), at, "wf" + std::to_string(k)});
+  }
+}
+
 // ---------------------------------------------------------- synthetic --
 
 /// Wraps the paper's fixed-interval arrival law (Table 2/5).
@@ -26,9 +40,18 @@ class SyntheticSource final : public ScenarioSource {
   [[nodiscard]] CompiledScenario build(
       const ScenarioRequest& request) const override {
     workloads::validate(request.dynamics);
+    AHEFT_REQUIRE(request.stream.jobs == 0 ||
+                      request.stream.interarrival_mean > 0.0,
+                  "stream interarrival mean must be positive");
     CompiledScenario scenario;
     scenario.pool =
         workloads::build_dynamic_pool(request.dynamics, request.horizon);
+    // Fixed-interval workflow arrivals, matching the backend's
+    // fixed-interval resource law.
+    const std::vector<sim::Time> gaps(
+        request.stream.jobs > 0 ? request.stream.jobs - 1 : 0,
+        request.stream.interarrival_mean);
+    emit_job_arrivals(scenario, request.stream.jobs, gaps);
     scenario.events = derive_events(scenario.pool, scenario.load);
     return scenario;
   }
@@ -108,6 +131,14 @@ class BurstySource final : public ScenarioSource {
     AHEFT_REQUIRE(params.spike_min > 0.0 &&
                       params.spike_max >= params.spike_min,
                   "spike multipliers need 0 < spike_min <= spike_max");
+    AHEFT_REQUIRE(
+        params.failure_fraction >= 0.0 && params.failure_fraction <= 1.0,
+        "failure_fraction must lie in [0, 1]");
+    AHEFT_REQUIRE(params.repair_mean > 0.0,
+                  "repair_mean must be positive");
+    AHEFT_REQUIRE(request.stream.jobs == 0 ||
+                      request.stream.interarrival_mean > 0.0,
+                  "stream interarrival mean must be positive");
 
     CompiledScenario scenario;
     for (std::size_t i = 0; i < request.dynamics.initial; ++i) {
@@ -117,6 +148,7 @@ class BurstySource final : public ScenarioSource {
     RngStream phases = RngStream(request.seed).child("phases");
     RngStream arrivals = RngStream(request.seed).child("arrivals");
     RngStream spikes = RngStream(request.seed).child("spikes");
+    RngStream failures = RngStream(request.seed).child("failures");
 
     sim::Time t = sim::kTimeZero;
     bool burst = false;
@@ -126,13 +158,35 @@ class BurstySource final : public ScenarioSource {
           std::min(t + phases.exponential(mean), request.horizon);
 
       if (burst) {
-        // Spike a random subset of the machines live at burst onset.
         std::vector<grid::ResourceId> live;
         for (const grid::Resource& r : scenario.pool.all()) {
-          if (r.arrival <= t) {
+          if (r.available_at(t)) {
             live.push_back(r.id);
           }
         }
+
+        // Failure burst: a correlated subset of the live machines departs
+        // together at the burst onset; each is replaced by a fresh
+        // resource once repaired. At least one live machine survives so
+        // the grid never empties.
+        if (params.failure_fraction > 0.0 && live.size() > 1) {
+          std::vector<grid::ResourceId> victims = live;
+          failures.shuffle(victims);
+          const auto failing = std::min(
+              static_cast<std::size_t>(std::lround(
+                  params.failure_fraction *
+                  static_cast<double>(victims.size()))),
+              victims.size() - 1);
+          for (std::size_t i = 0; i < failing; ++i) {
+            scenario.pool.set_departure(victims[i], t);
+            scenario.pool.add(grid::Resource{
+                .name = "",
+                .arrival = t + failures.exponential(params.repair_mean)});
+            live.erase(std::find(live.begin(), live.end(), victims[i]));
+          }
+        }
+
+        // Spike a random subset of the machines that survived the onset.
         spikes.shuffle(live);
         const auto count = static_cast<std::size_t>(std::lround(
             params.spike_fraction * static_cast<double>(live.size())));
@@ -154,6 +208,16 @@ class BurstySource final : public ScenarioSource {
 
       t = phase_end;
       burst = !burst;
+    }
+
+    // Workflow arrivals: workflow 0 at t = 0, exponential gaps after it.
+    if (request.stream.jobs > 0) {
+      RngStream jobs = RngStream(request.seed).child("jobs");
+      std::vector<sim::Time> gaps(request.stream.jobs - 1);
+      for (sim::Time& gap : gaps) {
+        gap = jobs.exponential(request.stream.interarrival_mean);
+      }
+      emit_job_arrivals(scenario, request.stream.jobs, gaps);
     }
 
     scenario.load.sort();

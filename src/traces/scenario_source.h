@@ -35,6 +35,27 @@ struct BurstyParams {
   double spike_fraction = 0.4;
   double spike_min = 1.5;  ///< spike multiplier lower bound
   double spike_max = 3.5;  ///< spike multiplier upper bound
+  /// Failure bursts: fraction of the machines live at burst onset that
+  /// depart together (correlated failures). At least one live machine
+  /// always survives. 0 disables failures (the paper's assumption 3).
+  /// Note that only the adaptive strategy reschedules around departures;
+  /// static plans caught on a failed machine cannot finish.
+  double failure_fraction = 0.0;
+  /// Mean repair time: each failed machine is replaced by a fresh
+  /// resource joining repair-time units after the failure.
+  double repair_mean = 300.0;
+};
+
+/// Workload-stream knobs consumed by the generator backends: emit this
+/// many `job` arrival records into CompiledScenario::job_arrivals
+/// (0 = single-DAG scenario). The `trace` backend carries its own
+/// records and ignores these.
+struct StreamParams {
+  std::size_t jobs = 0;
+  /// Mean gap between consecutive workflow arrivals (the first arrives
+  /// at t = 0). `synthetic` spaces arrivals exactly this far apart;
+  /// `bursty` draws exponential gaps.
+  double interarrival_mean = 400.0;
 };
 
 /// Everything a backend may consume; each one reads the fields it needs
@@ -52,6 +73,8 @@ struct ScenarioRequest {
   std::string trace_path;
   std::string trace_text;
   BurstyParams bursty;
+  /// Workflow-arrival stream emitted by the generator backends.
+  StreamParams stream;
 };
 
 class ScenarioSource {

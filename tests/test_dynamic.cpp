@@ -4,6 +4,7 @@
 #include "core/dynamic_scheduler.h"
 #include "core/heft.h"
 #include "helpers.h"
+#include "traces/load_timeline.h"
 #include "workloads/sample.h"
 
 namespace aheft::core {
@@ -137,6 +138,81 @@ TEST(Dynamic, RejectsEmptyInitialPool) {
   grid::MachineModel model(1, 1);
   model.set_compute_cost(0, 0, 1.0);
   EXPECT_THROW(run_dynamic(graph, model, pool), std::invalid_argument);
+}
+
+TEST(Dynamic, LoadProfileStretchesRealizedRunTimes) {
+  // Chain of two jobs on one machine under a uniform 2x load: decisions
+  // keep using nominal costs, but the realized makespan must double —
+  // the baseline now compares with HEFT/AHEFT under the same load.
+  dag::Dag graph;
+  graph.add_job("a");
+  graph.add_job("b");
+  graph.add_edge(0, 1, 0.0);
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 1);
+  model.set_compute_cost(0, 0, 10.0);
+  model.set_compute_cost(1, 0, 5.0);
+
+  const DynamicRunResult nominal = run_dynamic(graph, model, pool);
+  EXPECT_DOUBLE_EQ(nominal.makespan, 15.0);
+
+  traces::LoadTimeline load;
+  load.add(0, 0.0, sim::kTimeInfinity, 2.0);
+  const DynamicRunResult stretched = run_dynamic(
+      graph, model, pool, DynamicHeuristic::kMinMin, nullptr, &load);
+  EXPECT_DOUBLE_EQ(stretched.makespan, 30.0);
+  EXPECT_NE(stretched.makespan, nominal.makespan);
+}
+
+TEST(Dynamic, LoadSegmentSampledAtRealizedStart) {
+  // The 2x segment covers only the second job's (delayed) start window,
+  // so exactly that job stretches: 10 + 2*5 = 20.
+  dag::Dag graph;
+  graph.add_job("a");
+  graph.add_job("b");
+  graph.add_edge(0, 1, 0.0);
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{});
+  grid::MachineModel model(2, 1);
+  model.set_compute_cost(0, 0, 10.0);
+  model.set_compute_cost(1, 0, 5.0);
+
+  traces::LoadTimeline load;
+  load.add(0, 10.0, sim::kTimeInfinity, 2.0);
+  const DynamicRunResult result = run_dynamic(
+      graph, model, pool, DynamicHeuristic::kMinMin, nullptr, &load);
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+}
+
+TEST(Dynamic, SkipsMachinesThatDepartBeforeCompletion) {
+  // The nominally fastest machine departs too soon; the just-in-time
+  // decision must route around the announced window.
+  dag::Dag graph;
+  graph.add_job("a");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "fast-but-doomed", .departure = 5.0});
+  pool.add(grid::Resource{.name = "slow"});
+  grid::MachineModel model(1, 2);
+  model.set_compute_cost(0, 0, 6.0);  // would outlive the window
+  model.set_compute_cost(0, 1, 9.0);
+  const DynamicRunResult result = run_dynamic(graph, model, pool);
+  EXPECT_EQ(result.schedule.assignment(0).resource, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 9.0);
+}
+
+TEST(Dynamic, ReportsWhenNoMachineCanFinishBeforeDeparting) {
+  dag::Dag graph;
+  graph.add_job("a");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "doomed", .departure = 5.0});
+  grid::MachineModel model(1, 1);
+  model.set_compute_cost(0, 0, 10.0);
+  EXPECT_THROW(run_dynamic(graph, model, pool), std::runtime_error);
 }
 
 TEST(Dynamic, HeuristicNames) {

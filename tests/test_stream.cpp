@@ -1,0 +1,296 @@
+// Strategy-driver / session / multi-DAG workflow-stream tests: session
+// equivalence with the legacy entry points, cross-workflow contention,
+// arrival-time ordering, and stream determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adaptive_run.h"
+#include "core/strategy.h"
+#include "core/workflow_stream.h"
+#include "exp/case.h"
+#include "helpers.h"
+
+namespace aheft::core {
+namespace {
+
+/// A two-job chain (10 + 5) on one always-on resource.
+struct ChainCase {
+  dag::Dag dag{"chain"};
+  grid::ResourcePool pool;
+  grid::MachineModel model{2, 1};
+
+  ChainCase() {
+    dag.add_job("a");
+    dag.add_job("b");
+    dag.add_edge(0, 1, 0.0);
+    dag.finalize();
+    pool.add(grid::Resource{.name = "only"});
+    model.set_compute_cost(0, 0, 10.0);
+    model.set_compute_cost(1, 0, 5.0);
+  }
+};
+
+// --------------------------------------------------- session equivalence --
+
+/// Every legacy entry point must produce the identical result as the
+/// unified session path it now wraps: same makespan, same counters.
+TEST(Session, LegacyEntryPointsMatchRunStrategy) {
+  const test::RandomCase c = test::make_random_case(99);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+
+  const StrategyOutcome heft_old =
+      run_static_heft(c.workload.dag, c.model, c.model, c.pool);
+  const StrategyOutcome heft_new = run_strategy(
+      StrategyKind::kStaticHeft, c.workload.dag, c.model, c.model, env);
+  EXPECT_DOUBLE_EQ(heft_old.makespan, heft_new.makespan);
+  EXPECT_EQ(heft_old.evaluations, heft_new.evaluations);
+
+  const StrategyOutcome aheft_old =
+      run_adaptive_aheft(c.workload.dag, c.model, c.model, c.pool, {});
+  const StrategyOutcome aheft_new = run_strategy(
+      StrategyKind::kAdaptiveAheft, c.workload.dag, c.model, c.model, env);
+  EXPECT_DOUBLE_EQ(aheft_old.makespan, aheft_new.makespan);
+  EXPECT_EQ(aheft_old.evaluations, aheft_new.evaluations);
+  EXPECT_EQ(aheft_old.adoptions, aheft_new.adoptions);
+  EXPECT_EQ(aheft_old.restarts, aheft_new.restarts);
+
+  const StrategyOutcome dyn_old =
+      run_dynamic_baseline(c.workload.dag, c.model, c.pool);
+  const StrategyOutcome dyn_new = run_strategy(
+      StrategyKind::kDynamic, c.workload.dag, c.model, c.model, env);
+  EXPECT_DOUBLE_EQ(dyn_old.makespan, dyn_new.makespan);
+  EXPECT_EQ(dyn_old.evaluations, dyn_new.evaluations);
+}
+
+/// The planner's own run() (a private session) and an explicit launch
+/// into a caller-owned session agree as well.
+TEST(Session, ExplicitLaunchMatchesPlannerRun) {
+  const test::RandomCase c = test::make_random_case(7);
+  AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool, {});
+  const AdaptiveResult direct = planner.run();
+
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  SimulationSession session(env);
+  AdaptivePlanner launched(c.workload.dag, c.model, c.model, c.pool, {});
+  AdaptiveResult via_launch;
+  bool completed = false;
+  launched.launch(session, sim::kTimeZero, [&](const AdaptiveResult& r) {
+    via_launch = r;
+    completed = true;
+  });
+  session.run();
+  ASSERT_TRUE(completed);
+  EXPECT_DOUBLE_EQ(direct.makespan, via_launch.makespan);
+  EXPECT_EQ(direct.adoptions, via_launch.adoptions);
+}
+
+TEST(Session, RejectsMissingPool) {
+  EXPECT_THROW(SimulationSession{SessionEnvironment{}},
+               std::invalid_argument);
+}
+
+TEST(Session, LaunchIntoForeignPoolSessionIsRejected) {
+  const ChainCase c;
+  grid::ResourcePool other;
+  other.add(grid::Resource{});
+  SessionEnvironment env;
+  env.pool = &other;
+  SimulationSession session(env);
+  AdaptivePlanner planner(c.dag, c.model, c.model, c.pool, {});
+  EXPECT_THROW(planner.launch(session, sim::kTimeZero, {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ contention --
+
+/// Two identical chains on a single machine must serialize: the winner
+/// runs uncontended, the loser waits for the full winner makespan.
+TEST(Stream, ContentionSerializesOneMachine) {
+  const ChainCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kStaticHeft);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+
+  std::vector<WorkflowInstance> instances(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    instances[i].name = i == 0 ? "first" : "second";
+    instances[i].dag = &c.dag;
+    instances[i].estimates = &c.model;
+    instances[i].actual = &c.model;
+    instances[i].arrival = sim::kTimeZero;
+  }
+  const StreamOutcome outcome =
+      run_workflow_stream(env, *driver, instances);
+
+  ASSERT_EQ(outcome.workflows.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].makespan, 15.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].makespan, 30.0);
+  EXPECT_DOUBLE_EQ(outcome.span, 30.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(outcome.throughput, 2.0 / 30.0);
+}
+
+/// The dynamic strategy contends through the same arbitration.
+TEST(Stream, DynamicWorkflowsContendToo) {
+  const ChainCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kDynamic);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+
+  std::vector<WorkflowInstance> instances(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    instances[i].name = "wf";
+    instances[i].dag = &c.dag;
+    instances[i].estimates = &c.model;
+    instances[i].actual = &c.model;
+    instances[i].arrival = sim::kTimeZero;
+  }
+  const StreamOutcome outcome =
+      run_workflow_stream(env, *driver, instances);
+  EXPECT_DOUBLE_EQ(outcome.span, 30.0);
+  EXPECT_DOUBLE_EQ(outcome.max_makespan, 30.0);
+}
+
+// ------------------------------------------------------ arrival ordering --
+
+TEST(Stream, ArrivalTimesGateLaunches) {
+  const ChainCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kAdaptiveAheft);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+
+  // Add out of arrival order on purpose; results stay in insertion order
+  // but launches happen by arrival, so the t=40 instance finds the
+  // machine free and runs uncontended.
+  std::vector<WorkflowInstance> instances(2);
+  instances[0].name = "late";
+  instances[0].dag = &c.dag;
+  instances[0].estimates = &c.model;
+  instances[0].actual = &c.model;
+  instances[0].arrival = 40.0;
+  instances[1].name = "early";
+  instances[1].dag = &c.dag;
+  instances[1].estimates = &c.model;
+  instances[1].actual = &c.model;
+  instances[1].arrival = 0.0;
+
+  const StreamOutcome outcome =
+      run_workflow_stream(env, *driver, instances);
+  ASSERT_EQ(outcome.workflows.size(), 2u);
+  const WorkflowResult& late = outcome.workflows[0];
+  const WorkflowResult& early = outcome.workflows[1];
+  EXPECT_DOUBLE_EQ(early.arrival, 0.0);
+  EXPECT_DOUBLE_EQ(early.finish, 15.0);
+  EXPECT_DOUBLE_EQ(late.arrival, 40.0);
+  // No work may predate the arrival: the finish is release + makespan.
+  EXPECT_DOUBLE_EQ(late.finish, 55.0);
+  EXPECT_DOUBLE_EQ(late.makespan, 15.0);
+  EXPECT_DOUBLE_EQ(late.slowdown, 1.0);
+}
+
+TEST(Stream, RejectsEmptyAndMalformedInstances) {
+  const ChainCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kStaticHeft);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  EXPECT_THROW((void)run_workflow_stream(env, *driver, {}),
+               std::invalid_argument);
+  std::vector<WorkflowInstance> missing_dag(1);
+  EXPECT_THROW((void)run_workflow_stream(env, *driver, missing_dag),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------- stream determinism --
+
+exp::CaseSpec stream_spec() {
+  exp::CaseSpec spec;
+  spec.app = exp::AppKind::kRandom;
+  spec.size = 20;
+  spec.ccr = 1.0;
+  spec.dynamics = {5, 200.0, 0.2};
+  spec.seed = 4242;
+  spec.scenario_source = "bursty";
+  spec.bursty.mean_calm = 250.0;
+  spec.bursty.mean_burst = 100.0;
+  spec.bursty.calm_arrival_mean = 400.0;
+  spec.bursty.burst_arrival_mean = 50.0;
+  spec.react_to_variance = true;
+  spec.horizon_factor = 2.0;
+  spec.stream_jobs = 4;
+  spec.stream_interarrival = 150.0;
+  return spec;
+}
+
+TEST(Stream, SameSeedIsBitIdentical) {
+  const exp::StreamCaseResult a = exp::run_stream_case(stream_spec());
+  const exp::StreamCaseResult b = exp::run_stream_case(stream_spec());
+  ASSERT_EQ(a.workflows, 4u);
+  EXPECT_EQ(a.heft.makespans, b.heft.makespans);
+  EXPECT_EQ(a.aheft.makespans, b.aheft.makespans);
+  EXPECT_EQ(a.minmin.makespans, b.minmin.makespans);
+  EXPECT_EQ(a.heft.slowdowns, b.heft.slowdowns);
+  EXPECT_EQ(a.aheft.adoptions, b.aheft.adoptions);
+  EXPECT_DOUBLE_EQ(a.minmin.throughput, b.minmin.throughput);
+}
+
+TEST(Stream, DifferentSeedsDiffer) {
+  const exp::StreamCaseResult a = exp::run_stream_case(stream_spec());
+  exp::CaseSpec other = stream_spec();
+  other.seed = 777;
+  const exp::StreamCaseResult b = exp::run_stream_case(other);
+  EXPECT_NE(a.aheft.makespans, b.aheft.makespans);
+}
+
+TEST(Stream, CaseProducesSaneAggregates) {
+  const exp::StreamCaseResult result =
+      exp::run_stream_case(stream_spec());
+  for (const exp::StreamStrategySummary* s :
+       {&result.heft, &result.aheft, &result.minmin}) {
+    ASSERT_EQ(s->makespans.size(), 4u);
+    ASSERT_EQ(s->slowdowns.size(), 4u);
+    EXPECT_GT(s->span, 0.0);
+    EXPECT_GT(s->throughput, 0.0);
+    EXPECT_GT(s->mean_makespan, 0.0);
+    EXPECT_GE(s->max_makespan, s->mean_makespan);
+    EXPECT_DOUBLE_EQ(
+        *std::max_element(s->makespans.begin(), s->makespans.end()),
+        s->max_makespan);
+    // Slowdowns can dip below 1 only marginally (a competitor's arrival
+    // can perturb tie-breaks), never collapse.
+    for (const double slowdown : s->slowdowns) {
+      EXPECT_GT(slowdown, 0.5);
+    }
+  }
+}
+
+/// Specs carrying a multi-workflow axis must not slip into the
+/// single-DAG path, where the axis would silently shift the environment.
+TEST(Stream, RunCaseRejectsMultiWorkflowSpecs) {
+  EXPECT_THROW((void)exp::run_case(stream_spec()), std::invalid_argument);
+}
+
+/// A stream of one workflow must reduce exactly to the single-DAG case.
+TEST(Stream, SingletonStreamMatchesSingleDagRun) {
+  exp::CaseSpec spec = stream_spec();
+  spec.stream_jobs = 1;
+  spec.run_dynamic = true;
+  spec.horizon_factor = 4.0;
+  const exp::StreamCaseResult stream = exp::run_stream_case(spec);
+  const exp::CaseResult single = exp::run_case(spec);
+  ASSERT_EQ(stream.workflows, 1u);
+  EXPECT_DOUBLE_EQ(stream.aheft.makespans[0], single.aheft_makespan);
+  EXPECT_DOUBLE_EQ(stream.minmin.makespans[0], single.minmin_makespan);
+  EXPECT_DOUBLE_EQ(stream.heft.makespans[0], single.heft_makespan);
+}
+
+}  // namespace
+}  // namespace aheft::core
