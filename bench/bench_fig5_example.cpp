@@ -8,9 +8,8 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/adaptive_run.h"
 #include "core/heft.h"
-#include "core/planner.h"
+#include "core/strategy.h"
 #include "workloads/sample.h"
 
 using namespace aheft;
@@ -32,15 +31,17 @@ int main(int argc, char** argv) {
   auto run_aheft = [&](std::size_t order_candidates,
                        core::RunningJobPolicy running,
                        core::TransferPolicy transfers) {
-    core::PlannerConfig config;
-    config.scheduler.order_candidates = order_candidates;
-    config.scheduler.running_policy = running;
-    config.scheduler.transfer_policy = transfers;
+    core::StrategyConfig config;
+    config.planner.scheduler.order_candidates = order_candidates;
+    config.planner.scheduler.running_policy = running;
+    config.planner.scheduler.transfer_policy = transfers;
     sim::TraceRecorder trace;
-    core::AdaptivePlanner planner(scenario.dag, scenario.model,
-                                  scenario.model, scenario.pool, config,
-                                  &trace);
-    const core::AdaptiveResult result = planner.run();
+    core::SessionEnvironment env;
+    env.pool = &scenario.pool;
+    env.trace = &trace;
+    const core::StrategyOutcome result =
+        core::run_strategy(core::StrategyKind::kAdaptiveAheft, scenario.dag,
+                           scenario.model, scenario.model, env, config);
     return std::make_pair(result, std::move(trace));
   };
 

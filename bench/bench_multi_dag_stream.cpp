@@ -14,7 +14,9 @@
 // per-workflow makespan moved.
 //
 // Extra knobs: --smoke (alias for --scale=smoke, used by CI),
-// --streams=a,b,c to override the concurrency axis.
+// --streams=a,b,c to override the concurrency axis, and
+// --contention-policy=fcfs|priority|fair-share to swap the session's
+// machine arbitration (CI smoke-runs every built-in policy).
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -26,7 +28,8 @@ using namespace aheft;
 namespace {
 
 exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
-                          std::size_t stream_jobs) {
+                          std::size_t stream_jobs,
+                          const std::string& policy) {
   exp::CaseSpec spec;
   spec.app = exp::AppKind::kRandom;
   spec.size = scale == Scale::kSmoke ? 20 : 40;
@@ -42,18 +45,24 @@ exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
   spec.horizon_factor = 4.0;      // arrivals keep coming while streams drain
   spec.stream_jobs = stream_jobs;
   spec.stream_interarrival = scale == Scale::kSmoke ? 150.0 : 250.0;
+  if (!policy.empty()) {
+    spec.contention_policy = policy;
+  }
   spec.seed = exp::case_seed(master, spec, /*instance=*/stream_jobs);
   return spec;
 }
 
 void report(std::size_t streams, const exp::StreamCaseResult& result) {
   AsciiTable table({"strategy", "mean makespan", "max makespan",
-                    "mean slowdown", "throughput/1k", "adoptions"});
+                    "mean slowdown", "max wait", "jain", "throughput/1k",
+                    "adoptions"});
   const auto row = [&](const char* name,
                        const exp::StreamStrategySummary& s) {
     table.add_row({name, format_double(s.mean_makespan, 1),
                    format_double(s.max_makespan, 1),
                    format_double(s.mean_slowdown, 2),
+                   format_double(s.max_wait, 1),
+                   format_double(s.jain_fairness, 3),
                    format_double(s.throughput * 1000.0, 3),
                    std::to_string(s.adoptions)});
   };
@@ -74,39 +83,20 @@ int main(int argc, char** argv) {
     options.scale = Scale::kSmoke;
   }
 
-  std::vector<std::size_t> streams = {1, 4, 16};
-  if (args.has("streams")) {
-    streams.clear();
-    std::stringstream in(args.get("streams", ""));
-    std::string token;
-    while (std::getline(in, token, ',')) {
-      try {
-        const unsigned long value = std::stoul(token);
-        if (value == 0) {
-          throw std::invalid_argument("zero");
-        }
-        streams.push_back(static_cast<std::size_t>(value));
-      } catch (const std::exception&) {
-        std::cerr << "bad --streams token '" << token
-                  << "' (want positive integers, e.g. --streams=1,4,16)\n";
-        return 2;
-      }
-    }
-    if (streams.empty()) {
-      std::cerr << "--streams needs at least one positive integer\n";
-      return 2;
-    }
-  }
+  const std::vector<std::size_t> streams =
+      bench::parse_streams(args, {1, 4, 16});
 
+  const std::string& policy = options.contention_policy;
   bench::print_header(
-      "Multi-DAG workflow streams: HEFT vs Min-Min vs AHEFT",
+      "Multi-DAG workflow streams: HEFT vs Min-Min vs AHEFT (policy: " +
+          (policy.empty() ? std::string("fcfs") : policy) + ")",
       options, streams.size());
 
   std::vector<exp::StreamCaseResult> results;
   results.reserve(streams.size());
   for (const std::size_t n : streams) {
-    results.push_back(
-        exp::run_stream_case(stream_spec(options.scale, options.seed, n)));
+    results.push_back(exp::run_stream_case(
+        stream_spec(options.scale, options.seed, n, policy)));
     report(n, results.back());
   }
 
@@ -116,11 +106,14 @@ int main(int argc, char** argv) {
   const std::size_t probe_index = streams.size() > 1 ? 1 : 0;
   const std::size_t probe = streams[probe_index];
   const exp::StreamCaseResult& a = results[probe_index];
-  const exp::StreamCaseResult b =
-      exp::run_stream_case(stream_spec(options.scale, options.seed, probe));
+  const exp::StreamCaseResult b = exp::run_stream_case(
+      stream_spec(options.scale, options.seed, probe, policy));
   const bool deterministic = a.heft.makespans == b.heft.makespans &&
                              a.aheft.makespans == b.aheft.makespans &&
-                             a.minmin.makespans == b.minmin.makespans;
+                             a.minmin.makespans == b.minmin.makespans &&
+                             a.heft.waits == b.heft.waits &&
+                             a.aheft.waits == b.aheft.waits &&
+                             a.minmin.waits == b.minmin.waits;
   std::cout << "determinism probe (" << probe << " workflows, re-run): "
             << (deterministic ? "bit-identical per-workflow makespans"
                               : "MISMATCH")

@@ -9,6 +9,9 @@
 //                                  each sweep's own setting, usually
 //                                  "synthetic")
 //   --trace=path                  (trace file for --scenario-source=trace)
+//   --contention-policy=NAME      (cross-workflow machine arbitration for
+//                                  stream benches: fcfs, priority,
+//                                  fair-share, or a custom registration)
 // and prints measured values side by side with the paper's published
 // numbers. Default scale keeps each bench in the seconds-to-minutes range;
 // paper scale replays the full published grids.
@@ -16,9 +19,14 @@
 #define AHEFT_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "core/contention_policy.h"
+#include "core/strategy.h"
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "exp/sweeps.h"
@@ -36,6 +44,8 @@ struct BenchOptions {
   /// Overrides every spec's scenario source when non-empty.
   std::string scenario_source;
   std::string trace_path;
+  /// Overrides every spec's contention policy when non-empty.
+  std::string contention_policy;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -48,7 +58,75 @@ inline BenchOptions parse_options(int argc, char** argv) {
   options.csv = args.get("csv", "");
   options.scenario_source = args.get("scenario-source", "");
   options.trace_path = args.get("trace", "");
+  options.contention_policy = args.get("contention-policy", "");
+  if (!options.contention_policy.empty()) {
+    // Fail at parse time with a usage message — an unknown name would
+    // otherwise escape as an exception from the first session mid-run.
+    try {
+      (void)core::ContentionPolicyRegistry::instance().create(
+          options.contention_policy);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "--contention-policy: " << error.what() << "\n";
+      std::exit(2);
+    }
+  }
   return options;
+}
+
+/// Parses --streams=a,b,c (positive integers) into the stream-bench
+/// concurrency axis; returns `fallback` when the flag is absent and
+/// exits with a usage message on malformed input.
+inline std::vector<std::size_t> parse_streams(
+    const ArgParser& args, std::vector<std::size_t> fallback) {
+  if (!args.has("streams")) {
+    return fallback;
+  }
+  std::vector<std::size_t> streams;
+  std::stringstream in(args.get("streams", ""));
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    // All-digits only: std::stoul alone would wrap negatives to huge
+    // values and silently ignore trailing junk ("3abc").
+    try {
+      if (token.empty() ||
+          token.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("not a positive integer");
+      }
+      const unsigned long value = std::stoul(token);
+      if (value == 0) {
+        throw std::invalid_argument("zero");
+      }
+      streams.push_back(static_cast<std::size_t>(value));
+    } catch (const std::exception&) {
+      std::cerr << "bad --streams token '" << token
+                << "' (want positive integers, e.g. --streams=1,4,16)\n";
+      std::exit(2);
+    }
+  }
+  if (streams.empty()) {
+    std::cerr << "--streams needs at least one positive integer\n";
+    std::exit(2);
+  }
+  return streams;
+}
+
+/// Resolves --strategy=heft|aheft|dynamic through the canonical
+/// core::strategy_from_string round-trip (so every bench agrees on the
+/// names); exits with a usage message on an unknown value.
+inline core::StrategyKind parse_strategy(const ArgParser& args,
+                                         core::StrategyKind fallback) {
+  const std::string text = args.get("strategy", "");
+  if (text.empty()) {
+    return fallback;
+  }
+  if (const auto kind = core::strategy_from_string(text)) {
+    return *kind;
+  }
+  std::cerr << "unknown --strategy '" << text << "' (want "
+            << core::to_string(core::StrategyKind::kStaticHeft) << ", "
+            << core::to_string(core::StrategyKind::kAdaptiveAheft) << ", or "
+            << core::to_string(core::StrategyKind::kDynamic) << ")\n";
+  std::exit(2);
 }
 
 inline void print_header(const std::string& title,
@@ -66,6 +144,9 @@ inline exp::SweepOutcome run(const BenchOptions& options,
   if (!options.scenario_source.empty()) {
     exp::set_scenario_source(specs, options.scenario_source,
                              options.trace_path);
+  }
+  if (!options.contention_policy.empty()) {
+    exp::set_contention_policy(specs, options.contention_policy);
   }
   Stopwatch watch;
   exp::SweepOutcome outcome =

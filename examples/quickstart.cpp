@@ -1,14 +1,15 @@
 // Quickstart: build a workflow DAG, describe a small grid, plan with HEFT,
-// then let AHEFT adapt when a new machine joins mid-run.
+// let AHEFT adapt when a new machine joins mid-run, then compare all
+// three strategies through the unified core::run_strategy entry point.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <iostream>
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
 #include "core/planner.h"
+#include "core/strategy.h"
 #include "dag/dag.h"
 #include "grid/machine_model.h"
 #include "grid/resource_pool.h"
@@ -85,6 +86,23 @@ int main() {
   for (const grid::Resource& r : pool.all()) {
     sites.push_back(r.name);
   }
-  std::cout << "Execution trace:\n" << trace.gantt(jobs, sites);
+  std::cout << "Execution trace:\n" << trace.gantt(jobs, sites) << "\n";
+
+  // 6. The same comparison through the unified strategy API: every
+  //    strategy runs in a session over one shared environment, so the
+  //    makespans are directly comparable.
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  core::StrategyConfig strategy_config;
+  strategy_config.planner = config;
+  std::cout << "Strategy comparison (core::run_strategy):\n";
+  for (const core::StrategyKind kind :
+       {core::StrategyKind::kStaticHeft, core::StrategyKind::kAdaptiveAheft,
+        core::StrategyKind::kDynamic}) {
+    const core::StrategyOutcome outcome = core::run_strategy(
+        kind, workflow, model, model, env, strategy_config);
+    std::cout << "  " << core::to_string(kind) << ": makespan "
+              << outcome.makespan << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,163 @@
+// Pluggable arbitration of cross-workflow machine contention.
+//
+// The session used to expose a passive "how long is this machine booked"
+// query and left the grant order to whichever participant's pump event
+// happened to fire first — strict FCFS with event-insertion tie-breaks.
+// This interface makes the arbitration an explicit, swappable decision:
+// participants register acquisition requests with the session, and the
+// session's ContentionPolicy decides the start time each request is
+// granted. Three policies ship:
+//
+//  - kFcfs       first-come-first-served; bit-compatible with the
+//                pre-policy behavior (grant = committed bookings of the
+//                other participants, ties broken by event order).
+//  - kPriority   strict priorities: a request defers behind every pending
+//                request of a strictly higher-priority workflow. Equal
+//                priorities degrade to FCFS. Low-priority workflows can
+//                starve — that is the policy's contract; the session's
+//                wait metrics make the starvation measurable.
+//  - kFairShare  stretch fairness: each workflow's elapsed time in the
+//                session is normalized by its own uncontended plan
+//                length, and a workflow whose normalized delay (stretch)
+//                runs far beyond a competitor's displaces it. Equal
+//                absolute waits crush short workflows while barely
+//                registering for long ones — normalizing by the
+//                workflow's own scale is what bounds the worst slowdown
+//                instead of just equalizing machine hours.
+//
+// Policies are per-session state (fair share accumulates usage), so the
+// session constructs its own instance from the environment's registry
+// name; see SessionEnvironment::contention_policy.
+#ifndef AHEFT_CORE_CONTENTION_POLICY_H_
+#define AHEFT_CORE_CONTENTION_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::core {
+
+enum class ContentionPolicyKind { kFcfs, kPriority, kFairShare };
+
+/// Registry name of the built-in policy ("fcfs", "priority", "fair-share").
+[[nodiscard]] std::string to_string(ContentionPolicyKind kind);
+
+/// Inverse of to_string(ContentionPolicyKind); empty optional when the
+/// name matches no built-in policy.
+[[nodiscard]] std::optional<ContentionPolicyKind>
+contention_policy_from_string(std::string_view text);
+
+/// One participant's pending acquisition of machine time. Requests are
+/// keyed by (participant, resource): a participant has at most one in
+/// flight per resource (the head of its local queue), refreshed on every
+/// retry and cleared when the grant is committed or withdrawn.
+struct ContentionRequest {
+  /// Session-assigned registration index (stable, deterministic).
+  std::size_t participant = 0;
+  /// Caller-chosen identity of the work behind the request (engines pass
+  /// the job id). Lets a request withdrawn by a reschedule and then
+  /// re-registered for the same work keep its wait baseline.
+  std::uint64_t tag = 0;
+  grid::ResourceId resource = grid::kInvalidResource;
+  /// Earliest start feasible for the participant itself (inputs, own
+  /// bookings, machine arrival) as of the latest refresh.
+  sim::Time ready = sim::kTimeZero;
+  /// Projected nominal run length of the job behind the request.
+  double duration = 0.0;
+  /// The owning workflow's priority / fair-share weight.
+  double priority = 1.0;
+  /// `ready` at first registration — the base of the wait metrics.
+  sim::Time first_ready = sim::kTimeZero;
+  /// When the owning workflow first asked the session for machine time
+  /// (its activation): the base of fair-share stretch normalization.
+  sim::Time active_since = sim::kTimeZero;
+  /// Scale of the owning workflow: its release-time plan length
+  /// (SessionParticipant::planned_finish() minus the activation). Zero
+  /// when the participant does not plan ahead.
+  double planned_span = 0.0;
+};
+
+/// Everything a policy sees when granting one request. The pending list
+/// covers the request's resource in registration order and includes the
+/// request itself; `others_busy` is the latest committed booking of any
+/// other participant on that resource (the FCFS floor).
+struct ContentionQuery {
+  const ContentionRequest* request = nullptr;
+  sim::Time now = sim::kTimeZero;
+  sim::Time others_busy = sim::kTimeZero;
+  const std::vector<ContentionRequest>* pending = nullptr;
+};
+
+/// Decides the start time granted to each acquisition request. grant()
+/// must be const and deterministic (it also serves what-if peeks from
+/// decision heuristics); state such as fair-share usage mutates only in
+/// on_commit(). A grant at or before the request's ready time means "go
+/// now"; later values tell the caller when to retry — by then the favored
+/// competitors have either committed (their bookings move `others_busy`)
+/// or withdrawn, so repeated grants converge.
+class ContentionPolicy {
+ public:
+  virtual ~ContentionPolicy() = default;
+
+  [[nodiscard]] virtual ContentionPolicyKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual sim::Time grant(const ContentionQuery& query) const = 0;
+
+  /// A granted request started running over [start, end): usage
+  /// accounting hook. Default is a no-op.
+  virtual void on_commit(const ContentionRequest& request, sim::Time start,
+                         sim::Time end);
+
+  /// Whether grants can move EARLIER when another request commits or
+  /// withdraws. When true the session wakes the remaining requesters of
+  /// the resource so deferred workflows re-evaluate immediately instead
+  /// of polling a stale projection while the machine idles. FCFS grants
+  /// depend only on committed bookings (which never shrink), so it opts
+  /// out and keeps the historical event stream untouched.
+  [[nodiscard]] virtual bool needs_change_notifications() const;
+};
+
+/// Builds a fresh instance of a built-in policy.
+[[nodiscard]] std::unique_ptr<ContentionPolicy> make_contention_policy(
+    ContentionPolicyKind kind);
+
+/// Process-wide, thread-safe name -> factory registry, pre-populated with
+/// the built-ins under their to_string names. Every SimulationSession
+/// resolves its environment's policy name here, so registered custom
+/// policies are selectable from the bench/exp --contention-policy axes.
+class ContentionPolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ContentionPolicy>()>;
+
+  static ContentionPolicyRegistry& instance();
+
+  /// Registers a factory; a policy with the same name is replaced.
+  void register_policy(std::string name, Factory factory);
+
+  /// Builds a fresh policy instance; throws std::invalid_argument listing
+  /// the known names when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<ContentionPolicy> create(
+      std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+ private:
+  ContentionPolicyRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_CONTENTION_POLICY_H_

@@ -23,7 +23,8 @@ std::string to_string(DynamicHeuristic heuristic) {
 DynamicExecution::DynamicExecution(SimulationSession& session,
                                    const dag::Dag& dag,
                                    const grid::CostProvider& actual,
-                                   DynamicHeuristic heuristic)
+                                   DynamicHeuristic heuristic,
+                                   double priority)
     : session_(&session),
       dag_(&dag),
       actual_(&actual),
@@ -37,7 +38,7 @@ DynamicExecution::DynamicExecution(SimulationSession& session,
       aft_(dag.job_count(), sim::kTimeZero),
       pending_preds_(dag.job_count(), 0) {
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
-  session.add_participant(this);
+  session.add_participant(this, priority);
 }
 
 void DynamicExecution::launch(sim::Time release, Completion done) {
@@ -80,16 +81,23 @@ sim::Time DynamicExecution::inputs_ready(dag::JobId job,
 }
 
 sim::Time DynamicExecution::machine_free(grid::ResourceId resource) const {
-  return std::max({busy_until(resource), pool_->resource(resource).arrival,
-                   session_->contended_until(this, resource)});
+  return std::max(busy_until(resource), pool_->resource(resource).arrival);
 }
 
 sim::Time DynamicExecution::completion_time(dag::JobId job,
                                             grid::ResourceId resource,
                                             sim::Time now) const {
-  return std::max(inputs_ready(job, resource, now),
-                  machine_free(resource)) +
-         actual_->compute_cost(job, resource);
+  // Peek (not acquire): decision heuristics price every candidate
+  // resource, so the query must not register requests. The probe must
+  // mirror assign()'s acquire exactly — same ready (inputs included) and
+  // duration — or a policy deferral could push the realized start past
+  // the departure window this estimate is vetted against.
+  const double cost = actual_->compute_cost(job, resource);
+  const sim::Time start = session_->peek(
+      this, resource,
+      std::max(inputs_ready(job, resource, now), machine_free(resource)),
+      cost);
+  return start + cost;
 }
 
 /// Runs one just-in-time decision round over every currently ready job.
@@ -163,9 +171,16 @@ void DynamicExecution::dispatch() {
 
 void DynamicExecution::assign(dag::JobId job, grid::ResourceId resource,
                               sim::Time now) {
-  const sim::Time start =
-      std::max(inputs_ready(job, resource, now), machine_free(resource));
-  double duration = actual_->compute_cost(job, resource);
+  // The just-in-time decision commits the slot immediately: register the
+  // acquisition (so the policy's wait accounting sees it) and start at
+  // whatever it grants. completion_time() peeked the identical grant, so
+  // under every policy the realized start equals the dispatch estimate.
+  const double nominal = actual_->compute_cost(job, resource);
+  const sim::Time start = session_->acquire(
+      this, resource,
+      std::max(inputs_ready(job, resource, now), machine_free(resource)),
+      nominal, /*tag=*/job);
+  double duration = nominal;
   if (load_ != nullptr) {
     const double factor = load_->factor(resource, start);
     AHEFT_ASSERT(factor > 0.0, "load factor must be positive");
@@ -182,6 +197,7 @@ void DynamicExecution::assign(dag::JobId job, grid::ResourceId resource,
         "with finite departures need restart semantics (unsupported; "
         "see ROADMAP)");
   }
+  session_->commit(this, resource, start, finish);
   schedule_.assign(Assignment{job, resource, start, finish});
   if (trace_ != nullptr) {
     for (const std::uint32_t e : dag_->in_edges(job)) {
@@ -228,6 +244,9 @@ void DynamicExecution::complete(dag::JobId job, grid::ResourceId resource,
     result.makespan = makespan_;
     result.batches = batches_;
     result.schedule = schedule_;
+    const ContentionStats stats = session_->contention_stats(this);
+    result.contention_wait = stats.total_wait;
+    result.max_contention_wait = stats.max_wait;
     done_(result);
   }
 }

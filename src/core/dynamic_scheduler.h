@@ -41,6 +41,10 @@ struct DynamicRunResult {
   sim::Time makespan = sim::kTimeZero;
   std::size_t batches = 0;      ///< number of just-in-time decision rounds
   Schedule schedule;            ///< realized placement (for inspection)
+  /// Cross-workflow machine wait imposed by the session's contention
+  /// policy (zero for uncontended runs).
+  double contention_wait = 0.0;
+  double max_contention_wait = 0.0;
 };
 
 /// Event-driven just-in-time execution of one DAG inside a shared
@@ -50,9 +54,12 @@ struct DynamicRunResult {
 /// to) every other workflow in the session.
 class DynamicExecution : public SessionParticipant {
  public:
+  /// `priority` is the workflow's weight under the session's contention
+  /// policy (ignored by FCFS).
   DynamicExecution(SimulationSession& session, const dag::Dag& dag,
                    const grid::CostProvider& actual,
-                   DynamicHeuristic heuristic = DynamicHeuristic::kMinMin);
+                   DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
+                   double priority = 1.0);
 
   using Completion = std::function<void(const DynamicRunResult&)>;
 
@@ -77,8 +84,9 @@ class DynamicExecution : public SessionParticipant {
   [[nodiscard]] sim::Time inputs_ready(dag::JobId job,
                                        grid::ResourceId resource,
                                        sim::Time now) const;
-  /// Time `resource` is free for this workflow: own bookings, the
-  /// machine's arrival, and every other session participant's bookings.
+  /// Time `resource` is free for this workflow's own reasons: its
+  /// bookings and the machine's arrival. Cross-workflow availability is
+  /// layered on top by completion_time()'s session peek.
   [[nodiscard]] sim::Time machine_free(grid::ResourceId resource) const;
   /// Nominal completion time used by the decision heuristics.
   [[nodiscard]] sim::Time completion_time(dag::JobId job,

@@ -23,17 +23,24 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& simulator,
 
 ExecutionEngine::ExecutionEngine(SimulationSession& session,
                                  const dag::Dag& dag,
-                                 const grid::CostProvider& actual)
+                                 const grid::CostProvider& actual,
+                                 double priority)
     : ExecutionEngine(session.simulator(), dag, actual, session.pool(),
                       session.trace()) {
   load_ = session.load();
   session_ = &session;
-  session.add_participant(this);
+  session.add_participant(this, priority);
 }
 
 sim::Time ExecutionEngine::busy_until(grid::ResourceId resource) const {
   const auto it = resource_free_.find(resource);
   return it == resource_free_.end() ? sim::kTimeZero : it->second;
+}
+
+void ExecutionEngine::contention_changed(grid::ResourceId resource) {
+  if (has_schedule_) {
+    pump(resource);
+  }
 }
 
 const Schedule& ExecutionEngine::current_schedule() const {
@@ -123,6 +130,9 @@ void ExecutionEngine::submit(const Schedule& schedule) {
     }
   }
 
+  if (!has_schedule_) {
+    initial_plan_makespan_ = schedule.makespan();
+  }
   schedule_ = schedule;
   has_schedule_ = true;
 
@@ -148,6 +158,12 @@ void ExecutionEngine::rebuild_queues() {
   queue_pos_.clear();
   resource_free_.clear();
   pending_pump_.clear();
+  if (session_ != nullptr) {
+    // A reschedule may have moved the queue heads: drop the pending
+    // acquisitions so stale requests cannot gate competing workflows;
+    // the post-rebuild pumps re-register the live ones.
+    session_->withdraw_all(this);
+  }
   for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
     const JobState& state = jobs_[i];
     const Assignment& a = schedule_.assignment(i);
@@ -214,9 +230,13 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
         free_it != resource_free_.end()) {
       start = std::max(start, free_it->second);
     }
-    // (d) machine not booked by a concurrent workflow in the session.
+    // (d) the session's contention policy grants the machine slot
+    //     (arbitrating against the other workflows' bookings and pending
+    //     requests; under FCFS the grant is just their bookings).
     if (session_ != nullptr) {
-      start = std::max(start, session_->contended_until(this, resource));
+      start = session_->acquire(this, resource, start,
+                                actual_->compute_cost(job, resource),
+                                /*tag=*/job);
     }
 
     if (start > now) {
@@ -274,6 +294,9 @@ void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
       simulator_->schedule_at(state.aft, [this, job] { complete_job(job); });
   auto& free_at = resource_free_[resource];
   free_at = std::max(free_at, state.aft);
+  if (session_ != nullptr) {
+    session_->commit(this, resource, state.ast, state.aft);
+  }
 }
 
 void ExecutionEngine::complete_job(dag::JobId job) {

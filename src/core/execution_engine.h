@@ -43,10 +43,11 @@ class ExecutionEngine : public SessionParticipant {
 
   /// Session form: simulator, pool, trace, and load profile all come from
   /// the session's environment, and the engine registers itself for
-  /// cross-workflow resource contention. The session must outlive the
+  /// cross-workflow resource contention with `priority` as its weight
+  /// under the session's contention policy. The session must outlive the
   /// engine's execution.
   ExecutionEngine(SimulationSession& session, const dag::Dag& dag,
-                  const grid::CostProvider& actual);
+                  const grid::CostProvider& actual, double priority = 1.0);
 
   /// Installs `schedule` (complete over all jobs) at the current simulation
   /// time. The first call starts execution; later calls replace the
@@ -95,6 +96,16 @@ class ExecutionEngine : public SessionParticipant {
   // gates a concurrent workflow because consumers clamp with `now`).
   [[nodiscard]] sim::Time busy_until(
       grid::ResourceId resource) const override;
+  // SessionParticipant: a competing request on `resource` committed or
+  // withdrew, so this engine's deferred grant may have moved earlier.
+  void contention_changed(grid::ResourceId resource) override;
+  // SessionParticipant: the first submitted schedule's makespan — the
+  // workflow's uncontended scale for fair-share stretch normalization
+  // (later reschedules fold contention delays in, which must not dilute
+  // the workflow's own stretch).
+  [[nodiscard]] sim::Time planned_finish() const override {
+    return initial_plan_makespan_;
+  }
 
  private:
   enum class Phase { kPending, kRunning, kFinished };
@@ -136,6 +147,7 @@ class ExecutionEngine : public SessionParticipant {
   std::size_t finished_count_ = 0;
   std::size_t restarts_ = 0;
   sim::Time makespan_ = sim::kTimeZero;
+  sim::Time initial_plan_makespan_ = sim::kTimeZero;
   CompletionHook hook_;
   TransferPolicy transfer_policy_ = TransferPolicy::kRetransmitFromClock;
 };

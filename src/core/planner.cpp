@@ -106,13 +106,14 @@ void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
 }
 
 void AdaptivePlanner::launch(SimulationSession& session, sim::Time release,
-                             Completion done) {
+                             Completion done, double priority) {
   AHEFT_REQUIRE(&session.pool() == &pool_,
                 "planner launched into a session over a different pool");
   AHEFT_REQUIRE(sim::time_le(session.simulator().now(), release),
                 "planner launch release lies in the simulator's past");
   session_ = &session;
   release_ = release;
+  priority_ = priority;
   done_ = std::move(done);
   completed_ = false;
   result_ = AdaptiveResult{};
@@ -124,7 +125,8 @@ void AdaptivePlanner::launch(SimulationSession& session, sim::Time release,
 void AdaptivePlanner::start() {
   AHEFT_REQUIRE(pool_.count_available_at(release_) > 0,
                 "planner needs at least one resource at release");
-  engine_ = std::make_unique<ExecutionEngine>(*session_, dag_, actual_);
+  engine_ = std::make_unique<ExecutionEngine>(*session_, dag_, actual_,
+                                              priority_);
   engine_->set_transfer_policy(config_.scheduler.transfer_policy);
 
   grid::PerformanceHistoryRepository* history = session_->history();
@@ -186,6 +188,9 @@ void AdaptivePlanner::finish() {
   completed_ = true;
   result_.makespan = engine_->makespan();
   result_.restarts = engine_->restarted_jobs();
+  const ContentionStats stats = session_->contention_stats(engine_.get());
+  result_.contention_wait = stats.total_wait;
+  result_.max_contention_wait = stats.max_wait;
   result_.final_schedule = engine_->current_schedule();
   if (done_) {
     done_(result_);

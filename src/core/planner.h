@@ -66,6 +66,10 @@ struct AdaptiveResult {
   std::size_t evaluations = 0;               ///< events evaluated
   std::size_t adoptions = 0;                 ///< reschedules submitted
   std::size_t restarts = 0;                  ///< running jobs restarted
+  /// Cross-workflow machine wait imposed by the session's contention
+  /// policy (zero for uncontended runs).
+  double contention_wait = 0.0;
+  double max_contention_wait = 0.0;
   Schedule final_schedule;
   std::vector<AdoptionRecord> decisions;
 };
@@ -92,10 +96,11 @@ class AdaptivePlanner {
   /// session clock) inside `session` and subscribes to its event feeds;
   /// `done` fires on the session clock when the workflow completes. The
   /// session environment supplies the pool (must be the constructor's),
-  /// trace recorder, load profile, and history repository. The planner
-  /// must outlive the session's run.
+  /// trace recorder, load profile, and history repository. `priority` is
+  /// the workflow's weight under the session's contention policy. The
+  /// planner must outlive the session's run.
   void launch(SimulationSession& session, sim::Time release,
-              Completion done);
+              Completion done, double priority = 1.0);
 
  private:
   void start();  ///< release-time event: initial plan + subscriptions
@@ -113,6 +118,7 @@ class AdaptivePlanner {
   SimulationSession* session_ = nullptr;
   std::unique_ptr<ExecutionEngine> engine_;
   sim::Time release_ = sim::kTimeZero;
+  double priority_ = 1.0;
   Completion done_;
   bool completed_ = false;
 

@@ -9,28 +9,217 @@ namespace aheft::core {
 SimulationSession::SimulationSession(const SessionEnvironment& env)
     : env_(env) {
   AHEFT_REQUIRE(env.pool != nullptr, "session environment needs a pool");
+  policy_ = ContentionPolicyRegistry::instance().create(
+      env.contention_policy.empty() ? "fcfs" : env.contention_policy);
 }
 
-void SimulationSession::add_participant(
-    const SessionParticipant* participant) {
+SimulationSession::~SimulationSession() = default;
+
+void SessionParticipant::contention_changed(grid::ResourceId /*resource*/) {}
+
+sim::Time SessionParticipant::planned_finish() const { return sim::kTimeZero; }
+
+void SimulationSession::add_participant(SessionParticipant* participant,
+                                        double priority) {
   AHEFT_REQUIRE(participant != nullptr,
                 "cannot register a null session participant");
-  if (std::find(participants_.begin(), participants_.end(), participant) ==
-      participants_.end()) {
-    participants_.push_back(participant);
+  AHEFT_REQUIRE(priority > 0.0,
+                "participant priority / weight must be positive");
+  for (const ParticipantRecord& record : participants_) {
+    if (record.participant == participant) {
+      return;
+    }
   }
+  participants_.push_back(ParticipantRecord{participant, priority, -1.0, {}});
+}
+
+std::size_t SimulationSession::index_of(
+    const SessionParticipant* participant) const {
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (participants_[i].participant == participant) {
+      return i;
+    }
+  }
+  throw std::invalid_argument(
+      "participant is not registered with this session");
 }
 
 sim::Time SimulationSession::contended_until(
     const SessionParticipant* self, grid::ResourceId resource) const {
   sim::Time until = sim::kTimeZero;
-  for (const SessionParticipant* participant : participants_) {
-    if (participant == self) {
+  for (const ParticipantRecord& record : participants_) {
+    if (record.participant == self) {
       continue;
     }
-    until = std::max(until, participant->busy_until(resource));
+    until = std::max(until, record.participant->busy_until(resource));
   }
   return until;
+}
+
+sim::Time SimulationSession::grant_for(
+    const ContentionRequest& request, const SessionParticipant* self,
+    const std::vector<ContentionRequest>& pending) const {
+  ContentionQuery query;
+  query.request = &request;
+  query.now = simulator_.now();
+  query.others_busy = contended_until(self, request.resource);
+  query.pending = &pending;
+  // Policies may only delay a request, never reach before its own
+  // feasible start.
+  return std::max(request.ready, policy_->grant(query));
+}
+
+sim::Time SimulationSession::acquire(const SessionParticipant* self,
+                                     grid::ResourceId resource,
+                                     sim::Time ready, double duration,
+                                     std::uint64_t tag) {
+  AHEFT_REQUIRE(duration >= 0.0, "acquisition duration must be >= 0");
+  const std::size_t index = index_of(self);
+  ParticipantRecord& record = participants_[index];
+  if (record.active_since < 0.0) {
+    record.active_since = ready;
+  }
+  std::vector<ContentionRequest>& pending = pending_[resource];
+  ContentionRequest* request = nullptr;
+  for (ContentionRequest& candidate : pending) {
+    if (candidate.participant == index) {
+      request = &candidate;
+      break;
+    }
+  }
+  if (request == nullptr) {
+    ContentionRequest fresh;
+    fresh.participant = index;
+    fresh.tag = tag;
+    fresh.resource = resource;
+    fresh.first_ready = ready;
+    // Work withdrawn by a reschedule and re-requested resumes its wait
+    // clock instead of restarting it.
+    if (const auto carried = carried_first_ready_.find({index, tag});
+        carried != carried_first_ready_.end()) {
+      fresh.first_ready = std::min(fresh.first_ready, carried->second);
+      carried_first_ready_.erase(carried);
+    }
+    pending.push_back(fresh);
+    request = &pending.back();
+  }
+  request->tag = tag;
+  request->ready = ready;
+  request->duration = duration;
+  request->priority = record.priority;
+  request->active_since = record.active_since;
+  request->planned_span =
+      std::max(0.0, self->planned_finish() - record.active_since);
+  return grant_for(*request, self, pending);
+}
+
+sim::Time SimulationSession::peek(const SessionParticipant* self,
+                                  grid::ResourceId resource, sim::Time ready,
+                                  double duration) const {
+  const std::size_t index = index_of(self);
+  const ParticipantRecord& record = participants_[index];
+  ContentionRequest probe;
+  probe.participant = index;
+  probe.resource = resource;
+  probe.ready = ready;
+  probe.duration = duration;
+  probe.priority = record.priority;
+  probe.first_ready = ready;
+  probe.active_since = record.active_since < 0.0 ? ready : record.active_since;
+  probe.planned_span =
+      std::max(0.0, self->planned_finish() - probe.active_since);
+  static const std::vector<ContentionRequest> kNoPending;
+  const auto it = pending_.find(resource);
+  return grant_for(probe, self,
+                   it == pending_.end() ? kNoPending : it->second);
+}
+
+void SimulationSession::commit(const SessionParticipant* self,
+                               grid::ResourceId resource, sim::Time start,
+                               sim::Time end) {
+  const std::size_t index = index_of(self);
+  const auto it = pending_.find(resource);
+  AHEFT_ASSERT(it != pending_.end(),
+               "commit without a pending acquisition on the resource");
+  std::vector<ContentionRequest>& pending = it->second;
+  const auto request =
+      std::find_if(pending.begin(), pending.end(),
+                   [index](const ContentionRequest& candidate) {
+                     return candidate.participant == index;
+                   });
+  AHEFT_ASSERT(request != pending.end(),
+               "commit without a pending acquisition by the participant");
+  const double wait = std::max(0.0, start - request->first_ready);
+  ContentionStats& stats = participants_[index].stats;
+  stats.total_wait += wait;
+  stats.max_wait = std::max(stats.max_wait, wait);
+  ++stats.grants;
+  policy_->on_commit(*request, start, end);
+  carried_first_ready_.erase({index, request->tag});
+  pending.erase(request);
+  notify_pending(resource, self);
+}
+
+void SimulationSession::withdraw_all(const SessionParticipant* self) {
+  const std::size_t index = index_of(self);
+  for (auto& [resource, pending] : pending_) {
+    const auto stale =
+        std::remove_if(pending.begin(), pending.end(),
+                       [this, index](const ContentionRequest& candidate) {
+                         if (candidate.participant != index) {
+                           return false;
+                         }
+                         // Keep the wait baseline: the reschedule may
+                         // re-request the same work (same tag) and must
+                         // not zero the contention wait already endured.
+                         const auto [carried, inserted] =
+                             carried_first_ready_.try_emplace(
+                                 {index, candidate.tag},
+                                 candidate.first_ready);
+                         if (!inserted) {
+                           carried->second = std::min(
+                               carried->second, candidate.first_ready);
+                         }
+                         return true;
+                       });
+    const bool removed = stale != pending.end();
+    pending.erase(stale, pending.end());
+    if (removed) {
+      notify_pending(resource, self);
+    }
+  }
+}
+
+void SimulationSession::notify_pending(grid::ResourceId resource,
+                                       const SessionParticipant* self) {
+  if (!policy_->needs_change_notifications()) {
+    return;
+  }
+  const auto it = pending_.find(resource);
+  if (it == pending_.end()) {
+    return;
+  }
+  for (const ContentionRequest& request : it->second) {
+    SessionParticipant* waiter = participants_[request.participant].participant;
+    if (waiter == self) {
+      continue;
+    }
+    // A fresh event: the notified participant may start jobs and commit,
+    // which must not run inside the notifying participant's bookkeeping.
+    simulator_.schedule_at(simulator_.now(), [waiter, resource] {
+      waiter->contention_changed(resource);
+    });
+  }
+}
+
+ContentionStats SimulationSession::contention_stats(
+    const SessionParticipant* participant) const {
+  for (const ParticipantRecord& record : participants_) {
+    if (record.participant == participant) {
+      return record.stats;
+    }
+  }
+  return {};
 }
 
 }  // namespace aheft::core

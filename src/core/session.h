@@ -8,16 +8,26 @@
 // performance-history repository — and every strategy driver plugs into
 // it, so all strategies get identical plumbing by construction.
 //
-// The session also arbitrates cross-workflow resource contention: each
-// executing workflow registers as a SessionParticipant, and before a
-// participant occupies a machine it asks the session how long the other
-// participants have it booked. A single-workflow session has exactly one
-// participant and behaves as the pre-session code did.
+// The session also arbitrates cross-workflow resource contention through
+// an explicit acquisition API: before a participant occupies a machine it
+// requests the slot (acquire), the session's ContentionPolicy grants a
+// start time, and the participant commits the grant when the job actually
+// starts. The policy decides grant order — FCFS (the default, identical
+// to the historical first-pump-wins behavior), strict priorities, or
+// weighted fair share — and the session keeps per-participant wait
+// statistics so starvation is measurable. A single-workflow session has
+// exactly one participant and behaves identically under every policy.
 #ifndef AHEFT_CORE_SESSION_H_
 #define AHEFT_CORE_SESSION_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/contention_policy.h"
 #include "grid/history.h"
 #include "grid/load_profile.h"
 #include "grid/resource_pool.h"
@@ -36,11 +46,17 @@ struct SessionEnvironment {
   const grid::LoadProfile* load = nullptr;
   sim::TraceRecorder* trace = nullptr;
   grid::PerformanceHistoryRepository* history = nullptr;
+  /// ContentionPolicyRegistry name of the machine-contention arbitration
+  /// ("fcfs", "priority", "fair-share", or a custom registration); empty
+  /// falls back to FCFS. Each session builds its own policy instance —
+  /// policies carry per-session state such as fair-share usage.
+  std::string contention_policy = "fcfs";
 };
 
 /// One workflow execution sharing the session's machines. Participants
-/// expose how long they have a resource booked so concurrent workflows
-/// contend for machine time instead of double-booking it.
+/// expose how long they have a resource booked (the committed picture)
+/// and route every new occupation through acquire/commit so the session's
+/// contention policy controls the grant order.
 class SessionParticipant {
  public:
   virtual ~SessionParticipant() = default;
@@ -49,11 +65,35 @@ class SessionParticipant {
   /// `resource`; values at or before the current clock mean "free".
   [[nodiscard]] virtual sim::Time busy_until(
       grid::ResourceId resource) const = 0;
+
+  /// The session's contention picture for `resource` moved in a way that
+  /// may allow an earlier grant (a competing request committed or was
+  /// withdrawn): re-evaluate pending work. Delivered in a fresh simulator
+  /// event, never re-entrantly. Default is a no-op — participants that
+  /// never wait on grants (just-in-time executors) ignore it.
+  virtual void contention_changed(grid::ResourceId resource);
+
+  /// Completion time of the participant's release-time plan on the
+  /// session clock — the scale of the workflow absent competition. The
+  /// fair-share policy normalizes each workflow's delay by this scale
+  /// (stretch fairness), so short workflows are not crushed by waits that
+  /// barely register for long ones. kTimeZero means unknown (default);
+  /// such a workflow never displaces competitors.
+  [[nodiscard]] virtual sim::Time planned_finish() const;
+};
+
+/// Cross-workflow wait bookkeeping of one participant: how long its
+/// committed acquisitions were delayed beyond their first-feasible start.
+struct ContentionStats {
+  double total_wait = 0.0;
+  double max_wait = 0.0;
+  std::size_t grants = 0;
 };
 
 class SimulationSession {
  public:
   explicit SimulationSession(const SessionEnvironment& env);
+  ~SimulationSession();
 
   SimulationSession(const SimulationSession&) = delete;
   SimulationSession& operator=(const SimulationSession&) = delete;
@@ -74,16 +114,58 @@ class SimulationSession {
   [[nodiscard]] const SessionEnvironment& environment() const noexcept {
     return env_;
   }
+  [[nodiscard]] const ContentionPolicy& policy() const noexcept {
+    return *policy_;
+  }
 
-  /// Registers an executing workflow for contention arbitration. The
-  /// participant must stay alive for as long as the simulator runs;
-  /// registering the same participant twice is a no-op.
-  void add_participant(const SessionParticipant* participant);
+  /// Registers an executing workflow for contention arbitration with its
+  /// priority / fair-share weight (must be positive). The participant
+  /// must stay alive for as long as the simulator runs; registering the
+  /// same participant twice is a no-op (the first priority wins).
+  void add_participant(SessionParticipant* participant,
+                       double priority = 1.0);
 
-  /// Latest time any participant other than `self` occupies `resource`.
-  /// kTimeZero when uncontended (callers clamp with the current clock).
+  /// Registers (or refreshes) `self`'s pending acquisition of `resource`
+  /// and returns the start time the contention policy grants: `ready` is
+  /// the earliest start feasible for the participant itself, `duration`
+  /// the projected run length, `tag` identifies the work behind the
+  /// request (engines pass the job id) so a request withdrawn by a
+  /// reschedule and re-registered for the same work keeps its wait
+  /// baseline. A grant at or before `ready` means "start now"; a later
+  /// grant tells the caller when to retry — the pending request stays
+  /// registered so competing grants see it.
+  [[nodiscard]] sim::Time acquire(const SessionParticipant* self,
+                                  grid::ResourceId resource, sim::Time ready,
+                                  double duration, std::uint64_t tag = 0);
+
+  /// What acquire would currently grant, without registering a request or
+  /// touching any state. Decision heuristics use this to price candidate
+  /// placements under the active policy.
+  [[nodiscard]] sim::Time peek(const SessionParticipant* self,
+                               grid::ResourceId resource, sim::Time ready,
+                               double duration) const;
+
+  /// `self` started running its granted request on `resource` over
+  /// [start, end): clears the pending request, feeds the policy's usage
+  /// accounting, and records the wait metrics (start minus the request's
+  /// first-feasible time).
+  void commit(const SessionParticipant* self, grid::ResourceId resource,
+              sim::Time start, sim::Time end);
+
+  /// Drops every pending request of `self` (a reschedule invalidated its
+  /// queue heads); the requests re-register on the next acquire.
+  void withdraw_all(const SessionParticipant* self);
+
+  /// Latest committed booking of any participant other than `self` on
+  /// `resource`. kTimeZero when uncontended (callers clamp with the
+  /// current clock). This is the FCFS floor every policy builds on.
   [[nodiscard]] sim::Time contended_until(const SessionParticipant* self,
                                           grid::ResourceId resource) const;
+
+  /// Wait bookkeeping accumulated for `participant`'s committed grants;
+  /// zeros for an unregistered participant.
+  [[nodiscard]] ContentionStats contention_stats(
+      const SessionParticipant* participant) const;
 
   [[nodiscard]] std::size_t participant_count() const noexcept {
     return participants_.size();
@@ -93,9 +175,43 @@ class SimulationSession {
   sim::Time run() { return simulator_.run(); }
 
  private:
+  struct ParticipantRecord {
+    SessionParticipant* participant = nullptr;
+    double priority = 1.0;
+    /// First acquisition's ready time (~ the workflow's release); the
+    /// base of fair-share rate normalization. Negative until then.
+    sim::Time active_since = -1.0;
+    ContentionStats stats;
+  };
+
+  /// Registration index of `participant`; throws when unregistered.
+  [[nodiscard]] std::size_t index_of(
+      const SessionParticipant* participant) const;
+
+  [[nodiscard]] sim::Time grant_for(const ContentionRequest& request,
+                                    const SessionParticipant* self,
+                                    const std::vector<ContentionRequest>&
+                                        pending) const;
+
+  /// Wakes every pending requester of `resource` except `self` in fresh
+  /// simulator events (skipped when the policy's grants cannot move
+  /// earlier on commits/withdrawals).
+  void notify_pending(grid::ResourceId resource,
+                      const SessionParticipant* self);
+
   SessionEnvironment env_;
   sim::Simulator simulator_;
-  std::vector<const SessionParticipant*> participants_;
+  std::unique_ptr<ContentionPolicy> policy_;
+  std::vector<ParticipantRecord> participants_;
+  /// Pending acquisition requests per resource, registration order; at
+  /// most one entry per participant per resource.
+  std::map<grid::ResourceId, std::vector<ContentionRequest>> pending_;
+  /// first_ready of requests withdrawn before committing, by
+  /// (participant, tag): a re-registration for the same work resumes
+  /// the wait clock instead of restarting it, so reschedules cannot
+  /// erase contention wait already endured.
+  std::map<std::pair<std::size_t, std::uint64_t>, sim::Time>
+      carried_first_ready_;
 };
 
 }  // namespace aheft::core

@@ -19,6 +19,17 @@ std::string to_string(StrategyKind kind) {
   return "unknown";
 }
 
+std::optional<StrategyKind> strategy_from_string(std::string_view text) {
+  for (const StrategyKind kind :
+       {StrategyKind::kStaticHeft, StrategyKind::kAdaptiveAheft,
+        StrategyKind::kDynamic}) {
+    if (text == to_string(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 /// Static HEFT and AHEFT share the planner machinery; they differ only in
@@ -43,18 +54,21 @@ class PlannerDriver final : public StrategyDriver {
 
   void launch(SimulationSession& session, const dag::Dag& dag,
               const grid::CostProvider& estimates,
-              const grid::CostProvider& actual, sim::Time release,
-              Completion done) override {
+              const grid::CostProvider& actual,
+              const LaunchOptions& options, Completion done) override {
     launches_.push_back(std::make_unique<AdaptivePlanner>(
         dag, estimates, actual, session.pool(), config_));
     launches_.back()->launch(
-        session, release,
+        session, options.release,
         [done = std::move(done)](const AdaptiveResult& result) {
           if (done) {
             done(StrategyOutcome{result.makespan, result.evaluations,
-                                 result.adoptions, result.restarts});
+                                 result.adoptions, result.restarts,
+                                 result.contention_wait,
+                                 result.max_contention_wait});
           }
-        });
+        },
+        options.priority);
   }
 
  private:
@@ -77,14 +91,17 @@ class DynamicDriver final : public StrategyDriver {
 
   void launch(SimulationSession& session, const dag::Dag& dag,
               const grid::CostProvider& /*estimates*/,
-              const grid::CostProvider& actual, sim::Time release,
-              Completion done) override {
+              const grid::CostProvider& actual,
+              const LaunchOptions& options, Completion done) override {
     launches_.push_back(std::make_unique<DynamicExecution>(
-        session, dag, actual, heuristic_));
+        session, dag, actual, heuristic_, options.priority));
     launches_.back()->launch(
-        release, [done = std::move(done)](const DynamicRunResult& result) {
+        options.release,
+        [done = std::move(done)](const DynamicRunResult& result) {
           if (done) {
-            done(StrategyOutcome{result.makespan, result.batches, 0, 0});
+            done(StrategyOutcome{result.makespan, result.batches, 0, 0,
+                                 result.contention_wait,
+                                 result.max_contention_wait});
           }
         });
   }

@@ -12,7 +12,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/dynamic_scheduler.h"
 #include "core/planner.h"
@@ -26,6 +28,13 @@ enum class StrategyKind { kStaticHeft, kAdaptiveAheft, kDynamic };
 
 [[nodiscard]] std::string to_string(StrategyKind kind);
 
+/// Inverse of to_string(StrategyKind) ("heft", "aheft", "dynamic");
+/// empty optional when the name matches no strategy. The benches' and
+/// examples' --strategy axes parse through this, so the CLI names and
+/// the reported names can never drift apart.
+[[nodiscard]] std::optional<StrategyKind> strategy_from_string(
+    std::string_view text);
+
 /// Makespan and bookkeeping of one simulated strategy run. `makespan` is
 /// the absolute completion time on the session clock (for a workflow
 /// released at t the duration is makespan - t).
@@ -34,6 +43,11 @@ struct StrategyOutcome {
   std::size_t evaluations = 0;  ///< events evaluated (dynamic: batches)
   std::size_t adoptions = 0;
   std::size_t restarts = 0;
+  /// Cross-workflow machine wait imposed by the session's contention
+  /// policy: total across the workflow's jobs, and the worst single
+  /// acquisition. Zero for uncontended runs.
+  double contention_wait = 0.0;
+  double max_contention_wait = 0.0;
 };
 
 /// Per-strategy knobs. The planner config drives HEFT (reaction flags
@@ -43,6 +57,15 @@ struct StrategyOutcome {
 struct StrategyConfig {
   PlannerConfig planner;
   DynamicHeuristic heuristic = DynamicHeuristic::kMinMin;
+};
+
+/// Per-launch knobs of one workflow execution inside a session.
+struct LaunchOptions {
+  /// Simulation time the workflow is released (>= the session clock).
+  sim::Time release = sim::kTimeZero;
+  /// Weight under the session's contention policy: strict rank for
+  /// "priority", share weight for "fair-share", ignored by "fcfs".
+  double priority = 1.0;
 };
 
 /// One scheduling strategy, launchable into any session. Drivers own the
@@ -58,14 +81,23 @@ class StrategyDriver {
 
   using Completion = std::function<void(const StrategyOutcome&)>;
 
-  /// Begins executing `dag` inside `session` at `release` (>= the session
-  /// clock); `done` fires on the session clock when the workflow
-  /// completes. May be called any number of times, including for
-  /// concurrently executing workflows in one session.
+  /// Begins executing `dag` inside `session` per `options`; `done` fires
+  /// on the session clock when the workflow completes. May be called any
+  /// number of times, including for concurrently executing workflows in
+  /// one session.
   virtual void launch(SimulationSession& session, const dag::Dag& dag,
                       const grid::CostProvider& estimates,
-                      const grid::CostProvider& actual, sim::Time release,
-                      Completion done) = 0;
+                      const grid::CostProvider& actual,
+                      const LaunchOptions& options, Completion done) = 0;
+
+  /// Convenience form for the common default-priority launch.
+  void launch(SimulationSession& session, const dag::Dag& dag,
+              const grid::CostProvider& estimates,
+              const grid::CostProvider& actual, sim::Time release,
+              Completion done) {
+    launch(session, dag, estimates, actual, LaunchOptions{release, 1.0},
+           std::move(done));
+  }
 };
 
 /// Builds the driver for `kind` with the given knobs.

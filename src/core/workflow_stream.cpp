@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "support/assert.h"
+#include "support/stats.h"
 
 namespace aheft::core {
 
@@ -23,7 +24,8 @@ sim::Time solo_makespan(const SessionEnvironment& env,
   sim::Time finish = sim::kTimeZero;
   bool completed = false;
   driver.launch(session, *instance.dag, *instance.estimates,
-                *instance.actual, instance.arrival,
+                *instance.actual,
+                LaunchOptions{instance.arrival, instance.priority},
                 [&](const StrategyOutcome& outcome) {
                   finish = outcome.makespan;
                   completed = true;
@@ -67,11 +69,14 @@ StreamOutcome run_workflow_stream(const SessionEnvironment& env,
     slot.name = instance.name;
     slot.arrival = instance.arrival;
     driver.launch(session, *instance.dag, *instance.estimates,
-                  *instance.actual, instance.arrival,
+                  *instance.actual,
+                  LaunchOptions{instance.arrival, instance.priority},
                   [&slot, &completed](const StrategyOutcome& outcome) {
                     slot.outcome = outcome;
                     slot.finish = outcome.makespan;
                     slot.makespan = outcome.makespan - slot.arrival;
+                    slot.wait = outcome.contention_wait;
+                    slot.max_wait = outcome.max_contention_wait;
                     ++completed;
                   });
   }
@@ -91,18 +96,28 @@ StreamOutcome run_workflow_stream(const SessionEnvironment& env,
   sim::Time last_finish = sim::kTimeZero;
   double sum_makespan = 0.0;
   double sum_slowdown = 0.0;
+  double sum_wait = 0.0;
+  std::vector<double> fairness_basis;
+  fairness_basis.reserve(stream.workflows.size());
   for (const WorkflowResult& wf : stream.workflows) {
     first_arrival = std::min(first_arrival, wf.arrival);
     last_finish = std::max(last_finish, wf.finish);
     sum_makespan += wf.makespan;
     stream.max_makespan = std::max(stream.max_makespan, wf.makespan);
     sum_slowdown += wf.slowdown;
+    stream.max_slowdown = std::max(stream.max_slowdown, wf.slowdown);
+    sum_wait += wf.wait;
+    stream.max_wait = std::max(stream.max_wait, wf.wait);
+    fairness_basis.push_back(config.compute_slowdowns ? wf.slowdown
+                                                      : wf.makespan);
   }
   const auto count = static_cast<double>(stream.workflows.size());
   stream.span = last_finish - first_arrival;
   stream.throughput = stream.span > 0.0 ? count / stream.span : 0.0;
   stream.mean_makespan = sum_makespan / count;
   stream.mean_slowdown = sum_slowdown / count;
+  stream.mean_wait = sum_wait / count;
+  stream.jain_fairness = jain_fairness_index(fairness_basis);
   return stream;
 }
 

@@ -6,9 +6,11 @@
 // arrival records (typically CompiledScenario::job_arrivals), launches
 // one strategy execution per instance on the shared simulator clock, and
 // lets them contend for the same machines through the session's
-// participant arbitration. Per-workflow makespans and slowdowns (vs an
-// uncontended solo run of the same instance at the same release time)
-// plus aggregate throughput land in a StreamOutcome.
+// contention policy (FCFS / priority / fair share; see
+// SessionEnvironment::contention_policy). Per-workflow makespans,
+// slowdowns (vs an uncontended solo run of the same instance at the same
+// release time), and contention waits plus aggregate throughput and
+// Jain's fairness index land in a StreamOutcome.
 #ifndef AHEFT_CORE_WORKFLOW_STREAM_H_
 #define AHEFT_CORE_WORKFLOW_STREAM_H_
 
@@ -27,6 +29,8 @@ struct WorkflowInstance {
   const grid::CostProvider* estimates = nullptr;
   const grid::CostProvider* actual = nullptr;
   sim::Time arrival = sim::kTimeZero;
+  /// Weight under the session's contention policy (see LaunchOptions).
+  double priority = 1.0;
 };
 
 struct WorkflowResult {
@@ -37,6 +41,10 @@ struct WorkflowResult {
   /// Contended makespan over the instance's solo makespan in the same
   /// environment (>= ~1 under contention; exactly 1 when not computed).
   double slowdown = 1.0;
+  /// Machine time this workflow spent waiting on competitors (total and
+  /// worst single acquisition) under the session's contention policy.
+  double wait = 0.0;
+  double max_wait = 0.0;
   StrategyOutcome outcome;
 };
 
@@ -47,6 +55,14 @@ struct StreamOutcome {
   double mean_makespan = 0.0;
   double max_makespan = 0.0;
   double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  /// Cross-workflow starvation picture: average / worst per-workflow
+  /// contention wait, and Jain's fairness index over the per-workflow
+  /// slowdowns (over makespans when slowdowns were not computed) — 1
+  /// means every workflow was degraded equally.
+  double mean_wait = 0.0;
+  double max_wait = 0.0;
+  double jain_fairness = 1.0;
 };
 
 struct StreamConfig {

@@ -60,11 +60,14 @@ workloads::Workload generate_workload(const CaseSpec& spec,
 }
 
 /// The session environment every strategy of a case runs under: the one
-/// pool and (when the scenario carries load segments) the one profile.
-core::SessionEnvironment session_environment(const CaseEnvironment& env) {
+/// pool, (when the scenario carries load segments) the one profile, and
+/// the spec's contention policy.
+core::SessionEnvironment session_environment(const CaseSpec& spec,
+                                             const CaseEnvironment& env) {
   core::SessionEnvironment session;
   session.pool = &env.scenario.pool;
   session.load = env.scenario.load.empty() ? nullptr : &env.scenario.load;
+  session.contention_policy = spec.contention_policy;
   return session;
 }
 
@@ -136,7 +139,7 @@ CaseResult run_case(const CaseSpec& spec) {
   AHEFT_REQUIRE(spec.stream_jobs <= 1,
                 "spec carries a multi-DAG stream axis; use run_stream_case");
   const CaseEnvironment env = build_case_environment(spec);
-  const core::SessionEnvironment session = session_environment(env);
+  const core::SessionEnvironment session = session_environment(spec, env);
   const core::StrategyConfig config = strategy_config(spec);
   const grid::MachineModel& model = env.model;
   const dag::Dag& dag = env.workload.dag;
@@ -177,9 +180,11 @@ StreamStrategySummary summarize(const core::StreamOutcome& outcome) {
   StreamStrategySummary summary;
   summary.makespans.reserve(outcome.workflows.size());
   summary.slowdowns.reserve(outcome.workflows.size());
+  summary.waits.reserve(outcome.workflows.size());
   for (const core::WorkflowResult& wf : outcome.workflows) {
     summary.makespans.push_back(wf.makespan);
     summary.slowdowns.push_back(wf.slowdown);
+    summary.waits.push_back(wf.wait);
     summary.adoptions += wf.outcome.adoptions;
   }
   summary.span = outcome.span;
@@ -187,20 +192,17 @@ StreamStrategySummary summarize(const core::StreamOutcome& outcome) {
   summary.mean_makespan = outcome.mean_makespan;
   summary.max_makespan = outcome.max_makespan;
   summary.mean_slowdown = outcome.mean_slowdown;
+  summary.max_slowdown = outcome.max_slowdown;
+  summary.mean_wait = outcome.mean_wait;
+  summary.max_wait = outcome.max_wait;
+  summary.jain_fairness = outcome.jain_fairness;
   return summary;
 }
 
 }  // namespace
 
-StreamCaseResult run_stream_case(const CaseSpec& spec) {
-  // Streams always simulate the dynamic baseline, which can outlive the
-  // static plan's horizon — the same guard run_case applies when
-  // run_dynamic is set.
-  AHEFT_REQUIRE(spec.horizon_factor >= 1.0,
-                "stream cases need horizon_factor >= 1");
-  const CaseEnvironment env = build_case_environment(spec);
-  const core::SessionEnvironment session = session_environment(env);
-  const core::StrategyConfig config = strategy_config(spec);
+StreamSetup build_stream_setup(const CaseSpec& spec,
+                               const CaseEnvironment& env) {
   const std::size_t universe = env.scenario.pool.universe_size();
 
   // One workflow instance per arrival record; a scenario without records
@@ -215,47 +217,70 @@ StreamCaseResult run_stream_case(const CaseSpec& spec) {
   // instances hold pointers into these vectors). Instance 0 reuses the
   // environment's base workload; later instances draw fresh DAGs of the
   // same shape and fresh cost columns over the shared universe.
-  std::vector<workloads::Workload> workloads_store;
-  std::vector<grid::MachineModel> models;
-  workloads_store.reserve(arrivals.size());
-  models.reserve(arrivals.size());
+  StreamSetup setup;
+  setup.workloads.reserve(arrivals.size());
+  setup.models.reserve(arrivals.size());
   for (std::size_t k = 0; k < arrivals.size(); ++k) {
     if (k == 0) {
-      workloads_store.push_back(env.workload);
-      models.push_back(env.model);
+      setup.workloads.push_back(env.workload);
+      setup.models.push_back(env.model);
       continue;
     }
     RngStream dag_stream =
         RngStream(spec.seed).child("dag@" + std::to_string(k));
-    workloads_store.push_back(generate_workload(spec, dag_stream));
-    models.push_back(workloads::build_machine_model(
-        workloads_store.back(), universe, spec.beta,
+    setup.workloads.push_back(generate_workload(spec, dag_stream));
+    setup.models.push_back(workloads::build_machine_model(
+        setup.workloads.back(), universe, spec.beta,
         mix64(spec.seed, hash64("costs@" + std::to_string(k)))));
   }
 
-  std::vector<core::WorkflowInstance> instances;
-  instances.reserve(arrivals.size());
+  setup.instances.reserve(arrivals.size());
   for (std::size_t k = 0; k < arrivals.size(); ++k) {
     core::WorkflowInstance instance;
     instance.name = arrivals[k].name;
-    instance.dag = &workloads_store[k].dag;
-    instance.estimates = &models[k];
-    instance.actual = &models[k];
+    instance.dag = &setup.workloads[k].dag;
+    instance.estimates = &setup.models[k];
+    instance.actual = &setup.models[k];
     instance.arrival = arrivals[k].arrival;
-    instances.push_back(instance);
+    if (!spec.stream_priorities.empty()) {
+      instance.priority =
+          spec.stream_priorities[k % spec.stream_priorities.size()];
+    }
+    setup.instances.push_back(instance);
   }
+  return setup;
+}
+
+StreamStrategySummary run_stream_strategy(const CaseSpec& spec,
+                                          const CaseEnvironment& env,
+                                          const StreamSetup& setup,
+                                          core::StrategyKind kind) {
+  const core::SessionEnvironment session = session_environment(spec, env);
+  const core::StrategyConfig config = strategy_config(spec);
+  const std::unique_ptr<core::StrategyDriver> driver =
+      core::make_strategy_driver(kind, config);
+  return summarize(
+      core::run_workflow_stream(session, *driver, setup.instances));
+}
+
+StreamCaseResult run_stream_case(const CaseSpec& spec) {
+  // Streams always simulate the dynamic baseline, which can outlive the
+  // static plan's horizon — the same guard run_case applies when
+  // run_dynamic is set.
+  AHEFT_REQUIRE(spec.horizon_factor >= 1.0,
+                "stream cases need horizon_factor >= 1");
+  const CaseEnvironment env = build_case_environment(spec);
+  const StreamSetup setup = build_stream_setup(spec, env);
 
   StreamCaseResult result;
-  result.workflows = arrivals.size();
-  result.universe = universe;
-  const auto run_stream = [&](core::StrategyKind kind) {
-    const std::unique_ptr<core::StrategyDriver> driver =
-        core::make_strategy_driver(kind, config);
-    return summarize(core::run_workflow_stream(session, *driver, instances));
-  };
-  result.heft = run_stream(core::StrategyKind::kStaticHeft);
-  result.aheft = run_stream(core::StrategyKind::kAdaptiveAheft);
-  result.minmin = run_stream(core::StrategyKind::kDynamic);
+  result.workflows = setup.instances.size();
+  result.universe = env.scenario.pool.universe_size();
+  result.heft =
+      run_stream_strategy(spec, env, setup, core::StrategyKind::kStaticHeft);
+  result.aheft = run_stream_strategy(spec, env, setup,
+                                     core::StrategyKind::kAdaptiveAheft);
+  result.minmin =
+      run_stream_strategy(spec, env, setup, core::StrategyKind::kDynamic);
   return result;
 }
 

@@ -52,6 +52,13 @@ struct CaseSpec {
   std::size_t stream_jobs = 0;
   /// Mean gap between consecutive workflow arrivals (generator sources).
   double stream_interarrival = 400.0;
+  /// ContentionPolicyRegistry name arbitrating cross-workflow machine
+  /// contention in the session ("fcfs", "priority", "fair-share", ...).
+  std::string contention_policy = "fcfs";
+  /// Per-workflow priorities / fair-share weights, cycled over the stream
+  /// instances (instance k gets stream_priorities[k % size()]); empty
+  /// means every workflow weighs 1.
+  std::vector<double> stream_priorities;
 };
 
 struct CaseResult {
@@ -90,11 +97,16 @@ struct CaseEnvironment {
 struct StreamStrategySummary {
   std::vector<double> makespans;   ///< per workflow, arrival order
   std::vector<double> slowdowns;   ///< contended / solo, arrival order
+  std::vector<double> waits;       ///< contention wait, arrival order
   double span = 0.0;               ///< last finish - first arrival
   double throughput = 0.0;         ///< workflows per unit of span
   double mean_makespan = 0.0;
   double max_makespan = 0.0;
   double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  double mean_wait = 0.0;          ///< contention wait per workflow
+  double max_wait = 0.0;           ///< worst per-workflow contention wait
+  double jain_fairness = 1.0;      ///< Jain's index over the slowdowns
   std::size_t adoptions = 0;       ///< summed over workflows (AHEFT)
 };
 
@@ -106,10 +118,31 @@ struct StreamCaseResult {
   std::size_t universe = 0;   ///< total resources (initial + arrivals)
 };
 
-/// Multi-DAG stream case: materializes one workflow instance per
-/// job-arrival record of the spec's scenario (each an independently
-/// generated DAG of the spec's shape with its own cost matrix over the
-/// shared universe) and runs all three strategies through identical
+/// The materialized workflow instances of a stream case. The instances
+/// point into the workloads/models vectors, so the setup must stay alive
+/// (and unmoved-from) while they run; moving the whole struct is fine.
+struct StreamSetup {
+  std::vector<workloads::Workload> workloads;
+  std::vector<grid::MachineModel> models;
+  std::vector<core::WorkflowInstance> instances;
+};
+
+/// Materializes one workflow instance per job-arrival record of the
+/// spec's scenario: instance 0 reuses the environment's base workload;
+/// later instances draw fresh DAGs of the spec's shape and fresh cost
+/// columns over the shared universe. Priorities follow
+/// CaseSpec::stream_priorities. Deterministic for a fixed spec.
+[[nodiscard]] StreamSetup build_stream_setup(const CaseSpec& spec,
+                                             const CaseEnvironment& env);
+
+/// Runs one strategy's stream over the setup inside a shared session
+/// using the spec's contention policy.
+[[nodiscard]] StreamStrategySummary run_stream_strategy(
+    const CaseSpec& spec, const CaseEnvironment& env,
+    const StreamSetup& setup, core::StrategyKind kind);
+
+/// Multi-DAG stream case: materializes the stream instances (see
+/// build_stream_setup) and runs all three strategies through identical
 /// shared sessions. Deterministic for a fixed spec, on any thread.
 [[nodiscard]] StreamCaseResult run_stream_case(const CaseSpec& spec);
 

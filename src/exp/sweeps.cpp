@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/contention_policy.h"
 #include "exp/paper_params.h"
 #include "support/assert.h"
 #include "support/rng.h"
@@ -221,6 +222,16 @@ void set_stream(std::vector<CaseSpec>& specs, std::size_t jobs,
   for (CaseSpec& spec : specs) {
     spec.stream_jobs = jobs;
     spec.stream_interarrival = interarrival_mean;
+  }
+}
+
+void set_contention_policy(std::vector<CaseSpec>& specs,
+                           std::string_view policy) {
+  // Validate eagerly so a typo'd --contention-policy fails before the
+  // sweep starts, not on the first case's session construction.
+  (void)core::ContentionPolicyRegistry::instance().create(policy);
+  for (CaseSpec& spec : specs) {
+    spec.contention_policy = policy;
   }
 }
 

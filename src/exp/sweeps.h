@@ -64,6 +64,12 @@ void set_scenario_source(std::vector<CaseSpec>& specs,
 void set_stream(std::vector<CaseSpec>& specs, std::size_t jobs,
                 double interarrival_mean = 400.0);
 
+/// Applies a contention-policy axis to every spec: the benches'
+/// --contention-policy=NAME knob. Throws std::invalid_argument when the
+/// policy is not registered.
+void set_contention_policy(std::vector<CaseSpec>& specs,
+                           std::string_view policy);
+
 }  // namespace aheft::exp
 
 #endif  // AHEFT_EXP_SWEEPS_H_

@@ -56,4 +56,17 @@ double improvement_rate(double base_mean, double variant_mean) {
   return (base_mean - variant_mean) / base_mean;
 }
 
+double jain_fairness_index(const std::vector<double>& values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (values.empty() || sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
 }  // namespace aheft

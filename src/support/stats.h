@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace aheft {
 
@@ -36,6 +37,11 @@ class OnlineStats {
 /// The paper reports "improvement rate" as the relative reduction of the
 /// *average* makespan: (avg(base) - avg(variant)) / avg(base).
 [[nodiscard]] double improvement_rate(double base_mean, double variant_mean);
+
+/// Jain's fairness index over non-negative allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1] with 1 meaning perfectly equal.
+/// Degenerate inputs (empty, or all zeros) count as perfectly fair.
+[[nodiscard]] double jain_fairness_index(const std::vector<double>& values);
 
 }  // namespace aheft
 

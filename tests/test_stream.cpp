@@ -1,14 +1,17 @@
 // Strategy-driver / session / multi-DAG workflow-stream tests: session
-// equivalence with the legacy entry points, cross-workflow contention,
-// arrival-time ordering, and stream determinism.
+// equivalence with the legacy entry points, cross-workflow contention
+// under every contention policy, arrival-time ordering, wait-time
+// accounting, and stream determinism.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "core/adaptive_run.h"
+#include "core/contention_policy.h"
 #include "core/strategy.h"
 #include "core/workflow_stream.h"
 #include "exp/case.h"
+#include "exp/sweeps.h"
 #include "helpers.h"
 
 namespace aheft::core {
@@ -28,6 +31,52 @@ struct ChainCase {
     pool.add(grid::Resource{.name = "only"});
     model.set_compute_cost(0, 0, 10.0);
     model.set_compute_cost(1, 0, 5.0);
+  }
+};
+
+/// A long chain (6 x 10) and a short single job (10) competing for one
+/// machine: the canonical starvation scenario the contention policies
+/// must arbitrate differently.
+struct CollisionCase {
+  dag::Dag long_dag{"long"};
+  dag::Dag short_dag{"short"};
+  grid::ResourcePool pool;
+  grid::MachineModel long_model{6, 1};
+  grid::MachineModel short_model{1, 1};
+
+  CollisionCase() {
+    for (int i = 0; i < 6; ++i) {
+      long_dag.add_job("l" + std::to_string(i));
+      if (i > 0) {
+        long_dag.add_edge(i - 1, i, 0.0);
+      }
+    }
+    long_dag.finalize();
+    short_dag.add_job("s0");
+    short_dag.finalize();
+    pool.add(grid::Resource{.name = "only"});
+    for (dag::JobId i = 0; i < 6; ++i) {
+      long_model.set_compute_cost(i, 0, 10.0);
+    }
+    short_model.set_compute_cost(0, 0, 10.0);
+  }
+
+  /// Long workflow first (it launches first and wins the machine),
+  /// short second; both arrive at t = 0.
+  [[nodiscard]] std::vector<WorkflowInstance> instances(
+      double long_priority = 1.0, double short_priority = 1.0) const {
+    std::vector<WorkflowInstance> result(2);
+    result[0].name = "long";
+    result[0].dag = &long_dag;
+    result[0].estimates = &long_model;
+    result[0].actual = &long_model;
+    result[0].priority = long_priority;
+    result[1].name = "short";
+    result[1].dag = &short_dag;
+    result[1].estimates = &short_model;
+    result[1].actual = &short_model;
+    result[1].priority = short_priority;
+    return result;
   }
 };
 
@@ -133,7 +182,17 @@ TEST(Stream, ContentionSerializesOneMachine) {
   EXPECT_DOUBLE_EQ(outcome.workflows[0].slowdown, 1.0);
   EXPECT_DOUBLE_EQ(outcome.workflows[1].slowdown, 2.0);
   EXPECT_DOUBLE_EQ(outcome.mean_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(outcome.max_slowdown, 2.0);
   EXPECT_DOUBLE_EQ(outcome.throughput, 2.0 / 30.0);
+  // Wait accounting: the winner never waited; the loser's first job
+  // waited out the winner's full 15-unit makespan, its second none.
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].wait, 15.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].max_wait, 15.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_wait, 7.5);
+  EXPECT_DOUBLE_EQ(outcome.max_wait, 15.0);
+  // Jain's index over the slowdowns {1, 2}: 9 / (2 * 5).
+  EXPECT_DOUBLE_EQ(outcome.jain_fairness, 0.9);
 }
 
 /// The dynamic strategy contends through the same arbitration.
@@ -156,6 +215,217 @@ TEST(Stream, DynamicWorkflowsContendToo) {
       run_workflow_stream(env, *driver, instances);
   EXPECT_DOUBLE_EQ(outcome.span, 30.0);
   EXPECT_DOUBLE_EQ(outcome.max_makespan, 30.0);
+}
+
+// ----------------------------------------------------- contention policy --
+
+SessionEnvironment policy_env(const grid::ResourcePool& pool,
+                              const std::string& policy) {
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.contention_policy = policy;
+  return env;
+}
+
+TEST(ContentionPolicy, StringRoundTrip) {
+  for (const ContentionPolicyKind kind :
+       {ContentionPolicyKind::kFcfs, ContentionPolicyKind::kPriority,
+        ContentionPolicyKind::kFairShare}) {
+    const auto parsed = contention_policy_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+    EXPECT_EQ(make_contention_policy(kind)->kind(), kind);
+    EXPECT_EQ(make_contention_policy(kind)->name(), to_string(kind));
+  }
+  EXPECT_FALSE(contention_policy_from_string("round-robin").has_value());
+}
+
+TEST(ContentionPolicy, RegistryKnowsBuiltinsAndRejectsUnknown) {
+  ContentionPolicyRegistry& registry = ContentionPolicyRegistry::instance();
+  for (const char* name : {"fcfs", "priority", "fair-share"}) {
+    EXPECT_TRUE(registry.contains(name));
+    EXPECT_EQ(registry.create(name)->name(), name);
+  }
+  EXPECT_FALSE(registry.contains("round-robin"));
+  try {
+    (void)registry.create("round-robin");
+    FAIL() << "unknown policy must throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("fair-share"),
+              std::string::npos);
+  }
+}
+
+TEST(ContentionPolicy, StrategyFromStringRoundTrips) {
+  for (const StrategyKind kind :
+       {StrategyKind::kStaticHeft, StrategyKind::kAdaptiveAheft,
+        StrategyKind::kDynamic}) {
+    const auto parsed = strategy_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(strategy_from_string("minmin").has_value());
+}
+
+TEST(ContentionPolicy, SessionRejectsUnknownPolicyAndBadPriority) {
+  const ChainCase c;
+  EXPECT_THROW(SimulationSession{policy_env(c.pool, "round-robin")},
+               std::invalid_argument);
+  SimulationSession session(policy_env(c.pool, "fcfs"));
+  ExecutionEngine engine(session, c.dag, c.model);
+  EXPECT_THROW(session.add_participant(nullptr), std::invalid_argument);
+  ExecutionEngine standalone(session.simulator(), c.dag, c.model, c.pool);
+  EXPECT_THROW(session.add_participant(&standalone, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(session.add_participant(&standalone, -2.0),
+               std::invalid_argument);
+}
+
+/// FCFS convoy: the long workflow launches first and keeps the machine
+/// through its entire chain; the short workflow starves behind it, which
+/// the wait metrics and Jain's index must price.
+TEST(ContentionPolicy, FcfsStarvesTheShortWorkflow) {
+  const CollisionCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kStaticHeft);
+  const StreamOutcome outcome = run_workflow_stream(
+      policy_env(c.pool, "fcfs"), *driver, c.instances());
+  ASSERT_EQ(outcome.workflows.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].makespan, 60.0);  // long: solo pace
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].makespan, 70.0);  // short: starved
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].wait, 60.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].slowdown, 7.0);
+  EXPECT_DOUBLE_EQ(outcome.max_slowdown, 7.0);
+  EXPECT_DOUBLE_EQ(outcome.max_wait, 60.0);
+}
+
+/// Fair share breaks the convoy once the short workflow's stretch (wall
+/// time over its own solo makespan) runs past the deadband: it bounds
+/// the worst slowdown and strictly improves Jain's index over FCFS.
+TEST(ContentionPolicy, FairShareBoundsMaxSlowdown) {
+  const CollisionCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kStaticHeft);
+  const StreamOutcome fcfs = run_workflow_stream(
+      policy_env(c.pool, "fcfs"), *driver, c.instances());
+  const StreamOutcome fair = run_workflow_stream(
+      policy_env(c.pool, "fair-share"), *driver, c.instances());
+  ASSERT_EQ(fair.workflows.size(), 2u);
+  // The short workflow is admitted at t = 30 (stretch 3 > deadband),
+  // the long one resumes afterwards.
+  EXPECT_DOUBLE_EQ(fair.workflows[1].makespan, 40.0);
+  EXPECT_DOUBLE_EQ(fair.workflows[1].wait, 30.0);
+  EXPECT_DOUBLE_EQ(fair.workflows[0].makespan, 70.0);
+  EXPECT_DOUBLE_EQ(fair.workflows[0].wait, 10.0);
+  EXPECT_LT(fair.max_slowdown, fcfs.max_slowdown);
+  EXPECT_GT(fair.jain_fairness, fcfs.jain_fairness);
+}
+
+/// Strict priorities displace regardless of stretch: a high-priority
+/// short workflow preempts the queue order immediately, a low-priority
+/// one starves exactly like FCFS.
+TEST(ContentionPolicy, PriorityArbitratesByRank) {
+  const CollisionCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kStaticHeft);
+  const StreamOutcome high = run_workflow_stream(
+      policy_env(c.pool, "priority"), *driver,
+      c.instances(/*long=*/1.0, /*short=*/10.0));
+  EXPECT_DOUBLE_EQ(high.workflows[1].makespan, 20.0);
+  EXPECT_DOUBLE_EQ(high.workflows[1].wait, 10.0);
+  EXPECT_DOUBLE_EQ(high.workflows[0].makespan, 70.0);
+
+  const StreamOutcome low = run_workflow_stream(
+      policy_env(c.pool, "priority"), *driver,
+      c.instances(/*long=*/10.0, /*short=*/1.0));
+  EXPECT_DOUBLE_EQ(low.workflows[0].makespan, 60.0);
+  EXPECT_DOUBLE_EQ(low.workflows[1].makespan, 70.0);
+  EXPECT_DOUBLE_EQ(low.workflows[1].wait, 60.0);
+}
+
+/// Identical workflows arriving at the same instant: every policy must
+/// break the tie the same deterministic way (launch order) and reproduce
+/// it bit-identically across runs.
+TEST(ContentionPolicy, DeterministicTieBreakForIdenticalArrivals) {
+  const ChainCase c;
+  for (const char* policy : {"fcfs", "priority", "fair-share"}) {
+    const std::unique_ptr<StrategyDriver> driver =
+        make_strategy_driver(StrategyKind::kStaticHeft);
+    std::vector<WorkflowInstance> instances(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      instances[i].name = i == 0 ? "first" : "second";
+      instances[i].dag = &c.dag;
+      instances[i].estimates = &c.model;
+      instances[i].actual = &c.model;
+    }
+    const StreamOutcome a = run_workflow_stream(policy_env(c.pool, policy),
+                                                *driver, instances);
+    const StreamOutcome b = run_workflow_stream(policy_env(c.pool, policy),
+                                                *driver, instances);
+    ASSERT_EQ(a.workflows.size(), 2u) << policy;
+    // The first-launched workflow wins the machine under every policy
+    // (equal priorities and equal stretch mean no displacement).
+    EXPECT_DOUBLE_EQ(a.workflows[0].makespan, 15.0) << policy;
+    EXPECT_DOUBLE_EQ(a.workflows[1].makespan, 30.0) << policy;
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_DOUBLE_EQ(a.workflows[i].makespan, b.workflows[i].makespan)
+          << policy;
+      EXPECT_DOUBLE_EQ(a.workflows[i].wait, b.workflows[i].wait) << policy;
+    }
+  }
+}
+
+/// The default session policy is FCFS, and an explicit "fcfs" selection
+/// reproduces the default stream results bit-identically (the acquisition
+/// API is a pure refactor of the PR 2 behavior under FCFS).
+TEST(ContentionPolicy, ExplicitFcfsMatchesDefaultBitIdentically) {
+  exp::CaseSpec base;
+  base.app = exp::AppKind::kRandom;
+  base.size = 20;
+  base.ccr = 1.0;
+  base.dynamics = {5, 200.0, 0.2};
+  base.seed = 4242;
+  base.scenario_source = "bursty";
+  base.react_to_variance = true;
+  base.horizon_factor = 2.0;
+  base.stream_jobs = 4;
+  base.stream_interarrival = 150.0;
+  exp::CaseSpec explicit_fcfs = base;
+  explicit_fcfs.contention_policy = "fcfs";
+  const exp::StreamCaseResult a = exp::run_stream_case(base);
+  const exp::StreamCaseResult b = exp::run_stream_case(explicit_fcfs);
+  EXPECT_EQ(a.heft.makespans, b.heft.makespans);
+  EXPECT_EQ(a.aheft.makespans, b.aheft.makespans);
+  EXPECT_EQ(a.minmin.makespans, b.minmin.makespans);
+  EXPECT_EQ(a.heft.waits, b.heft.waits);
+  EXPECT_EQ(a.aheft.waits, b.aheft.waits);
+  EXPECT_EQ(a.minmin.waits, b.minmin.waits);
+}
+
+TEST(ContentionPolicy, SetContentionPolicyAppliesAndValidates) {
+  std::vector<exp::CaseSpec> specs(2);
+  exp::set_contention_policy(specs, "fair-share");
+  EXPECT_EQ(specs[0].contention_policy, "fair-share");
+  EXPECT_EQ(specs[1].contention_policy, "fair-share");
+  EXPECT_THROW(exp::set_contention_policy(specs, "round-robin"),
+               std::invalid_argument);
+}
+
+TEST(ContentionPolicy, StreamPrioritiesCycleOverInstances) {
+  exp::CaseSpec spec;
+  spec.app = exp::AppKind::kRandom;
+  spec.size = 10;
+  spec.dynamics = {4, 500.0, 0.0};
+  spec.seed = 11;
+  spec.stream_jobs = 5;
+  spec.stream_priorities = {4.0, 1.0};
+  const exp::CaseEnvironment env = exp::build_case_environment(spec);
+  const exp::StreamSetup setup = exp::build_stream_setup(spec, env);
+  ASSERT_EQ(setup.instances.size(), 5u);
+  for (std::size_t k = 0; k < setup.instances.size(); ++k) {
+    EXPECT_DOUBLE_EQ(setup.instances[k].priority, k % 2 == 0 ? 4.0 : 1.0);
+  }
 }
 
 // ------------------------------------------------------ arrival ordering --

@@ -200,6 +200,25 @@ TEST(Stats, ImprovementRate) {
   EXPECT_DOUBLE_EQ(improvement_rate(10.0, 12.0), -0.2);
 }
 
+TEST(Stats, JainFairnessIndexOnKnownVectors) {
+  // Perfect equality — index 1 regardless of the common value.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({7.5, 7.5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({42.0}), 1.0);
+  // One of n served: index 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // {1, 3}: (1+3)^2 / (2 * (1+9)) = 0.8.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 3.0}), 0.8);
+  // {4, 2, 2}: 64 / (3 * 24).
+  EXPECT_DOUBLE_EQ(jain_fairness_index({4.0, 2.0, 2.0}), 64.0 / 72.0);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({10.0, 30.0}),
+                   jain_fairness_index({1.0, 3.0}));
+  // Degenerate inputs count as perfectly fair.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 1.0);
+}
+
 // ----- table ---------------------------------------------------------------
 
 TEST(Table, RendersAlignedColumns) {
