@@ -14,9 +14,11 @@
 // per-workflow makespan moved.
 //
 // Extra knobs: --smoke (alias for --scale=smoke, used by CI),
-// --streams=a,b,c to override the concurrency axis, and
+// --streams=a,b,c to override the concurrency axis,
 // --contention-policy=fcfs|priority|fair-share to swap the session's
-// machine arbitration (CI smoke-runs every built-in policy).
+// machine arbitration (CI smoke-runs every built-in policy), --backfill,
+// and --json=path (per-strategy makespan/wait/jain rows at full
+// precision, uploaded by CI as the BENCH_stream.json artifact).
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -29,7 +31,7 @@ namespace {
 
 exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
                           std::size_t stream_jobs,
-                          const std::string& policy) {
+                          const std::string& policy, bool backfill) {
   exp::CaseSpec spec;
   spec.app = exp::AppKind::kRandom;
   spec.size = scale == Scale::kSmoke ? 20 : 40;
@@ -48,6 +50,7 @@ exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
   if (!policy.empty()) {
     spec.contention_policy = policy;
   }
+  spec.backfill = backfill;
   spec.seed = exp::case_seed(master, spec, /*instance=*/stream_jobs);
   return spec;
 }
@@ -91,14 +94,29 @@ int main(int argc, char** argv) {
       "Multi-DAG workflow streams: HEFT vs Min-Min vs AHEFT (policy: " +
           (policy.empty() ? std::string("fcfs") : policy) + ")",
       options, streams.size());
+  bench::JsonReport json("bench_multi_dag_stream", options);
 
   std::vector<exp::StreamCaseResult> results;
   results.reserve(streams.size());
   for (const std::size_t n : streams) {
-    results.push_back(exp::run_stream_case(
-        stream_spec(options.scale, options.seed, n, policy)));
+    results.push_back(exp::run_stream_case(stream_spec(
+        options.scale, options.seed, n, policy, options.backfill)));
     report(n, results.back());
+    const exp::StreamCaseResult& r = results.back();
+    const std::string policy_label =
+        policy.empty() ? std::string("fcfs") : policy;
+    for (const auto& [strategy, summary] :
+         {std::pair<const char*, const exp::StreamStrategySummary*>{
+              "heft", &r.heft},
+          {"dynamic", &r.minmin},
+          {"aheft", &r.aheft}}) {
+      json.add_stream_row({{"strategy", strategy},
+                           {"policy", policy_label},
+                           {"streams", std::to_string(n)}},
+                          *summary);
+    }
   }
+  json.write_if_requested(options);
 
   // Determinism probe: the acceptance bar for stream experiments is
   // bit-identical per-workflow makespans under a fixed seed. Reuse the
@@ -106,8 +124,8 @@ int main(int argc, char** argv) {
   const std::size_t probe_index = streams.size() > 1 ? 1 : 0;
   const std::size_t probe = streams[probe_index];
   const exp::StreamCaseResult& a = results[probe_index];
-  const exp::StreamCaseResult b = exp::run_stream_case(
-      stream_spec(options.scale, options.seed, probe, policy));
+  const exp::StreamCaseResult b = exp::run_stream_case(stream_spec(
+      options.scale, options.seed, probe, policy, options.backfill));
   const bool deterministic = a.heft.makespans == b.heft.makespans &&
                              a.aheft.makespans == b.aheft.makespans &&
                              a.minmin.makespans == b.minmin.makespans &&

@@ -1,0 +1,176 @@
+// EXP-S3 — pump scaling: per-machine-event work versus workflow count.
+//
+// Before the session-owned ResourceLedger, the contention floor of every
+// acquire was computed by polling busy_until() on EVERY registered
+// workflow — so each machine event cost O(session workflows) even when
+// the machine's queue held one entry, and a stream's total work grew
+// quadratically. The ledger keeps the committed horizon per resource, so
+// an acquire costs O(queue on that resource) regardless of how many
+// workflows share the session.
+//
+// The bench holds total work constant (kTotalJobs chained jobs split over
+// W workflows, each executing on its own dedicated machine — zero queue
+// overlap) while W grows. Every job start still runs the full
+// acquire/commit path against a session with W registered workflows.
+// Under the ledger, wall time per executed event stays flat as W grows;
+// under the participant-scan design it grew ~linearly. The self-check
+// fails the bench when the largest W costs more than kMaxRatio x the
+// smallest per event — linear growth would blow well past it.
+//
+// The engines are driven directly with precomputed schedules (no HEFT
+// pass), so the measurement isolates the executor/session hot path.
+//
+// Extra knobs: --smoke (quarter-size), --json=path.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/execution_engine.h"
+#include "core/schedule.h"
+#include "core/session.h"
+#include "dag/dag.h"
+#include "grid/machine_model.h"
+#include "grid/resource_pool.h"
+
+using namespace aheft;
+
+namespace {
+
+struct ScalingPoint {
+  std::size_t workflows = 0;
+  std::size_t jobs_per_workflow = 0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double micros_per_event() const {
+    return events == 0 ? 0.0 : seconds * 1e6 / static_cast<double>(events);
+  }
+};
+
+/// One measured configuration: W chains of K jobs, machine w dedicated to
+/// workflow w (its costs are 1 there and 100 elsewhere, so every plan
+/// stays on its own machine and the queues never overlap).
+ScalingPoint run_point(std::size_t workflows, std::size_t jobs) {
+  grid::ResourcePool pool;
+  for (std::size_t w = 0; w < workflows; ++w) {
+    pool.add(grid::Resource{.name = "m" + std::to_string(w)});
+  }
+
+  std::vector<dag::Dag> dags;
+  std::vector<grid::MachineModel> models;
+  dags.reserve(workflows);
+  models.reserve(workflows);
+  for (std::size_t w = 0; w < workflows; ++w) {
+    dags.emplace_back("chain" + std::to_string(w));
+    dag::Dag& dag = dags.back();
+    for (std::size_t i = 0; i < jobs; ++i) {
+      dag.add_job("j" + std::to_string(i));
+      if (i > 0) {
+        dag.add_edge(static_cast<dag::JobId>(i - 1),
+                     static_cast<dag::JobId>(i), 0.0);
+      }
+    }
+    dag.finalize();
+    models.emplace_back(jobs, workflows);
+    for (dag::JobId i = 0; i < jobs; ++i) {
+      for (grid::ResourceId r = 0;
+           r < static_cast<grid::ResourceId>(workflows); ++r) {
+        models.back().set_compute_cost(
+            i, r, r == static_cast<grid::ResourceId>(w) ? 1.0 : 100.0);
+      }
+    }
+  }
+
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  core::SimulationSession session(env);
+  std::vector<std::unique_ptr<core::ExecutionEngine>> engines;
+  engines.reserve(workflows);
+  Stopwatch watch;
+  for (std::size_t w = 0; w < workflows; ++w) {
+    engines.push_back(std::make_unique<core::ExecutionEngine>(
+        session, dags[w], models[w]));
+    core::Schedule plan(jobs);
+    for (dag::JobId i = 0; i < jobs; ++i) {
+      plan.assign(core::Assignment{i, static_cast<grid::ResourceId>(w),
+                                   static_cast<sim::Time>(i),
+                                   static_cast<sim::Time>(i + 1)});
+    }
+    engines.back()->submit(plan);
+  }
+  session.run();
+
+  ScalingPoint point;
+  point.workflows = workflows;
+  point.jobs_per_workflow = jobs;
+  point.seconds = watch.seconds();
+  point.events = session.simulator().executed_events();
+  for (const auto& engine : engines) {
+    if (!engine->finished()) {
+      std::cerr << "pump-scaling workflow did not finish\n";
+      std::exit(1);
+    }
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+  const ArgParser args(argc, argv);
+  if (args.has("smoke")) {
+    options.scale = Scale::kSmoke;
+  }
+  const std::size_t total_jobs =
+      options.scale == Scale::kSmoke ? 8192 : 32768;
+  const std::vector<std::size_t> workflow_counts = {4, 16, 64};
+  constexpr double kMaxRatio = 3.0;
+
+  bench::print_header(
+      "Pump scaling: per-machine-event work vs workflow count", options,
+      workflow_counts.size());
+  bench::JsonReport report("bench_pump_scaling", options);
+
+  std::vector<ScalingPoint> points;
+  for (const std::size_t w : workflow_counts) {
+    // Best of two runs: absorbs one-off allocator/cache noise without
+    // hiding real asymptotic growth.
+    ScalingPoint best = run_point(w, total_jobs / w);
+    const ScalingPoint second = run_point(w, total_jobs / w);
+    if (second.seconds < best.seconds) {
+      best = second;
+    }
+    points.push_back(best);
+    report.add_row(
+        {{"workflows", std::to_string(w)}},
+        {{"events", static_cast<double>(best.events)},
+         {"seconds", best.seconds},
+         {"micros_per_event", best.micros_per_event()}});
+  }
+
+  AsciiTable table({"workflows", "jobs/workflow", "events", "seconds",
+                    "us/event"});
+  for (const ScalingPoint& p : points) {
+    table.add_row({std::to_string(p.workflows),
+                   std::to_string(p.jobs_per_workflow),
+                   std::to_string(p.events),
+                   format_double(p.seconds, 3),
+                   format_double(p.micros_per_event(), 3)});
+  }
+  std::cout << table.to_string() << "\n";
+  report.write_if_requested(options);
+
+  const double first = points.front().micros_per_event();
+  const double last = points.back().micros_per_event();
+  const double ratio = first > 0.0 ? last / first : 0.0;
+  const bool flat = ratio <= kMaxRatio;
+  std::cout << "pump-scaling self-check: us/event at "
+            << points.back().workflows << " workflows is "
+            << format_double(ratio, 2) << "x the " << points.front().workflows
+            << "-workflow cost (bound " << format_double(kMaxRatio, 1)
+            << "x; participant-scan scaling would be ~"
+            << points.back().workflows / points.front().workflows
+            << "x) -> " << (flat ? "PASS" : "FAIL") << "\n";
+  return flat ? 0 : 1;
+}

@@ -12,6 +12,13 @@
 //   --contention-policy=NAME      (cross-workflow machine arbitration for
 //                                  stream benches: fcfs, priority,
 //                                  fair-share, or a custom registration)
+//   --backfill                    (session-level ledger backfilling for
+//                                  stream benches; changes grants, so it
+//                                  is never the default)
+//   --json=path                   (structured per-configuration results —
+//                                  every row's makespan/wait/jain at full
+//                                  double precision — so CI can archive
+//                                  the perf trajectory machine-readably)
 // and prints measured values side by side with the paper's published
 // numbers. Default scale keeps each bench in the seconds-to-minutes range;
 // paper scale replays the full published grids.
@@ -20,9 +27,12 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/contention_policy.h"
@@ -46,6 +56,10 @@ struct BenchOptions {
   std::string trace_path;
   /// Overrides every spec's contention policy when non-empty.
   std::string contention_policy;
+  /// Enables session-level ledger backfilling on every spec.
+  bool backfill = false;
+  /// Structured JSON results path (empty: no JSON output).
+  std::string json;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -59,6 +73,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
   options.scenario_source = args.get("scenario-source", "");
   options.trace_path = args.get("trace", "");
   options.contention_policy = args.get("contention-policy", "");
+  options.backfill = args.has("backfill");
+  options.json = args.get("json", "");
   if (!options.contention_policy.empty()) {
     // Fail at parse time with a usage message — an unknown name would
     // otherwise escape as an exception from the first session mid-run.
@@ -129,6 +145,103 @@ inline core::StrategyKind parse_strategy(const ArgParser& args,
   std::exit(2);
 }
 
+/// Structured results sink behind --json: one JSON object per bench run
+/// with one row per measured configuration. Labels are the configuration
+/// axes (policy, strategy, streams, ...); metrics carry full double
+/// precision so the perf trajectory stays diffable across commits
+/// without table-rounding noise.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const BenchOptions& options)
+      : bench_(std::move(bench)),
+        scale_(to_string(options.scale)),
+        seed_(options.seed) {}
+
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  void add_row(Labels labels, Metrics metrics) {
+    rows_.push_back(Row{std::move(labels), std::move(metrics)});
+  }
+
+  /// The standard stream-summary metric set every stream bench reports.
+  void add_stream_row(Labels labels,
+                      const exp::StreamStrategySummary& summary) {
+    add_row(std::move(labels),
+            Metrics{{"mean_makespan", summary.mean_makespan},
+                    {"max_makespan", summary.max_makespan},
+                    {"mean_slowdown", summary.mean_slowdown},
+                    {"max_slowdown", summary.max_slowdown},
+                    {"mean_wait", summary.mean_wait},
+                    {"max_wait", summary.max_wait},
+                    {"jain_fairness", summary.jain_fairness},
+                    {"throughput", summary.throughput},
+                    {"span", summary.span},
+                    {"adoptions",
+                     static_cast<double>(summary.adoptions)}});
+  }
+
+  /// Writes the report to `path`; exits with a message when the file
+  /// cannot be written (CI must notice a missing artifact).
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "--json: cannot write " << path << "\n";
+      std::exit(2);
+    }
+    out << "{\n  \"bench\": " << quoted(bench_) << ",\n  \"scale\": "
+        << quoted(scale_) << ",\n  \"seed\": " << seed_
+        << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {\"labels\": {";
+      const Row& row = rows_[i];
+      for (std::size_t j = 0; j < row.labels.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << quoted(row.labels[j].first) << ": "
+            << quoted(row.labels[j].second);
+      }
+      out << "}, \"metrics\": {";
+      out << std::setprecision(17);
+      for (std::size_t j = 0; j < row.metrics.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << quoted(row.metrics[j].first) << ": "
+            << row.metrics[j].second;
+      }
+      out << "}}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "structured results written to " << path << "\n";
+  }
+
+  /// Writes to options.json when --json was given; no-op otherwise.
+  void write_if_requested(const BenchOptions& options) const {
+    if (!options.json.empty()) {
+      write(options.json);
+    }
+  }
+
+ private:
+  struct Row {
+    Labels labels;
+    Metrics metrics;
+  };
+
+  static std::string quoted(const std::string& text) {
+    std::string result = "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        result += '\\';
+      }
+      result += c;
+    }
+    result += '"';
+    return result;
+  }
+
+  std::string bench_;
+  std::string scale_;
+  std::uint64_t seed_;
+  std::vector<Row> rows_;
+};
+
 inline void print_header(const std::string& title,
                          const BenchOptions& options, std::size_t cases) {
   std::cout << "=== " << title << " ===\n"
@@ -147,6 +260,9 @@ inline exp::SweepOutcome run(const BenchOptions& options,
   }
   if (!options.contention_policy.empty()) {
     exp::set_contention_policy(specs, options.contention_policy);
+  }
+  if (options.backfill) {
+    exp::set_backfill(specs, true);
   }
   Stopwatch watch;
   exp::SweepOutcome outcome =

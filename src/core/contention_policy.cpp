@@ -36,10 +36,14 @@ std::optional<ContentionPolicyKind> contention_policy_from_string(
   return std::nullopt;
 }
 
-void ContentionPolicy::on_commit(const ContentionRequest& /*request*/,
+void ContentionPolicy::on_commit(const ReservationEntry& /*entry*/,
                                  sim::Time /*start*/, sim::Time /*end*/) {}
 
 bool ContentionPolicy::needs_change_notifications() const { return true; }
+
+bool ContentionPolicy::two_phase_dynamic() const {
+  return needs_change_notifications();
+}
 
 namespace {
 
@@ -54,7 +58,7 @@ sim::Time slot_start(const ContentionQuery& query) {
 /// idle the machine (the slot's owner cannot start either), so favored
 /// competitors only displace the request when they can use the slot —
 /// plain backfilling, as advance-reservation schedulers do it.
-bool can_take_slot(const ContentionRequest& competitor,
+bool can_take_slot(const ReservationEntry& competitor,
                    const ContentionQuery& query) {
   return sim::time_le(competitor.ready, slot_start(query));
 }
@@ -64,10 +68,34 @@ bool can_take_slot(const ContentionRequest& competitor,
 /// holds the machine for its projected duration. Deferring behind this is
 /// a one-slice estimate — the deferred participant re-requests at that
 /// time and re-evaluates against the then-current picture.
-sim::Time projected_release(const ContentionRequest& competitor,
+sim::Time projected_release(const ReservationEntry& competitor,
                             const ContentionQuery& query) {
   return std::max({competitor.ready, query.now, query.others_busy}) +
          competitor.duration;
+}
+
+/// Projects when the machine frees for a request after serving every
+/// held two-phase claim queued ahead of it (per `ahead`, a policy-total
+/// order). Claims are served in ledger-id order — the order they stacked
+/// when granted — each no earlier than its own feasible time.
+template <typename Ahead>
+sim::Time serve_held_ahead(const ContentionQuery& query, Ahead ahead) {
+  std::vector<const ReservationEntry*> claims;
+  for (const ReservationEntry& other : *query.queue) {
+    if (other.participant != query.request->participant &&
+        other.state == ReservationState::kHeld && ahead(other)) {
+      claims.push_back(&other);
+    }
+  }
+  std::sort(claims.begin(), claims.end(),
+            [](const ReservationEntry* a, const ReservationEntry* b) {
+              return a->id < b->id;
+            });
+  sim::Time t = std::max(query.now, query.others_busy);
+  for (const ReservationEntry* claim : claims) {
+    t = std::max(t, claim->ready) + claim->duration;
+  }
+  return t;
 }
 
 class FcfsPolicy final : public ContentionPolicy {
@@ -96,10 +124,21 @@ class PriorityPolicy final : public ContentionPolicy {
   [[nodiscard]] std::string name() const override { return "priority"; }
 
   [[nodiscard]] sim::Time grant(const ContentionQuery& query) const override {
-    const ContentionRequest& self = *query.request;
-    sim::Time start = std::max(self.ready, query.others_busy);
-    for (const ContentionRequest& other : *query.pending) {
+    const ReservationEntry& self = *query.request;
+    // Held two-phase claims form a service queue ordered by strict rank,
+    // ids (registration order) breaking ties: the request is granted the
+    // machine only after every claim queued ahead of it has been served.
+    // The order is total at any instant, so the relation is acyclic and
+    // the queue head always converges onto the machine.
+    sim::Time start = std::max(
+        self.ready,
+        serve_held_ahead(query, [&self](const ReservationEntry& held) {
+          return held.priority > self.priority ||
+                 (held.priority == self.priority && held.id < self.id);
+        }));
+    for (const ReservationEntry& other : *query.queue) {
       if (other.participant == self.participant ||
+          other.state == ReservationState::kHeld ||
           other.priority <= self.priority || !can_take_slot(other, query)) {
         continue;
       }
@@ -127,16 +166,29 @@ class FairSharePolicy final : public ContentionPolicy {
   [[nodiscard]] std::string name() const override { return "fair-share"; }
 
   [[nodiscard]] sim::Time grant(const ContentionQuery& query) const override {
-    const ContentionRequest& self = *query.request;
-    sim::Time start = std::max(self.ready, query.others_busy);
+    const ReservationEntry& self = *query.request;
+    const double self_stretch = stretch(self, query.now);
+    const int self_tier = starvation_tier(self_stretch);
+    // Held two-phase claims form a service queue ordered by starvation
+    // tier (a workflow pushed past its own solo span overtakes the
+    // booking order), ids breaking ties inside a tier. The order is
+    // total at any instant — no pairwise-relative jumping, which could
+    // cycle — so the queue head always converges onto the machine.
+    sim::Time start = std::max(
+        self.ready, serve_held_ahead(query, [&](const ReservationEntry& held) {
+          const int tier = starvation_tier(stretch(held, query.now));
+          return tier > self_tier ||
+                 (tier == self_tier && held.id < self.id);
+        }));
     // Only the single most-stretched pending competitor may displace the
     // request: boosting one victim at a time keeps the collateral damage
     // (displaced mid-pack workflows picking up slowdown of their own)
     // minimal, which is what keeps the whole distribution tight.
-    const ContentionRequest* starved = nullptr;
+    const ReservationEntry* starved = nullptr;
     double starved_stretch = 0.0;
-    for (const ContentionRequest& other : *query.pending) {
+    for (const ReservationEntry& other : *query.queue) {
       if (other.participant == self.participant ||
+          other.state == ReservationState::kHeld ||
           !can_take_slot(other, query)) {
         continue;
       }
@@ -146,15 +198,14 @@ class FairSharePolicy final : public ContentionPolicy {
         starved_stretch = s;
       }
     }
-    if (starved != nullptr &&
-        displaces(starved_stretch, stretch(self, query.now))) {
+    if (starved != nullptr && displaces(starved_stretch, self_stretch)) {
       start = std::max(start, projected_release(*starved, query));
     }
     return start;
   }
 
  private:
-  [[nodiscard]] static double stretch(const ContentionRequest& request,
+  [[nodiscard]] static double stretch(const ReservationEntry& request,
                                       sim::Time now) {
     if (request.planned_span <= 0.0) {
       return 0.0;  // scale unknown: never displaces competitors
@@ -170,6 +221,20 @@ class FairSharePolicy final : public ContentionPolicy {
   /// some pending request is always granted.
   [[nodiscard]] static bool displaces(double starved, double self) {
     return starved > 2.0 && starved > 1.25 * self;
+  }
+
+  /// Starvation tier of a stretch value: quantized most-starved-first.
+  /// A workflow a full band more stretched than another overtakes its
+  /// held bookings; inside a band the registration order stands. An
+  /// absolute quantization — not a pairwise-relative test — so the
+  /// service order over held claims is total at every instant, and the
+  /// band width is the hysteresis that keeps mild imbalance from
+  /// reshuffling the queue on every wiggle. The band equals the
+  /// pending-displacement deadband: overtaking a booking takes the same
+  /// two-own-makespans starvation that displacing a queue head does.
+  [[nodiscard]] static int starvation_tier(double stretch_value) {
+    constexpr double kBand = 2.0;
+    return static_cast<int>(std::max(0.0, stretch_value) / kBand);
   }
 };
 

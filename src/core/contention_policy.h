@@ -1,18 +1,14 @@
 // Pluggable arbitration of cross-workflow machine contention.
 //
-// The session used to expose a passive "how long is this machine booked"
-// query and left the grant order to whichever participant's pump event
-// happened to fire first — strict FCFS with event-insertion tie-breaks.
-// This interface makes the arbitration an explicit, swappable decision:
-// participants register acquisition requests with the session, and the
-// session's ContentionPolicy decides the start time each request is
-// granted. Three policies ship:
+// The session routes every demand for machine time through its
+// ResourceLedger (resource_ledger.h); the ContentionPolicy decides the
+// start time each queued ledger entry is granted. Three policies ship:
 //
 //  - kFcfs       first-come-first-served; bit-compatible with the
 //                pre-policy behavior (grant = committed bookings of the
 //                other participants, ties broken by event order).
-//  - kPriority   strict priorities: a request defers behind every pending
-//                request of a strictly higher-priority workflow. Equal
+//  - kPriority   strict priorities: a request defers behind every queued
+//                entry of a strictly higher-priority workflow. Equal
 //                priorities degrade to FCFS. Low-priority workflows can
 //                starve — that is the policy's contract; the session's
 //                wait metrics make the starvation measurable.
@@ -31,7 +27,6 @@
 #ifndef AHEFT_CORE_CONTENTION_POLICY_H_
 #define AHEFT_CORE_CONTENTION_POLICY_H_
 
-#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -39,7 +34,7 @@
 #include <string_view>
 #include <vector>
 
-#include "grid/resource.h"
+#include "core/resource_ledger.h"
 #include "sim/time.h"
 
 namespace aheft::core {
@@ -54,48 +49,19 @@ enum class ContentionPolicyKind { kFcfs, kPriority, kFairShare };
 [[nodiscard]] std::optional<ContentionPolicyKind>
 contention_policy_from_string(std::string_view text);
 
-/// One participant's pending acquisition of machine time. Requests are
-/// keyed by (participant, resource): a participant has at most one in
-/// flight per resource (the head of its local queue), refreshed on every
-/// retry and cleared when the grant is committed or withdrawn.
-struct ContentionRequest {
-  /// Session-assigned registration index (stable, deterministic).
-  std::size_t participant = 0;
-  /// Caller-chosen identity of the work behind the request (engines pass
-  /// the job id). Lets a request withdrawn by a reschedule and then
-  /// re-registered for the same work keep its wait baseline.
-  std::uint64_t tag = 0;
-  grid::ResourceId resource = grid::kInvalidResource;
-  /// Earliest start feasible for the participant itself (inputs, own
-  /// bookings, machine arrival) as of the latest refresh.
-  sim::Time ready = sim::kTimeZero;
-  /// Projected nominal run length of the job behind the request.
-  double duration = 0.0;
-  /// The owning workflow's priority / fair-share weight.
-  double priority = 1.0;
-  /// `ready` at first registration — the base of the wait metrics.
-  sim::Time first_ready = sim::kTimeZero;
-  /// When the owning workflow first asked the session for machine time
-  /// (its activation): the base of fair-share stretch normalization.
-  sim::Time active_since = sim::kTimeZero;
-  /// Scale of the owning workflow: its release-time plan length
-  /// (SessionParticipant::planned_finish() minus the activation). Zero
-  /// when the participant does not plan ahead.
-  double planned_span = 0.0;
-};
-
-/// Everything a policy sees when granting one request. The pending list
-/// covers the request's resource in registration order and includes the
-/// request itself; `others_busy` is the latest committed booking of any
-/// other participant on that resource (the FCFS floor).
+/// Everything a policy sees when granting one ledger entry. The queue is
+/// the resource's pending + held entries in registration order and
+/// includes the request itself when it is registered (what-if peeks pass
+/// an unregistered probe); `others_busy` is the latest committed booking
+/// of any other participant on that resource (the FCFS floor).
 struct ContentionQuery {
-  const ContentionRequest* request = nullptr;
+  const ReservationEntry* request = nullptr;
   sim::Time now = sim::kTimeZero;
   sim::Time others_busy = sim::kTimeZero;
-  const std::vector<ContentionRequest>* pending = nullptr;
+  const std::vector<ReservationEntry>* queue = nullptr;
 };
 
-/// Decides the start time granted to each acquisition request. grant()
+/// Decides the start time granted to each queued ledger entry. grant()
 /// must be const and deterministic (it also serves what-if peeks from
 /// decision heuristics); state such as fair-share usage mutates only in
 /// on_commit(). A grant at or before the request's ready time means "go
@@ -111,18 +77,27 @@ class ContentionPolicy {
 
   [[nodiscard]] virtual sim::Time grant(const ContentionQuery& query) const = 0;
 
-  /// A granted request started running over [start, end): usage
-  /// accounting hook. Default is a no-op.
-  virtual void on_commit(const ContentionRequest& request, sim::Time start,
+  /// A granted entry started running over [start, end): usage accounting
+  /// hook. Default is a no-op.
+  virtual void on_commit(const ReservationEntry& entry, sim::Time start,
                          sim::Time end);
 
-  /// Whether grants can move EARLIER when another request commits or
-  /// withdraws. When true the session wakes the remaining requesters of
-  /// the resource so deferred workflows re-evaluate immediately instead
-  /// of polling a stale projection while the machine idles. FCFS grants
-  /// depend only on committed bookings (which never shrink), so it opts
-  /// out and keeps the historical event stream untouched.
+  /// Whether grants can move EARLIER when another entry commits or
+  /// withdraws. When true the session wakes the remaining queued owners
+  /// of the resource so deferred workflows re-evaluate immediately
+  /// instead of polling a stale projection while the machine idles. FCFS
+  /// grants depend only on committed bookings (which never shrink), so it
+  /// opts out and keeps the historical event stream untouched.
   [[nodiscard]] virtual bool needs_change_notifications() const;
+
+  /// Whether just-in-time (dynamic) dispatch should reserve→commit in two
+  /// phases under this policy: a dynamic decision whose granted start
+  /// lies in the future stays a queued (visible, displaceable) ledger
+  /// entry until the grant matures, instead of advance-booking the slot
+  /// instantly. FCFS opts out — instant advance booking is its
+  /// historical, bit-stable behavior — so it returns false by default
+  /// when change notifications are off.
+  [[nodiscard]] virtual bool two_phase_dynamic() const;
 };
 
 /// Builds a fresh instance of a built-in policy.

@@ -1,8 +1,10 @@
 #include "core/dynamic_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "dag/algorithms.h"
 #include "sim/simulator.h"
 #include "support/assert.h"
 
@@ -55,13 +57,71 @@ void DynamicExecution::launch(sim::Time release, Completion done) {
   session_->simulator().schedule_at(release, [this] {
     AHEFT_REQUIRE(pool_->count_available_at(release_) > 0,
                   "dynamic run needs at least one resource at release");
+    planned_finish_ = estimate_solo_finish();
     dispatch();
   });
 }
 
-sim::Time DynamicExecution::busy_until(grid::ResourceId resource) const {
-  const auto it = avail_.find(resource);
-  return it == avail_.end() ? sim::kTimeZero : it->second;
+sim::Time DynamicExecution::estimate_solo_finish() const {
+  // A just-in-time run has no plan, but fair-share stretch needs a scale
+  // to normalize by — without one this workflow could never displace
+  // competitors (planned_span 0 means stretch 0). Estimate the solo
+  // makespan the way the engines use their release-time HEFT plan: a
+  // greedy earliest-finish list schedule over the release-visible
+  // machines with nominal costs, transfers priced at decision time. The
+  // estimate must be realistic — an optimistic bound (say, the bare
+  // critical path) inflates every stretch past the displacement
+  // deadband and turns fair share into thrash.
+  const std::vector<grid::ResourceId> visible =
+      pool_->available_at(release_);
+  std::vector<sim::Time> finish(dag_->job_count(), release_);
+  std::vector<grid::ResourceId> where(dag_->job_count(),
+                                      grid::kInvalidResource);
+  std::map<grid::ResourceId, sim::Time> free;
+  sim::Time span_end = release_;
+  for (const dag::JobId job : dag_->topological_order()) {
+    sim::Time best_finish = sim::kTimeInfinity;
+    grid::ResourceId best_r = grid::kInvalidResource;
+    for (const grid::ResourceId r : visible) {
+      sim::Time ready = release_;
+      for (const std::uint32_t e : dag_->in_edges(job)) {
+        const dag::Edge& edge = dag_->edges()[e];
+        sim::Time arrival = finish[edge.from];
+        if (where[edge.from] != r) {
+          arrival += actual_->comm_cost(edge, where[edge.from], r);
+        }
+        ready = std::max(ready, arrival);
+      }
+      const auto it = free.find(r);
+      const sim::Time start =
+          std::max(ready, it == free.end() ? release_ : it->second);
+      const sim::Time f = start + actual_->compute_cost(job, r);
+      if (f < best_finish) {
+        best_finish = f;
+        best_r = r;
+      }
+    }
+    finish[job] = best_finish;
+    where[job] = best_r;
+    free[best_r] = best_finish;
+    span_end = std::max(span_end, best_finish);
+  }
+  return span_end;
+}
+
+void DynamicExecution::contention_changed(grid::ResourceId resource) {
+  // Re-arbitrate every held dispatch on the resource (job-id order keeps
+  // the replay deterministic). retry_held may commit and mutate held_,
+  // so collect first.
+  std::vector<dag::JobId> jobs;
+  for (const auto& [job, hold] : held_) {
+    if (hold.resource == resource) {
+      jobs.push_back(job);
+    }
+  }
+  for (const dag::JobId job : jobs) {
+    retry_held(job);
+  }
 }
 
 sim::Time DynamicExecution::inputs_ready(dag::JobId job,
@@ -81,7 +141,26 @@ sim::Time DynamicExecution::inputs_ready(dag::JobId job,
 }
 
 sim::Time DynamicExecution::machine_free(grid::ResourceId resource) const {
-  return std::max(busy_until(resource), pool_->resource(resource).arrival);
+  return machine_free_before(resource,
+                             std::numeric_limits<std::uint64_t>::max());
+}
+
+sim::Time DynamicExecution::machine_free_before(grid::ResourceId resource,
+                                                std::uint64_t seq) const {
+  sim::Time free = pool_->resource(resource).arrival;
+  if (const auto it = avail_.find(resource); it != avail_.end()) {
+    free = std::max(free, it->second);
+  }
+  // Held dispatch decisions claim their granted window for every LATER
+  // decision, exactly as an instant advance booking would have stacked —
+  // but never for earlier ones, so two held claims cannot gate each
+  // other both ways and push their retries apart forever.
+  for (const auto& [held_job, hold] : held_) {
+    if (hold.resource == resource && hold.seq < seq) {
+      free = std::max(free, hold.retry_at + hold.nominal);
+    }
+  }
+  return free;
 }
 
 sim::Time DynamicExecution::completion_time(dag::JobId job,
@@ -169,17 +248,103 @@ void DynamicExecution::dispatch() {
   }
 }
 
+void DynamicExecution::record_input_transfers(dag::JobId job,
+                                              grid::ResourceId resource,
+                                              sim::Time decided_at) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  // The paper's dynamic file model starts a transfer when the placement
+  // decision is taken, so the records are stamped at decision time.
+  for (const std::uint32_t e : dag_->in_edges(job)) {
+    const dag::Edge& edge = dag_->edges()[e];
+    if (location_[edge.from] != resource) {
+      trace_->record_transfer(
+          edge.from, job, resource, decided_at,
+          decided_at +
+              actual_->comm_cost(edge, location_[edge.from], resource));
+    }
+  }
+}
+
 void DynamicExecution::assign(dag::JobId job, grid::ResourceId resource,
                               sim::Time now) {
-  // The just-in-time decision commits the slot immediately: register the
-  // acquisition (so the policy's wait accounting sees it) and start at
-  // whatever it grants. completion_time() peeked the identical grant, so
-  // under every policy the realized start equals the dispatch estimate.
   const double nominal = actual_->compute_cost(job, resource);
-  const sim::Time start = session_->acquire(
-      this, resource,
-      std::max(inputs_ready(job, resource, now), machine_free(resource)),
-      nominal, /*tag=*/job);
+  const sim::Time feasible =
+      std::max(inputs_ready(job, resource, now), machine_free(resource));
+  const sim::Time start =
+      session_->acquire(this, resource, feasible, nominal, /*tag=*/job);
+
+  if (session_->two_phase_dynamic() && start > now &&
+      !sim::time_eq(start, now)) {
+    // Two-phase dispatch: the granted start lies in the future, so keep
+    // the reservation held — visible in the ledger queue, displaceable
+    // by the policy, re-arbitrated on wakeups — and commit only when the
+    // grant matures. Under FCFS this branch never runs and the decision
+    // advance-books the slot instantly (the historical behavior).
+    session_->hold(this, resource, job, start);
+    HeldDispatch& hold = held_[job];
+    hold.resource = resource;
+    hold.nominal = nominal;
+    hold.decided_at = now;
+    hold.inputs_ready = inputs_ready(job, resource, now);
+    hold.seq = next_decision_seq_++;
+    schedule_retry(job, start);
+    return;
+  }
+  start_assignment(job, resource, nominal, start, /*decided_at=*/now);
+}
+
+void DynamicExecution::schedule_retry(dag::JobId job, sim::Time when) {
+  HeldDispatch& hold = held_[job];
+  hold.retry_at = when;
+  const std::uint64_t generation = ++hold.generation;
+  session_->simulator().schedule_at(when, [this, job, generation] {
+    const auto it = held_.find(job);
+    if (it != held_.end() && it->second.generation == generation) {
+      retry_held(job);
+    }
+  });
+}
+
+void DynamicExecution::retry_held(dag::JobId job) {
+  const auto it = held_.find(job);
+  if (it == held_.end()) {
+    return;
+  }
+  HeldDispatch hold = it->second;
+  const sim::Time now = session_->simulator().now();
+  const sim::Time feasible = std::max(
+      {hold.inputs_ready, machine_free_before(hold.resource, hold.seq), now});
+  const sim::Time start = session_->acquire(this, hold.resource, feasible,
+                                            hold.nominal, /*tag=*/job);
+
+  // The machine may depart before the re-arbitrated start fits: abandon
+  // the held placement and re-decide over the machines visible now.
+  if (!sim::time_le(start + hold.nominal,
+                    pool_->resource(hold.resource).departure)) {
+    session_->withdraw(this, hold.resource, job);
+    held_.erase(job);
+    ready_.push_back(job);
+    dispatch();
+    return;
+  }
+
+  if (start > now && !sim::time_eq(start, now)) {
+    session_->hold(this, hold.resource, job, start);
+    schedule_retry(job, start);
+    return;
+  }
+  held_.erase(job);
+  start_assignment(job, hold.resource, hold.nominal, std::max(start, now),
+                   hold.decided_at);
+}
+
+void DynamicExecution::start_assignment(dag::JobId job,
+                                        grid::ResourceId resource,
+                                        double nominal, sim::Time start,
+                                        sim::Time decided_at) {
+  record_input_transfers(job, resource, decided_at);
   double duration = nominal;
   if (load_ != nullptr) {
     const double factor = load_->factor(resource, start);
@@ -197,18 +362,8 @@ void DynamicExecution::assign(dag::JobId job, grid::ResourceId resource,
         "with finite departures need restart semantics (unsupported; "
         "see ROADMAP)");
   }
-  session_->commit(this, resource, start, finish);
+  session_->commit(this, resource, /*tag=*/job, start, finish);
   schedule_.assign(Assignment{job, resource, start, finish});
-  if (trace_ != nullptr) {
-    for (const std::uint32_t e : dag_->in_edges(job)) {
-      const dag::Edge& edge = dag_->edges()[e];
-      if (location_[edge.from] != resource) {
-        trace_->record_transfer(
-            edge.from, job, resource, now,
-            now + actual_->comm_cost(edge, location_[edge.from], resource));
-      }
-    }
-  }
   auto& booked = avail_[resource];
   booked = std::max(booked, finish);
   session_->simulator().schedule_at(

@@ -13,11 +13,17 @@
 // SimulationSession, realizes load-scaled run times from the session's
 // LoadProfile (decisions still use nominal costs — just-in-time schedulers
 // don't see the future either), and participates in cross-workflow
-// resource contention. run_dynamic() wraps it for the classic
-// one-DAG-one-call usage.
+// resource contention. Dispatch is two-phase under arbitrating policies
+// (ContentionPolicy::two_phase_dynamic): a decision whose granted start
+// lies in the future takes a held ledger reservation — visible to and
+// displaceable by the policy — and commits only when the grant matures,
+// so priority and fair-share genuinely arbitrate dynamic demand. Under
+// FCFS the historical instant advance booking is preserved bit-for-bit.
+// run_dynamic() wraps it all for the classic one-DAG-one-call usage.
 #ifndef AHEFT_CORE_DYNAMIC_SCHEDULER_H_
 #define AHEFT_CORE_DYNAMIC_SCHEDULER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -50,8 +56,8 @@ struct DynamicRunResult {
 /// Event-driven just-in-time execution of one DAG inside a shared
 /// session. Decisions are made with nominal costs over the resources
 /// visible at decision time; realized run times are stretched by the
-/// session's load profile, and machine bookings respect (and are visible
-/// to) every other workflow in the session.
+/// session's load profile, and machine reservations respect (and are
+/// visible to) every other workflow in the session through the ledger.
 class DynamicExecution : public SessionParticipant {
  public:
   /// `priority` is the workflow's weight under the session's contention
@@ -73,21 +79,52 @@ class DynamicExecution : public SessionParticipant {
   }
   [[nodiscard]] sim::Time makespan() const { return makespan_; }
 
-  // SessionParticipant: committed bookings (running and queued-behind
-  // decisions) on `resource`.
-  [[nodiscard]] sim::Time busy_until(
-      grid::ResourceId resource) const override;
+  // SessionParticipant: a competing reservation on `resource` moved —
+  // re-arbitrate the held (two-phase) dispatch decisions queued there.
+  void contention_changed(grid::ResourceId resource) override;
+  // SessionParticipant: the workflow's release-time scale — a greedy
+  // earliest-finish list schedule over the release-visible machines
+  // (estimate_solo_finish) — the base of fair-share stretch
+  // normalization. Without a scale a dynamic workflow can never
+  // displace competitors.
+  [[nodiscard]] sim::Time planned_finish() const override {
+    return planned_finish_;
+  }
 
  private:
+  /// A two-phase dispatch decision whose grant has not matured: the
+  /// placement is fixed (transfers started at decision time, per the
+  /// paper's dynamic file model), the start keeps re-arbitrating.
+  struct HeldDispatch {
+    grid::ResourceId resource = grid::kInvalidResource;
+    double nominal = 0.0;         ///< decision-time run length estimate
+    sim::Time decided_at = sim::kTimeZero;    ///< when the placement fell
+    sim::Time inputs_ready = sim::kTimeZero;  ///< fixed at decision time
+    sim::Time retry_at = sim::kTimeZero;      ///< pending retry event time
+    std::uint64_t generation = 0;             ///< invalidates stale retries
+    /// Decision order: a held claim gates only later decisions (mirrors
+    /// the strict stacking of instant advance bookings); a cycle-free
+    /// order, so held jobs can never gate each other both ways.
+    std::uint64_t seq = 0;
+  };
+
+  /// Greedy earliest-finish list schedule over the release-visible
+  /// machines: the workflow's uncontended scale for fair-share stretch.
+  [[nodiscard]] sim::Time estimate_solo_finish() const;
   /// Earliest time `job`'s inputs can all be present on `resource` when
   /// the transfer decisions are taken now.
   [[nodiscard]] sim::Time inputs_ready(dag::JobId job,
                                        grid::ResourceId resource,
                                        sim::Time now) const;
   /// Time `resource` is free for this workflow's own reasons: its
-  /// bookings and the machine's arrival. Cross-workflow availability is
-  /// layered on top by completion_time()'s session peek.
+  /// committed bookings, its held dispatch claims, and the machine's
+  /// arrival. Cross-workflow availability is layered on top by
+  /// completion_time()'s session peek.
   [[nodiscard]] sim::Time machine_free(grid::ResourceId resource) const;
+  /// machine_free seen by decision number `seq`: only held claims of
+  /// strictly earlier decisions gate it (its own claim never does).
+  [[nodiscard]] sim::Time machine_free_before(grid::ResourceId resource,
+                                              std::uint64_t seq) const;
   /// Nominal completion time used by the decision heuristics.
   [[nodiscard]] sim::Time completion_time(dag::JobId job,
                                           grid::ResourceId resource,
@@ -95,6 +132,21 @@ class DynamicExecution : public SessionParticipant {
 
   void dispatch();
   void assign(dag::JobId job, grid::ResourceId resource, sim::Time now);
+  /// Starts the job at `start` (records the input transfers that began
+  /// at the decision, commits the ledger reservation, applies the load
+  /// stretch, schedules the completion). Transfers are recorded here —
+  /// when the placement is final — not at decision time, so a held
+  /// dispatch abandoned before starting (machine departure) leaves no
+  /// phantom transfer records in the trace.
+  void start_assignment(dag::JobId job, grid::ResourceId resource,
+                        double nominal, sim::Time start,
+                        sim::Time decided_at);
+  void record_input_transfers(dag::JobId job, grid::ResourceId resource,
+                              sim::Time decided_at);
+  /// Re-arbitrates one held dispatch: commits when the grant matured,
+  /// re-holds (and re-arms the retry) when it moved.
+  void retry_held(dag::JobId job);
+  void schedule_retry(dag::JobId job, sim::Time when);
   void complete(dag::JobId job, grid::ResourceId resource, sim::Time start,
                 sim::Time finish);
 
@@ -116,9 +168,12 @@ class DynamicExecution : public SessionParticipant {
   std::vector<std::uint32_t> pending_preds_;
   std::vector<dag::JobId> ready_;
   std::map<grid::ResourceId, sim::Time> avail_;
+  std::map<dag::JobId, HeldDispatch> held_;
+  std::uint64_t next_decision_seq_ = 0;
   std::size_t finished_count_ = 0;
   std::size_t batches_ = 0;
   sim::Time makespan_ = sim::kTimeZero;
+  sim::Time planned_finish_ = sim::kTimeZero;
 };
 
 /// Simulates a full just-in-time execution of `dag` over the dynamic pool

@@ -32,11 +32,6 @@ ExecutionEngine::ExecutionEngine(SimulationSession& session,
   session.add_participant(this, priority);
 }
 
-sim::Time ExecutionEngine::busy_until(grid::ResourceId resource) const {
-  const auto it = resource_free_.find(resource);
-  return it == resource_free_.end() ? sim::kTimeZero : it->second;
-}
-
 void ExecutionEngine::contention_changed(grid::ResourceId resource) {
   if (has_schedule_) {
     pump(resource);
@@ -114,9 +109,15 @@ void ExecutionEngine::submit(const Schedule& schedule) {
                           sim::time_eq(next.start, state.ast);
         if (!kept) {
           // The planner replanned this running job: cancel and restart
-          // from scratch (no checkpointing).
+          // from scratch (no checkpointing). The machine frees now, so
+          // the ledger's committed reservation is truncated to the
+          // cancellation instead of blocking competitors until the
+          // cancelled job's projected finish.
           const bool cancelled = simulator_->cancel(state.completion);
           AHEFT_ASSERT(cancelled, "running job had no completion event");
+          if (session_ != nullptr) {
+            session_->truncate_commit(this, state.resource, /*tag=*/i, now);
+          }
           if (trace_ != nullptr) {
             trace_->record_compute(i, state.resource, state.ast, now);
           }
@@ -295,7 +296,7 @@ void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
   auto& free_at = resource_free_[resource];
   free_at = std::max(free_at, state.aft);
   if (session_ != nullptr) {
-    session_->commit(this, resource, state.ast, state.aft);
+    session_->commit(this, resource, /*tag=*/job, state.ast, state.aft);
   }
 }
 

@@ -91,13 +91,10 @@ class ExecutionEngine : public SessionParticipant {
     return load_;
   }
 
-  // SessionParticipant: how long this workflow has `resource` booked
-  // (values at or before the clock mean free — completed history never
-  // gates a concurrent workflow because consumers clamp with `now`).
-  [[nodiscard]] sim::Time busy_until(
-      grid::ResourceId resource) const override;
-  // SessionParticipant: a competing request on `resource` committed or
-  // withdrew, so this engine's deferred grant may have moved earlier.
+  // SessionParticipant: a competing reservation on `resource` committed,
+  // withdrew, or was truncated, so this engine's deferred grant may have
+  // moved earlier. This is the per-resource ledger wakeup: only engines
+  // actually queued on the resource receive it.
   void contention_changed(grid::ResourceId resource) override;
   // SessionParticipant: the first submitted schedule's makespan — the
   // workflow's uncontended scale for fair-share stretch normalization

@@ -11,31 +11,11 @@
 
 namespace aheft::core {
 
-namespace {
-
-/// Registers a schedule's future work with the reservation ledger
-/// (Resource Manager bookkeeping, §3.2): the replaced schedule's
-/// reservations are revoked, then every window that extends beyond `clock`
-/// is reserved — for running jobs only their remaining portion. Completed
-/// work needs no reservation.
-void refresh_reservations(grid::ReservationLedger& ledger,
-                          const Schedule& schedule, sim::Time clock) {
-  const grid::ScheduleVersion version = ledger.begin_version();
-  ledger.revoke_before(version, {});
-  for (dag::JobId i = 0; i < schedule.job_count(); ++i) {
-    if (!schedule.assigned(i)) {
-      continue;
-    }
-    const Assignment& a = schedule.assignment(i);
-    if (sim::time_le(a.finish, clock)) {
-      continue;  // history
-    }
-    ledger.reserve(version, i, a.resource, std::max(a.start, clock),
-                   a.finish);
-  }
-}
-
-}  // namespace
+// The Resource Manager's reservation bookkeeping (§3.2: reserve per the
+// arriving schedule, revoke the replaced schedule's reservations first)
+// lives in the session's ResourceLedger now: the engine's acquire/commit
+// calls register and commit the reservations, reschedules withdraw and
+// truncate them. The planner no longer keeps a parallel write-only copy.
 
 AdaptivePlanner::AdaptivePlanner(const dag::Dag& dag,
                                  const grid::CostProvider& estimates,
@@ -98,7 +78,6 @@ void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
     AHEFT_LOG_DEBUG("t=" << clock << " adopting reschedule: "
                          << predicted_makespan_ << " -> "
                          << candidate_makespan << " (" << reason << ")");
-    refresh_reservations(ledger_, candidate, clock);
     engine_->submit(candidate);
     predicted_makespan_ = candidate_makespan;
     ++result_.adoptions;
@@ -163,7 +142,6 @@ void AdaptivePlanner::start() {
       heft_schedule(dag_, estimates_, pool_, config_.scheduler, release_);
   predicted_makespan_ = initial.makespan();
   result_.initial_makespan = predicted_makespan_;
-  refresh_reservations(ledger_, initial, release_);
   engine_->submit(initial);
 
   // Subscribe to every later resource-pool change (arrivals, departures).

@@ -26,7 +26,6 @@
 #include "grid/cost_provider.h"
 #include "grid/history.h"
 #include "grid/load_profile.h"
-#include "grid/reservation.h"
 #include "grid/resource_pool.h"
 #include "sim/trace.h"
 
@@ -122,7 +121,6 @@ class AdaptivePlanner {
   Completion done_;
   bool completed_ = false;
 
-  grid::ReservationLedger ledger_;
   sim::Time predicted_makespan_ = sim::kTimeZero;
   AdaptiveResult result_;
 };

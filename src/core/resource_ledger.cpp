@@ -1,0 +1,356 @@
+#include "core/resource_ledger.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+std::string to_string(ReservationState state) {
+  switch (state) {
+    case ReservationState::kPending:
+      return "pending";
+    case ReservationState::kHeld:
+      return "held";
+    case ReservationState::kCommitted:
+      return "committed";
+    case ReservationState::kWithdrawn:
+      return "withdrawn";
+  }
+  return "unknown";
+}
+
+ResourceLedger::Timeline* ResourceLedger::timeline(
+    grid::ResourceId resource) {
+  const auto it = timelines_.find(resource);
+  return it == timelines_.end() ? nullptr : &it->second;
+}
+
+const ResourceLedger::Timeline* ResourceLedger::timeline(
+    grid::ResourceId resource) const {
+  const auto it = timelines_.find(resource);
+  return it == timelines_.end() ? nullptr : &it->second;
+}
+
+ReservationEntry& ResourceLedger::upsert(std::size_t participant,
+                                         grid::ResourceId resource,
+                                         std::uint64_t tag, sim::Time ready,
+                                         double duration, double priority,
+                                         sim::Time active_since,
+                                         double planned_span) {
+  AHEFT_REQUIRE(duration >= 0.0, "reservation duration must be >= 0");
+  Timeline& line = timelines_[resource];
+  ReservationEntry* entry = nullptr;
+  for (ReservationEntry& candidate : line.queue) {
+    if (candidate.participant == participant && candidate.tag == tag) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    ReservationEntry fresh;
+    fresh.id = next_id_++;
+    fresh.participant = participant;
+    fresh.tag = tag;
+    fresh.resource = resource;
+    fresh.first_ready = ready;
+    // Work withdrawn by a reschedule and re-requested resumes its wait
+    // clock instead of restarting it.
+    if (const auto carried = carried_first_ready_.find({participant, tag});
+        carried != carried_first_ready_.end()) {
+      fresh.first_ready = std::min(fresh.first_ready, carried->second);
+      carried_first_ready_.erase(carried);
+    }
+    line.queue.push_back(fresh);
+    entry = &line.queue.back();
+  }
+  entry->ready = ready;
+  entry->duration = duration;
+  entry->priority = priority;
+  entry->active_since = active_since;
+  entry->planned_span = planned_span;
+  return *entry;
+}
+
+const ReservationEntry* ResourceLedger::find(std::size_t participant,
+                                             grid::ResourceId resource,
+                                             std::uint64_t tag) const {
+  const Timeline* line = timeline(resource);
+  if (line == nullptr) {
+    return nullptr;
+  }
+  for (const ReservationEntry& entry : line->queue) {
+    if (entry.participant == participant && entry.tag == tag) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool ResourceLedger::hold(std::size_t participant, grid::ResourceId resource,
+                          std::uint64_t tag, sim::Time start) {
+  Timeline* line = timeline(resource);
+  AHEFT_ASSERT(line != nullptr, "hold on a resource with no reservations");
+  for (ReservationEntry& entry : line->queue) {
+    if (entry.participant == participant && entry.tag == tag) {
+      const bool moved = entry.state != ReservationState::kHeld ||
+                         entry.held_start != start;
+      entry.state = ReservationState::kHeld;
+      entry.held_start = start;
+      return moved;
+    }
+  }
+  AHEFT_ASSERT(false, "hold without a queued reservation for the work");
+  return false;
+}
+
+ReservationEntry ResourceLedger::commit(std::size_t participant,
+                                        grid::ResourceId resource,
+                                        std::uint64_t tag, sim::Time start,
+                                        sim::Time end) {
+  AHEFT_ASSERT(sim::time_le(start, end),
+               "committed reservation must have start <= end");
+  Timeline* line = timeline(resource);
+  AHEFT_ASSERT(line != nullptr,
+               "commit on a resource with no reservations");
+  const auto it = std::find_if(
+      line->queue.begin(), line->queue.end(),
+      [participant, tag](const ReservationEntry& entry) {
+        return entry.participant == participant && entry.tag == tag;
+      });
+  AHEFT_ASSERT(it != line->queue.end(),
+               "commit without a queued reservation for the work");
+
+  // Core invariant: committed windows never overlap on one resource. An
+  // overlap means two workflows believe they occupy the same machine at
+  // once — arbitration failed somewhere upstream. Windows are start-sorted
+  // and pairwise disjoint, so ends are sorted too: only the nearest
+  // non-empty neighbor on each side can conflict (fully-truncated windows
+  // are zero-width and skipped).
+  if (end > start) {
+    const auto next = line->committed.lower_bound({start, 0});
+    for (auto before = next; before != line->committed.begin();) {
+      --before;
+      if (before->second.end <= before->second.start) {
+        continue;  // truncated to nothing
+      }
+      AHEFT_ASSERT(sim::time_le(before->second.end, start),
+                   "overlapping committed reservations on one resource");
+      break;
+    }
+    for (auto after = next;
+         after != line->committed.end() && after->second.start < end;
+         ++after) {
+      AHEFT_ASSERT(after->second.end <= after->second.start,
+                   "overlapping committed reservations on one resource");
+    }
+  }
+
+  ReservationEntry committed = *it;
+  committed.state = ReservationState::kCommitted;
+  line->committed.emplace(
+      std::make_pair(start, committed.id),
+      CommittedWindow{committed.id, participant, tag, start, end});
+  auto& horizon = line->committed_until_by[participant];
+  horizon = std::max(horizon, end);
+  carried_first_ready_.erase({participant, tag});
+  line->queue.erase(it);
+  return committed;
+}
+
+std::vector<grid::ResourceId> ResourceLedger::withdraw_all(
+    std::size_t participant) {
+  std::vector<grid::ResourceId> touched;
+  for (auto& [resource, line] : timelines_) {
+    const auto stale = std::remove_if(
+        line.queue.begin(), line.queue.end(),
+        [this, participant](const ReservationEntry& entry) {
+          if (entry.participant != participant) {
+            return false;
+          }
+          // Keep the wait baseline: the reschedule may re-request the
+          // same work (same tag) and must not zero the contention wait
+          // already endured.
+          const auto [carried, inserted] = carried_first_ready_.try_emplace(
+              {participant, entry.tag}, entry.first_ready);
+          if (!inserted) {
+            carried->second = std::min(carried->second, entry.first_ready);
+          }
+          return true;
+        });
+    if (stale != line.queue.end()) {
+      line.queue.erase(stale, line.queue.end());
+      touched.push_back(resource);
+    }
+  }
+  return touched;
+}
+
+bool ResourceLedger::withdraw(std::size_t participant,
+                              grid::ResourceId resource, std::uint64_t tag) {
+  Timeline* line = timeline(resource);
+  if (line == nullptr) {
+    return false;
+  }
+  const auto it = std::find_if(
+      line->queue.begin(), line->queue.end(),
+      [participant, tag](const ReservationEntry& entry) {
+        return entry.participant == participant && entry.tag == tag;
+      });
+  if (it == line->queue.end()) {
+    return false;
+  }
+  const auto [carried, inserted] = carried_first_ready_.try_emplace(
+      {participant, tag}, it->first_ready);
+  if (!inserted) {
+    carried->second = std::min(carried->second, it->first_ready);
+  }
+  line->queue.erase(it);
+  return true;
+}
+
+void ResourceLedger::truncate_commit(std::size_t participant,
+                                     grid::ResourceId resource,
+                                     std::uint64_t tag, sim::Time at) {
+  Timeline* line = timeline(resource);
+  if (line == nullptr) {
+    return;
+  }
+  bool truncated = false;
+  for (auto& [key, window] : line->committed) {
+    if (window.participant == participant && window.tag == tag &&
+        window.end > at) {
+      window.end = std::max(window.start, at);
+      truncated = true;
+    }
+  }
+  if (!truncated) {
+    return;
+  }
+  // The participant's committed horizon may have shrunk: recompute it
+  // from the surviving windows (truncations are rare — one per restarted
+  // job — so the scan is off the hot path).
+  sim::Time horizon = sim::kTimeZero;
+  for (const auto& [key, window] : line->committed) {
+    if (window.participant == participant) {
+      horizon = std::max(horizon, window.end);
+    }
+  }
+  line->committed_until_by[participant] = horizon;
+}
+
+const std::vector<ReservationEntry>& ResourceLedger::queue(
+    grid::ResourceId resource) const {
+  static const std::vector<ReservationEntry> kEmpty;
+  const Timeline* line = timeline(resource);
+  return line == nullptr ? kEmpty : line->queue;
+}
+
+sim::Time ResourceLedger::committed_until(grid::ResourceId resource) const {
+  const Timeline* line = timeline(resource);
+  sim::Time until = sim::kTimeZero;
+  if (line != nullptr) {
+    for (const auto& [participant, end] : line->committed_until_by) {
+      until = std::max(until, end);
+    }
+  }
+  return until;
+}
+
+sim::Time ResourceLedger::committed_until_excluding(
+    grid::ResourceId resource, std::size_t participant) const {
+  const Timeline* line = timeline(resource);
+  sim::Time until = sim::kTimeZero;
+  if (line != nullptr) {
+    for (const auto& [owner, end] : line->committed_until_by) {
+      if (owner != participant) {
+        until = std::max(until, end);
+      }
+    }
+  }
+  return until;
+}
+
+std::vector<CommittedWindow> ResourceLedger::committed_windows(
+    grid::ResourceId resource) const {
+  std::vector<CommittedWindow> windows;
+  const Timeline* line = timeline(resource);
+  if (line != nullptr) {
+    windows.reserve(line->committed.size());
+    for (const auto& [key, window] : line->committed) {
+      if (window.end > window.start) {
+        windows.push_back(window);
+      }
+    }
+  }
+  return windows;
+}
+
+std::optional<sim::Time> ResourceLedger::backfill_start(
+    const ReservationEntry& request, sim::Time now,
+    sim::Time policy_grant) const {
+  const sim::Time base = std::max(request.ready, now);
+  if (sim::time_le(policy_grant, base)) {
+    return std::nullopt;  // not deferred: nothing to gain
+  }
+  const Timeline* line = timeline(request.resource);
+  if (line == nullptr) {
+    return std::nullopt;
+  }
+
+  // Blockers: committed windows plus held claims, as (start, end) spans.
+  // Both are reservations earlier in the timeline that a backfilled job
+  // must provably not touch.
+  std::vector<std::pair<sim::Time, sim::Time>> blockers;
+  blockers.reserve(line->committed.size() + line->queue.size());
+  for (const auto& [key, window] : line->committed) {
+    if (window.end > base && window.end > window.start) {
+      blockers.emplace_back(window.start, window.end);
+    }
+  }
+  // The no-delay fence: the backfilled window must end before any other
+  // queued entry could feasibly start, so no pending grant can move later
+  // because of it. Held claims block like windows instead (they have a
+  // granted start of their own).
+  sim::Time fence = sim::kTimeInfinity;
+  for (const ReservationEntry& other : line->queue) {
+    if (other.id == request.id) {
+      continue;
+    }
+    if (other.state == ReservationState::kHeld) {
+      blockers.emplace_back(other.held_start,
+                            other.held_start + other.duration);
+    } else {
+      fence = std::min(fence, std::max(other.ready, now));
+    }
+  }
+  std::sort(blockers.begin(), blockers.end());
+
+  // First-fit: slide the candidate start past every blocker it overlaps.
+  sim::Time start = base;
+  for (const auto& [blocker_start, blocker_end] : blockers) {
+    if (sim::time_ge(blocker_start, start + request.duration)) {
+      break;  // the hole before this blocker fits
+    }
+    if (blocker_end > start) {
+      start = std::max(start, blocker_end);
+    }
+  }
+  const bool fits_fence = sim::time_le(start + request.duration, fence);
+  const bool beats_policy =
+      start < policy_grant && !sim::time_eq(start, policy_grant);
+  if (fits_fence && beats_policy) {
+    return start;
+  }
+  return std::nullopt;
+}
+
+std::size_t ResourceLedger::queued_count() const {
+  std::size_t count = 0;
+  for (const auto& [resource, line] : timelines_) {
+    count += line.queue.size();
+  }
+  return count;
+}
+
+}  // namespace aheft::core

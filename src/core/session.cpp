@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/assert.h"
 
@@ -11,6 +12,10 @@ SimulationSession::SimulationSession(const SessionEnvironment& env)
   AHEFT_REQUIRE(env.pool != nullptr, "session environment needs a pool");
   policy_ = ContentionPolicyRegistry::instance().create(
       env.contention_policy.empty() ? "fcfs" : env.contention_policy);
+  // Backfill proves a hole fits from the request's nominal duration; a
+  // load profile stretches realized run times past that proof, so the
+  // combination is refused rather than silently overlapping.
+  backfill_ = env.backfill && env.load == nullptr;
 }
 
 SimulationSession::~SimulationSession() = default;
@@ -44,29 +49,25 @@ std::size_t SimulationSession::index_of(
       "participant is not registered with this session");
 }
 
-sim::Time SimulationSession::contended_until(
-    const SessionParticipant* self, grid::ResourceId resource) const {
-  sim::Time until = sim::kTimeZero;
-  for (const ParticipantRecord& record : participants_) {
-    if (record.participant == self) {
-      continue;
-    }
-    until = std::max(until, record.participant->busy_until(resource));
-  }
-  return until;
-}
-
 sim::Time SimulationSession::grant_for(
-    const ContentionRequest& request, const SessionParticipant* self,
-    const std::vector<ContentionRequest>& pending) const {
+    const ReservationEntry& entry,
+    const std::vector<ReservationEntry>& queue) const {
   ContentionQuery query;
-  query.request = &request;
+  query.request = &entry;
   query.now = simulator_.now();
-  query.others_busy = contended_until(self, request.resource);
-  query.pending = &pending;
+  query.others_busy =
+      ledger_.committed_until_excluding(entry.resource, entry.participant);
+  query.queue = &queue;
   // Policies may only delay a request, never reach before its own
   // feasible start.
-  return std::max(request.ready, policy_->grant(query));
+  sim::Time grant = std::max(entry.ready, policy_->grant(query));
+  if (backfill_) {
+    if (const auto hole =
+            ledger_.backfill_start(entry, query.now, grant)) {
+      grant = *hole;
+    }
+  }
+  return grant;
 }
 
 sim::Time SimulationSession::acquire(const SessionParticipant* self,
@@ -79,38 +80,12 @@ sim::Time SimulationSession::acquire(const SessionParticipant* self,
   if (record.active_since < 0.0) {
     record.active_since = ready;
   }
-  std::vector<ContentionRequest>& pending = pending_[resource];
-  ContentionRequest* request = nullptr;
-  for (ContentionRequest& candidate : pending) {
-    if (candidate.participant == index) {
-      request = &candidate;
-      break;
-    }
-  }
-  if (request == nullptr) {
-    ContentionRequest fresh;
-    fresh.participant = index;
-    fresh.tag = tag;
-    fresh.resource = resource;
-    fresh.first_ready = ready;
-    // Work withdrawn by a reschedule and re-requested resumes its wait
-    // clock instead of restarting it.
-    if (const auto carried = carried_first_ready_.find({index, tag});
-        carried != carried_first_ready_.end()) {
-      fresh.first_ready = std::min(fresh.first_ready, carried->second);
-      carried_first_ready_.erase(carried);
-    }
-    pending.push_back(fresh);
-    request = &pending.back();
-  }
-  request->tag = tag;
-  request->ready = ready;
-  request->duration = duration;
-  request->priority = record.priority;
-  request->active_since = record.active_since;
-  request->planned_span =
+  const double planned_span =
       std::max(0.0, self->planned_finish() - record.active_since);
-  return grant_for(*request, self, pending);
+  const ReservationEntry& entry =
+      ledger_.upsert(index, resource, tag, ready, duration, record.priority,
+                     record.active_since, planned_span);
+  return grant_for(entry, ledger_.queue(resource));
 }
 
 sim::Time SimulationSession::peek(const SessionParticipant* self,
@@ -118,7 +93,11 @@ sim::Time SimulationSession::peek(const SessionParticipant* self,
                                   double duration) const {
   const std::size_t index = index_of(self);
   const ParticipantRecord& record = participants_[index];
-  ContentionRequest probe;
+  ReservationEntry probe;
+  // A probe prices a hypothetical NEW registration: give it the newest
+  // possible id so every held booking blocks it, exactly as it would
+  // block the real acquire that follows.
+  probe.id = std::numeric_limits<std::uint64_t>::max();
   probe.participant = index;
   probe.resource = resource;
   probe.ready = ready;
@@ -128,82 +107,75 @@ sim::Time SimulationSession::peek(const SessionParticipant* self,
   probe.active_since = record.active_since < 0.0 ? ready : record.active_since;
   probe.planned_span =
       std::max(0.0, self->planned_finish() - probe.active_since);
-  static const std::vector<ContentionRequest> kNoPending;
-  const auto it = pending_.find(resource);
-  return grant_for(probe, self,
-                   it == pending_.end() ? kNoPending : it->second);
+  return grant_for(probe, ledger_.queue(resource));
+}
+
+void SimulationSession::hold(const SessionParticipant* self,
+                             grid::ResourceId resource, std::uint64_t tag,
+                             sim::Time granted_start) {
+  if (ledger_.hold(index_of(self), resource, tag, granted_start)) {
+    // A claim that moved may leave another queued entry as the effective
+    // head of the policy's service order: wake the queue so the machine
+    // never idles waiting on a deferred claim's stale retry. Re-holds at
+    // an unchanged start stay silent, which is what terminates the
+    // same-instant re-arbitration cascade.
+    notify_queued(resource, self);
+  }
 }
 
 void SimulationSession::commit(const SessionParticipant* self,
-                               grid::ResourceId resource, sim::Time start,
-                               sim::Time end) {
+                               grid::ResourceId resource, std::uint64_t tag,
+                               sim::Time start, sim::Time end) {
   const std::size_t index = index_of(self);
-  const auto it = pending_.find(resource);
-  AHEFT_ASSERT(it != pending_.end(),
-               "commit without a pending acquisition on the resource");
-  std::vector<ContentionRequest>& pending = it->second;
-  const auto request =
-      std::find_if(pending.begin(), pending.end(),
-                   [index](const ContentionRequest& candidate) {
-                     return candidate.participant == index;
-                   });
-  AHEFT_ASSERT(request != pending.end(),
-               "commit without a pending acquisition by the participant");
-  const double wait = std::max(0.0, start - request->first_ready);
+  const ReservationEntry entry =
+      ledger_.commit(index, resource, tag, start, end);
+  const double wait = std::max(0.0, start - entry.first_ready);
   ContentionStats& stats = participants_[index].stats;
   stats.total_wait += wait;
   stats.max_wait = std::max(stats.max_wait, wait);
   ++stats.grants;
-  policy_->on_commit(*request, start, end);
-  carried_first_ready_.erase({index, request->tag});
-  pending.erase(request);
-  notify_pending(resource, self);
+  policy_->on_commit(entry, start, end);
+  notify_queued(resource, self);
 }
 
 void SimulationSession::withdraw_all(const SessionParticipant* self) {
   const std::size_t index = index_of(self);
-  for (auto& [resource, pending] : pending_) {
-    const auto stale =
-        std::remove_if(pending.begin(), pending.end(),
-                       [this, index](const ContentionRequest& candidate) {
-                         if (candidate.participant != index) {
-                           return false;
-                         }
-                         // Keep the wait baseline: the reschedule may
-                         // re-request the same work (same tag) and must
-                         // not zero the contention wait already endured.
-                         const auto [carried, inserted] =
-                             carried_first_ready_.try_emplace(
-                                 {index, candidate.tag},
-                                 candidate.first_ready);
-                         if (!inserted) {
-                           carried->second = std::min(
-                               carried->second, candidate.first_ready);
-                         }
-                         return true;
-                       });
-    const bool removed = stale != pending.end();
-    pending.erase(stale, pending.end());
-    if (removed) {
-      notify_pending(resource, self);
-    }
+  for (const grid::ResourceId resource : ledger_.withdraw_all(index)) {
+    notify_queued(resource, self);
   }
 }
 
-void SimulationSession::notify_pending(grid::ResourceId resource,
-                                       const SessionParticipant* self) {
-  if (!policy_->needs_change_notifications()) {
+void SimulationSession::withdraw(const SessionParticipant* self,
+                                 grid::ResourceId resource,
+                                 std::uint64_t tag) {
+  if (ledger_.withdraw(index_of(self), resource, tag)) {
+    notify_queued(resource, self);
+  }
+}
+
+void SimulationSession::truncate_commit(const SessionParticipant* self,
+                                        grid::ResourceId resource,
+                                        std::uint64_t tag, sim::Time at) {
+  ledger_.truncate_commit(index_of(self), resource, tag, at);
+  notify_queued(resource, self);
+}
+
+void SimulationSession::notify_queued(grid::ResourceId resource,
+                                      const SessionParticipant* self) {
+  if (!wakeups_enabled()) {
     return;
   }
-  const auto it = pending_.find(resource);
-  if (it == pending_.end()) {
-    return;
-  }
-  for (const ContentionRequest& request : it->second) {
-    SessionParticipant* waiter = participants_[request.participant].participant;
-    if (waiter == self) {
+  // Wake each queued owner once, even when it holds several entries on
+  // the resource (two-phase dynamic holds).
+  std::vector<std::size_t> woken;
+  for (const ReservationEntry& entry : ledger_.queue(resource)) {
+    SessionParticipant* waiter = participants_[entry.participant].participant;
+    if (waiter == self ||
+        std::find(woken.begin(), woken.end(), entry.participant) !=
+            woken.end()) {
       continue;
     }
+    woken.push_back(entry.participant);
     // A fresh event: the notified participant may start jobs and commit,
     // which must not run inside the notifying participant's bookkeeping.
     simulator_.schedule_at(simulator_.now(), [waiter, resource] {

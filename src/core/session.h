@@ -8,26 +8,31 @@
 // performance-history repository — and every strategy driver plugs into
 // it, so all strategies get identical plumbing by construction.
 //
-// The session also arbitrates cross-workflow resource contention through
-// an explicit acquisition API: before a participant occupies a machine it
-// requests the slot (acquire), the session's ContentionPolicy grants a
-// start time, and the participant commits the grant when the job actually
-// starts. The policy decides grant order — FCFS (the default, identical
-// to the historical first-pump-wins behavior), strict priorities, or
-// weighted fair share — and the session keeps per-participant wait
+// The session also arbitrates cross-workflow resource contention, and
+// every piece of that arbitration reads and writes one structure: the
+// session-owned core::ResourceLedger, a per-resource timeline of
+// reservations (pending → held → committed/withdrawn). acquire / peek /
+// commit / withdraw_all are thin views over the ledger; the session's
+// ContentionPolicy orders the ledger's queues (FCFS — the default,
+// identical to the historical first-pump-wins behavior — strict
+// priorities, or weighted fair share); per-resource ledger wakeups wake
+// exactly the workflows queued on a machine when its picture moves; and
+// an optional backfill pass (SessionEnvironment::backfill) grants a
+// later-queued ready job a hole in a timeline when it provably cannot
+// delay any earlier reservation. The session keeps per-participant wait
 // statistics so starvation is measurable. A single-workflow session has
 // exactly one participant and behaves identically under every policy.
 #ifndef AHEFT_CORE_SESSION_H_
 #define AHEFT_CORE_SESSION_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/contention_policy.h"
+#include "core/resource_ledger.h"
 #include "grid/history.h"
 #include "grid/load_profile.h"
 #include "grid/resource_pool.h"
@@ -51,26 +56,29 @@ struct SessionEnvironment {
   /// falls back to FCFS. Each session builds its own policy instance —
   /// policies carry per-session state such as fair-share usage.
   std::string contention_policy = "fcfs";
+  /// Cross-workflow backfilling: when a policy defers a request, grant it
+  /// a hole in the resource's ledger timeline instead if occupying the
+  /// hole provably cannot delay any other reservation. Off by default —
+  /// backfilled grants change the FCFS event stream, and PR-over-PR
+  /// bit-stability of the default configuration is a feature. Ignored
+  /// under a load profile: backfill needs duration certainty to prove a
+  /// hole fits, and load-stretched run times void that proof.
+  bool backfill = false;
 };
 
-/// One workflow execution sharing the session's machines. Participants
-/// expose how long they have a resource booked (the committed picture)
-/// and route every new occupation through acquire/commit so the session's
-/// contention policy controls the grant order.
+/// One workflow execution sharing the session's machines. All of a
+/// participant's machine state lives in the session's ResourceLedger
+/// (routed through acquire/commit), so the interface is only the
+/// callbacks the session pushes back: wakeups and the fair-share scale.
 class SessionParticipant {
  public:
   virtual ~SessionParticipant() = default;
 
-  /// Latest simulation time up to which this participant occupies
-  /// `resource`; values at or before the current clock mean "free".
-  [[nodiscard]] virtual sim::Time busy_until(
-      grid::ResourceId resource) const = 0;
-
-  /// The session's contention picture for `resource` moved in a way that
-  /// may allow an earlier grant (a competing request committed or was
-  /// withdrawn): re-evaluate pending work. Delivered in a fresh simulator
-  /// event, never re-entrantly. Default is a no-op — participants that
-  /// never wait on grants (just-in-time executors) ignore it.
+  /// The ledger's picture of `resource` moved in a way that may allow an
+  /// earlier grant (a competing entry committed, was withdrawn, or was
+  /// truncated): re-evaluate pending work. Delivered in a fresh simulator
+  /// event, never re-entrantly, and only to participants queued on the
+  /// resource. Default is a no-op.
   virtual void contention_changed(grid::ResourceId resource);
 
   /// Completion time of the participant's release-time plan on the
@@ -117,6 +125,16 @@ class SimulationSession {
   [[nodiscard]] const ContentionPolicy& policy() const noexcept {
     return *policy_;
   }
+  /// The session's reservation ledger (read-only; mutate it through
+  /// acquire/commit/withdraw so policy hooks and wakeups stay coherent).
+  [[nodiscard]] const ResourceLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  /// Whether just-in-time dispatch should reserve→commit in two phases
+  /// under the active policy (see ContentionPolicy::two_phase_dynamic).
+  [[nodiscard]] bool two_phase_dynamic() const {
+    return policy_->two_phase_dynamic();
+  }
 
   /// Registers an executing workflow for contention arbitration with its
   /// priority / fair-share weight (must be positive). The participant
@@ -125,42 +143,56 @@ class SimulationSession {
   void add_participant(SessionParticipant* participant,
                        double priority = 1.0);
 
-  /// Registers (or refreshes) `self`'s pending acquisition of `resource`
-  /// and returns the start time the contention policy grants: `ready` is
-  /// the earliest start feasible for the participant itself, `duration`
-  /// the projected run length, `tag` identifies the work behind the
-  /// request (engines pass the job id) so a request withdrawn by a
-  /// reschedule and re-registered for the same work keeps its wait
-  /// baseline. A grant at or before `ready` means "start now"; a later
-  /// grant tells the caller when to retry — the pending request stays
-  /// registered so competing grants see it.
+  /// Registers (or refreshes) a pending ledger entry for `self`'s work
+  /// `tag` on `resource` and returns the start time the contention policy
+  /// grants: `ready` is the earliest start feasible for the participant
+  /// itself, `duration` the projected run length, `tag` identifies the
+  /// work behind the request (engines pass the job id) so a request
+  /// withdrawn by a reschedule and re-registered for the same work keeps
+  /// its wait baseline. A grant at or before `ready` means "start now"; a
+  /// later grant tells the caller when to retry — the entry stays queued
+  /// so competing grants see it.
   [[nodiscard]] sim::Time acquire(const SessionParticipant* self,
                                   grid::ResourceId resource, sim::Time ready,
                                   double duration, std::uint64_t tag = 0);
 
-  /// What acquire would currently grant, without registering a request or
+  /// What acquire would currently grant, without registering an entry or
   /// touching any state. Decision heuristics use this to price candidate
   /// placements under the active policy.
   [[nodiscard]] sim::Time peek(const SessionParticipant* self,
                                grid::ResourceId resource, sim::Time ready,
                                double duration) const;
 
-  /// `self` started running its granted request on `resource` over
-  /// [start, end): clears the pending request, feeds the policy's usage
-  /// accounting, and records the wait metrics (start minus the request's
-  /// first-feasible time).
-  void commit(const SessionParticipant* self, grid::ResourceId resource,
-              sim::Time start, sim::Time end);
+  /// Two-phase dispatch: `self` accepts the grant for work `tag` but will
+  /// occupy the machine later — the ledger entry turns held, staying
+  /// visible (and displaceable) until the commit.
+  void hold(const SessionParticipant* self, grid::ResourceId resource,
+            std::uint64_t tag, sim::Time granted_start);
 
-  /// Drops every pending request of `self` (a reschedule invalidated its
-  /// queue heads); the requests re-register on the next acquire.
+  /// `self` started running work `tag` on `resource` over [start, end):
+  /// commits the ledger entry, feeds the policy's usage accounting, and
+  /// records the wait metrics (start minus the entry's first-feasible
+  /// time).
+  void commit(const SessionParticipant* self, grid::ResourceId resource,
+              std::uint64_t tag, sim::Time start, sim::Time end);
+
+  /// Drops every queued entry of `self` (a reschedule invalidated its
+  /// queue heads); the entries re-register on the next acquire with
+  /// their wait baselines preserved.
   void withdraw_all(const SessionParticipant* self);
 
-  /// Latest committed booking of any participant other than `self` on
-  /// `resource`. kTimeZero when uncontended (callers clamp with the
-  /// current clock). This is the FCFS floor every policy builds on.
-  [[nodiscard]] sim::Time contended_until(const SessionParticipant* self,
-                                          grid::ResourceId resource) const;
+  /// Drops the single queued entry of `self` for work `tag` on
+  /// `resource` (a held two-phase placement is being abandoned); the
+  /// wait baseline is preserved for a re-registration.
+  void withdraw(const SessionParticipant* self, grid::ResourceId resource,
+                std::uint64_t tag);
+
+  /// A reschedule cancelled `self`'s running work `tag`: truncates its
+  /// committed reservation on `resource` to end at `at`, releasing the
+  /// rest of the window to competitors.
+  void truncate_commit(const SessionParticipant* self,
+                       grid::ResourceId resource, std::uint64_t tag,
+                       sim::Time at);
 
   /// Wait bookkeeping accumulated for `participant`'s committed grants;
   /// zeros for an unregistered participant.
@@ -188,30 +220,28 @@ class SimulationSession {
   [[nodiscard]] std::size_t index_of(
       const SessionParticipant* participant) const;
 
-  [[nodiscard]] sim::Time grant_for(const ContentionRequest& request,
-                                    const SessionParticipant* self,
-                                    const std::vector<ContentionRequest>&
-                                        pending) const;
+  [[nodiscard]] sim::Time grant_for(const ReservationEntry& entry,
+                                    const std::vector<ReservationEntry>&
+                                        queue) const;
 
-  /// Wakes every pending requester of `resource` except `self` in fresh
+  /// Wakes every queued owner on `resource` except `self` in fresh
   /// simulator events (skipped when the policy's grants cannot move
-  /// earlier on commits/withdrawals).
-  void notify_pending(grid::ResourceId resource,
-                      const SessionParticipant* self);
+  /// earlier on commits/withdrawals and backfilling is off).
+  void notify_queued(grid::ResourceId resource,
+                     const SessionParticipant* self);
+
+  [[nodiscard]] bool wakeups_enabled() const {
+    return policy_->needs_change_notifications() || backfill_;
+  }
 
   SessionEnvironment env_;
   sim::Simulator simulator_;
   std::unique_ptr<ContentionPolicy> policy_;
   std::vector<ParticipantRecord> participants_;
-  /// Pending acquisition requests per resource, registration order; at
-  /// most one entry per participant per resource.
-  std::map<grid::ResourceId, std::vector<ContentionRequest>> pending_;
-  /// first_ready of requests withdrawn before committing, by
-  /// (participant, tag): a re-registration for the same work resumes
-  /// the wait clock instead of restarting it, so reschedules cannot
-  /// erase contention wait already endured.
-  std::map<std::pair<std::size_t, std::uint64_t>, sim::Time>
-      carried_first_ready_;
+  /// The single per-resource reservation timeline behind acquire / hold /
+  /// commit / withdraw / truncate.
+  ResourceLedger ledger_;
+  bool backfill_ = false;
 };
 
 }  // namespace aheft::core

@@ -105,9 +105,8 @@ class StrategyDriver {
     StrategyKind kind, const StrategyConfig& config = {});
 
 /// Convenience: runs one DAG through a private session over `env` to
-/// completion. This is the single code path behind the legacy
-/// run_static_heft / run_adaptive_aheft / run_dynamic_baseline entry
-/// points.
+/// completion — the single code path for the classic one-DAG
+/// comparison (the per-strategy shims that used to wrap it are gone).
 [[nodiscard]] StrategyOutcome run_strategy(
     StrategyKind kind, const dag::Dag& dag,
     const grid::CostProvider& estimates, const grid::CostProvider& actual,

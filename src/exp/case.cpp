@@ -68,6 +68,7 @@ core::SessionEnvironment session_environment(const CaseSpec& spec,
   session.pool = &env.scenario.pool;
   session.load = env.scenario.load.empty() ? nullptr : &env.scenario.load;
   session.contention_policy = spec.contention_policy;
+  session.backfill = spec.backfill;
   return session;
 }
 

@@ -55,6 +55,12 @@ struct CaseSpec {
   /// ContentionPolicyRegistry name arbitrating cross-workflow machine
   /// contention in the session ("fcfs", "priority", "fair-share", ...).
   std::string contention_policy = "fcfs";
+  /// Session-level ledger backfilling (SessionEnvironment::backfill):
+  /// deferred requests may be granted holes in a resource's reservation
+  /// timeline when provably harmless. Off by default — backfilled grants
+  /// change the FCFS event stream, and the default configuration stays
+  /// bit-stable across PRs.
+  bool backfill = false;
   /// Per-workflow priorities / fair-share weights, cycled over the stream
   /// instances (instance k gets stream_priorities[k % size()]); empty
   /// means every workflow weighs 1.

@@ -70,6 +70,10 @@ void set_stream(std::vector<CaseSpec>& specs, std::size_t jobs,
 void set_contention_policy(std::vector<CaseSpec>& specs,
                            std::string_view policy);
 
+/// Applies the session-level ledger backfilling flag to every spec: the
+/// benches' --backfill knob.
+void set_backfill(std::vector<CaseSpec>& specs, bool backfill);
+
 }  // namespace aheft::exp
 
 #endif  // AHEFT_EXP_SWEEPS_H_

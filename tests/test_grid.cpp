@@ -1,5 +1,5 @@
 // Unit tests for the grid substrate: pool, machine model, predictors,
-// history repository, reservation ledger, events.
+// history repository, events.
 #include <gtest/gtest.h>
 
 #include "dag/dag.h"
@@ -8,7 +8,6 @@
 #include "grid/history.h"
 #include "grid/machine_model.h"
 #include "grid/predictor.h"
-#include "grid/reservation.h"
 #include "grid/resource_pool.h"
 
 namespace aheft::grid {
@@ -169,40 +168,6 @@ TEST(Predictor, HistoryBlendingPrefersObservations) {
   // Both jobs share the operation, so one observation fixes both.
   EXPECT_DOUBLE_EQ(predictor.compute_cost(0, 0), 42.0);
   EXPECT_DOUBLE_EQ(predictor.compute_cost(1, 0), 42.0);
-}
-
-TEST(Reservations, ConflictDetection) {
-  ReservationLedger ledger;
-  const ScheduleVersion v1 = ledger.begin_version();
-  ledger.reserve(v1, 0, 0, 0.0, 10.0);
-  EXPECT_TRUE(ledger.conflicts(0, 5.0, 15.0));
-  EXPECT_FALSE(ledger.conflicts(0, 10.0, 15.0));  // touching is fine
-  EXPECT_FALSE(ledger.conflicts(1, 5.0, 15.0));   // other resource
-  EXPECT_THROW(ledger.reserve(v1, 1, 0, 9.0, 12.0), std::invalid_argument);
-  ledger.reserve(v1, 1, 0, 10.0, 12.0);
-  EXPECT_EQ(ledger.live_count(), 2u);
-}
-
-TEST(Reservations, RevokeKeepsPinnedJobs) {
-  ReservationLedger ledger;
-  const ScheduleVersion v1 = ledger.begin_version();
-  ledger.reserve(v1, 0, 0, 0.0, 10.0);
-  ledger.reserve(v1, 1, 0, 10.0, 20.0);
-  ledger.reserve(v1, 2, 1, 0.0, 5.0);
-  const ScheduleVersion v2 = ledger.begin_version();
-  ledger.revoke_before(v2, {0});  // job 0 is pinned (running)
-  EXPECT_EQ(ledger.live_count(), 1u);
-  const auto kept = ledger.reservations_for(0);
-  ASSERT_EQ(kept.size(), 1u);
-  EXPECT_EQ(kept[0].job, 0u);
-  // The freed windows can be reserved under the new version.
-  ledger.reserve(v2, 1, 0, 12.0, 22.0);
-  EXPECT_EQ(ledger.live_count(), 2u);
-}
-
-TEST(Reservations, UnknownVersionRejected) {
-  ReservationLedger ledger;
-  EXPECT_THROW(ledger.reserve(7, 0, 0, 0.0, 1.0), std::invalid_argument);
 }
 
 TEST(Events, DescribeRendersEachKind) {

@@ -3,7 +3,7 @@
 // validator over complete adaptive runs.
 #include <gtest/gtest.h>
 
-#include "core/adaptive_run.h"
+#include "core/strategy.h"
 #include "core/heft.h"
 #include "exp/case.h"
 #include "grid/predictor.h"
@@ -47,8 +47,11 @@ AppRun run_app(exp::AppKind app, std::size_t parallelism, double ccr,
   const grid::MachineModel model = workloads::build_machine_model(
       w, pool.universe_size(), 0.5, mix64(seed, 3));
 
-  const core::StrategyOutcome outcome =
-      core::run_adaptive_aheft(w.dag, model, model, pool, {}, trace);
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  env.trace = trace;
+  const core::StrategyOutcome outcome = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, w.dag, model, model, env);
   AppRun result;
   result.heft = plan.makespan();
   result.aheft = outcome.makespan;
@@ -138,8 +141,15 @@ TEST(Integration, NoisyEstimatesStillCompleteAndStayReasonable) {
   config.variance_threshold = 0.15;
   grid::PerformanceHistoryRepository history;
   sim::TraceRecorder trace;
-  const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-      c.workload.dag, estimates, c.model, c.pool, config, &trace, &history);
+  core::SessionEnvironment env;
+  env.pool = &c.pool;
+  env.trace = &trace;
+  env.history = &history;
+  core::StrategyConfig strategy;
+  strategy.planner = config;
+  const core::StrategyOutcome outcome =
+      core::run_strategy(core::StrategyKind::kAdaptiveAheft, c.workload.dag,
+                         estimates, c.model, env, strategy);
   EXPECT_GT(outcome.makespan, 0.0);
   EXPECT_GT(history.total_observations(), 0u);
   test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);
@@ -168,8 +178,12 @@ TEST(Integration, FailureInjectionRestartsAndCompletes) {
   c.pool.set_departure(busiest, plan.makespan() / 2.0);
 
   sim::TraceRecorder trace;
-  const core::StrategyOutcome outcome = core::run_adaptive_aheft(
-      c.workload.dag, c.model, c.model, c.pool, {}, &trace);
+  core::SessionEnvironment env;
+  env.pool = &c.pool;
+  env.trace = &trace;
+  const core::StrategyOutcome outcome = core::run_strategy(
+      core::StrategyKind::kAdaptiveAheft, c.workload.dag, c.model, c.model,
+      env);
   EXPECT_GT(outcome.makespan, 0.0);
   EXPECT_GE(outcome.adoptions, 1u);
   test::expect_valid_trace(trace, c.workload.dag, c.model, c.pool);

@@ -1,0 +1,183 @@
+// ResourceLedger unit tests: entry lifecycle (pending -> held ->
+// committed / withdrawn), the committed-overlap invariant, wait-baseline
+// carrying across withdrawals, truncation of cancelled commitments, and
+// the backfill hole-finder's no-delay guarantees.
+#include <gtest/gtest.h>
+
+#include "core/resource_ledger.h"
+#include "support/assert.h"
+
+namespace aheft::core {
+namespace {
+
+constexpr grid::ResourceId kR = 0;
+
+ReservationEntry& upsert(ResourceLedger& ledger, std::size_t participant,
+                         std::uint64_t tag, sim::Time ready,
+                         double duration) {
+  return ledger.upsert(participant, kR, tag, ready, duration,
+                       /*priority=*/1.0, /*active_since=*/0.0,
+                       /*planned_span=*/0.0);
+}
+
+TEST(ResourceLedger, UpsertRegistersOnceAndRefreshesInPlace) {
+  ResourceLedger ledger;
+  const ReservationEntry& first = upsert(ledger, 0, 7, 5.0, 10.0);
+  EXPECT_EQ(first.state, ReservationState::kPending);
+  EXPECT_DOUBLE_EQ(first.first_ready, 5.0);
+  const std::uint64_t id = first.id;
+
+  // A refresh for the same work keeps the id, queue slot, and baseline.
+  upsert(ledger, 0, 7, 9.0, 12.0);
+  ASSERT_EQ(ledger.queue(kR).size(), 1u);
+  const ReservationEntry& refreshed = ledger.queue(kR).front();
+  EXPECT_EQ(refreshed.id, id);
+  EXPECT_DOUBLE_EQ(refreshed.ready, 9.0);
+  EXPECT_DOUBLE_EQ(refreshed.duration, 12.0);
+  EXPECT_DOUBLE_EQ(refreshed.first_ready, 5.0);
+
+  // Different work of the same participant queues separately.
+  upsert(ledger, 0, 8, 0.0, 3.0);
+  EXPECT_EQ(ledger.queue(kR).size(), 2u);
+  EXPECT_EQ(ledger.queued_count(), 2u);
+}
+
+TEST(ResourceLedger, CommitMovesEntryToTimeline) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 10.0);
+  upsert(ledger, 1, 1, 0.0, 5.0);
+  const ReservationEntry committed = ledger.commit(0, kR, 1, 0.0, 10.0);
+  EXPECT_EQ(committed.state, ReservationState::kCommitted);
+  EXPECT_EQ(ledger.queue(kR).size(), 1u);  // participant 1 still queued
+  EXPECT_DOUBLE_EQ(ledger.committed_until(kR), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.committed_until_excluding(kR, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.committed_until_excluding(kR, 1), 10.0);
+  ASSERT_EQ(ledger.committed_windows(kR).size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.committed_windows(kR).front().end, 10.0);
+}
+
+TEST(ResourceLedger, OverlappingCommitsViolateTheInvariant) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 10.0);
+  (void)ledger.commit(0, kR, 1, 0.0, 10.0);
+  upsert(ledger, 1, 1, 0.0, 5.0);
+  EXPECT_THROW((void)ledger.commit(1, kR, 1, 5.0, 10.0), AssertionError);
+  // Adjacent windows are legal: [10, 15) touches [0, 10) without overlap.
+  upsert(ledger, 2, 1, 0.0, 5.0);
+  EXPECT_NO_THROW((void)ledger.commit(2, kR, 1, 10.0, 15.0));
+  // Backfilled windows land in holes BEFORE existing windows: committing
+  // [20, 30) then [16, 18) is legal, [17, 22) is not.
+  upsert(ledger, 0, 2, 20.0, 10.0);
+  (void)ledger.commit(0, kR, 2, 20.0, 30.0);
+  upsert(ledger, 1, 2, 16.0, 2.0);
+  EXPECT_NO_THROW((void)ledger.commit(1, kR, 2, 16.0, 18.0));
+  upsert(ledger, 2, 2, 17.0, 5.0);
+  EXPECT_THROW((void)ledger.commit(2, kR, 2, 17.0, 22.0), AssertionError);
+}
+
+TEST(ResourceLedger, WithdrawCarriesTheWaitBaseline) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 7, 5.0, 10.0);
+  const std::vector<grid::ResourceId> touched = ledger.withdraw_all(0);
+  ASSERT_EQ(touched.size(), 1u);
+  EXPECT_EQ(touched.front(), kR);
+  EXPECT_EQ(ledger.queue(kR).size(), 0u);
+  // Re-registration for the same work resumes the wait clock (min of the
+  // carried and fresh ready), even at a later feasible time.
+  const ReservationEntry& again = upsert(ledger, 0, 7, 30.0, 10.0);
+  EXPECT_DOUBLE_EQ(again.first_ready, 5.0);
+  // ...but only once: the carried baseline is consumed.
+  ledger.withdraw_all(0);
+  upsert(ledger, 0, 7, 12.0, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.queue(kR).front().first_ready, 5.0);
+}
+
+TEST(ResourceLedger, SingleWithdrawRemovesOnlyTheKeyedEntry) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 10.0);
+  upsert(ledger, 0, 2, 0.0, 10.0);
+  EXPECT_FALSE(ledger.withdraw(0, kR, 99));
+  EXPECT_TRUE(ledger.withdraw(0, kR, 1));
+  ASSERT_EQ(ledger.queue(kR).size(), 1u);
+  EXPECT_EQ(ledger.queue(kR).front().tag, 2u);
+}
+
+TEST(ResourceLedger, TruncateReleasesTheCancelledRemainder) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 40.0);
+  (void)ledger.commit(0, kR, 1, 0.0, 40.0);
+  EXPECT_DOUBLE_EQ(ledger.committed_until_excluding(kR, 1), 40.0);
+  // The running job behind the window is cancelled at t=15.
+  ledger.truncate_commit(0, kR, 1, 15.0);
+  EXPECT_DOUBLE_EQ(ledger.committed_until_excluding(kR, 1), 15.0);
+  // The freed remainder is committable again without overlap.
+  upsert(ledger, 1, 1, 15.0, 10.0);
+  EXPECT_NO_THROW((void)ledger.commit(1, kR, 1, 15.0, 25.0));
+  // Truncating an unknown window is a harmless no-op.
+  ledger.truncate_commit(0, kR, 42, 0.0);
+}
+
+TEST(ResourceLedger, HoldKeepsTheClaimQueuedAndReportsMoves) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 10.0);
+  EXPECT_TRUE(ledger.hold(0, kR, 1, 20.0));   // fresh hold: moved
+  EXPECT_FALSE(ledger.hold(0, kR, 1, 20.0));  // unchanged: silent
+  EXPECT_TRUE(ledger.hold(0, kR, 1, 30.0));   // re-arbitrated: moved
+  const ReservationEntry* entry = ledger.find(0, kR, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, ReservationState::kHeld);
+  EXPECT_DOUBLE_EQ(entry->held_start, 30.0);
+  EXPECT_EQ(ledger.queue(kR).size(), 1u);  // still visible to policies
+}
+
+// ------------------------------------------------------------- backfill --
+
+TEST(ResourceLedger, BackfillFindsTheFirstFittingHole) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 50.0, 10.0);
+  (void)ledger.commit(0, kR, 1, 50.0, 60.0);
+  // Entries are copied out: later upserts may grow (and reallocate) the
+  // queue, and backfill_start only needs the request's fields.
+  const ReservationEntry request = upsert(ledger, 1, 1, 0.0, 5.0);
+  // Deferred to 60 by the floor, but [0, 5) fits before the window.
+  const auto hole = ledger.backfill_start(request, /*now=*/0.0,
+                                          /*policy_grant=*/60.0);
+  ASSERT_TRUE(hole.has_value());
+  EXPECT_DOUBLE_EQ(*hole, 0.0);
+  // A 55-unit request cannot fit before the window; sliding past it
+  // reaches the policy grant, so there is nothing to gain. (The 5-unit
+  // sibling entry is withdrawn so it does not fence its own owner.)
+  ledger.withdraw(1, kR, 1);
+  const ReservationEntry big = upsert(ledger, 1, 2, 0.0, 55.0);
+  EXPECT_FALSE(ledger.backfill_start(big, 0.0, 60.0).has_value());
+  // An undeferred request has nothing to gain either.
+  EXPECT_FALSE(ledger.backfill_start(big, 0.0, 0.0).has_value());
+}
+
+TEST(ResourceLedger, BackfillRespectsQueuedRequestsAndHeldClaims) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 50.0, 10.0);
+  (void)ledger.commit(0, kR, 1, 50.0, 60.0);
+  // A pending competitor feasible at t=2 fences the hole.
+  upsert(ledger, 2, 1, 2.0, 20.0);
+  const ReservationEntry request = upsert(ledger, 1, 1, 0.0, 5.0);
+  EXPECT_FALSE(
+      ledger.backfill_start(request, 0.0, 60.0).has_value());  // 5 > 2
+  ledger.withdraw(1, kR, 1);
+  const ReservationEntry tiny = upsert(ledger, 1, 2, 0.0, 2.0);
+  const auto hole = ledger.backfill_start(tiny, 0.0, 60.0);
+  ASSERT_TRUE(hole.has_value());  // ends exactly at the fence
+  EXPECT_DOUBLE_EQ(*hole, 0.0);
+  // A held claim blocks its window like a committed one.
+  ledger.withdraw(1, kR, 2);
+  ledger.withdraw_all(2);
+  upsert(ledger, 2, 2, 0.0, 10.0);
+  ledger.hold(2, kR, 2, 0.0);  // claim [0, 10)
+  const ReservationEntry after = upsert(ledger, 1, 3, 0.0, 5.0);
+  const auto shifted = ledger.backfill_start(after, 0.0, 60.0);
+  ASSERT_TRUE(shifted.has_value());
+  EXPECT_DOUBLE_EQ(*shifted, 10.0);  // first hole after the claim
+}
+
+}  // namespace
+}  // namespace aheft::core

@@ -2,8 +2,8 @@
 // Fig. 2) coupled to the executor.
 #include <gtest/gtest.h>
 
-#include "core/adaptive_run.h"
 #include "core/heft.h"
+#include "core/strategy.h"
 #include "core/planner.h"
 #include "grid/predictor.h"
 #include "helpers.h"
@@ -14,8 +14,11 @@ namespace {
 
 TEST(Planner, StaticRunRealizesTheInitialPlan) {
   const auto scenario = workloads::sample_scenario(15.0);
-  const StrategyOutcome outcome = run_static_heft(
-      scenario.dag, scenario.model, scenario.model, scenario.pool);
+  SessionEnvironment env;
+  env.pool = &scenario.pool;
+  const StrategyOutcome outcome =
+      run_strategy(StrategyKind::kStaticHeft, scenario.dag, scenario.model,
+                   scenario.model, env);
   EXPECT_DOUBLE_EQ(outcome.makespan, 80.0);
   EXPECT_EQ(outcome.adoptions, 0u);
   EXPECT_EQ(outcome.evaluations, 0u);

@@ -6,8 +6,9 @@
 
 #include <algorithm>
 
-#include "core/adaptive_run.h"
 #include "core/contention_policy.h"
+#include "core/dynamic_scheduler.h"
+#include "core/resource_ledger.h"
 #include "core/strategy.h"
 #include "core/workflow_stream.h"
 #include "exp/case.h"
@@ -82,22 +83,16 @@ struct CollisionCase {
 
 // --------------------------------------------------- session equivalence --
 
-/// Every legacy entry point must produce the identical result as the
-/// unified session path it now wraps: same makespan, same counters.
-TEST(Session, LegacyEntryPointsMatchRunStrategy) {
+/// The classic per-strategy entry points (the planner's own run(), the
+/// one-call dynamic simulation) must produce the identical result as the
+/// unified session path: same makespan, same counters.
+TEST(Session, ClassicEntryPointsMatchRunStrategy) {
   const test::RandomCase c = test::make_random_case(99);
   SessionEnvironment env;
   env.pool = &c.pool;
 
-  const StrategyOutcome heft_old =
-      run_static_heft(c.workload.dag, c.model, c.model, c.pool);
-  const StrategyOutcome heft_new = run_strategy(
-      StrategyKind::kStaticHeft, c.workload.dag, c.model, c.model, env);
-  EXPECT_DOUBLE_EQ(heft_old.makespan, heft_new.makespan);
-  EXPECT_EQ(heft_old.evaluations, heft_new.evaluations);
-
-  const StrategyOutcome aheft_old =
-      run_adaptive_aheft(c.workload.dag, c.model, c.model, c.pool, {});
+  AdaptivePlanner planner(c.workload.dag, c.model, c.model, c.pool, {});
+  const AdaptiveResult aheft_old = planner.run();
   const StrategyOutcome aheft_new = run_strategy(
       StrategyKind::kAdaptiveAheft, c.workload.dag, c.model, c.model, env);
   EXPECT_DOUBLE_EQ(aheft_old.makespan, aheft_new.makespan);
@@ -105,12 +100,12 @@ TEST(Session, LegacyEntryPointsMatchRunStrategy) {
   EXPECT_EQ(aheft_old.adoptions, aheft_new.adoptions);
   EXPECT_EQ(aheft_old.restarts, aheft_new.restarts);
 
-  const StrategyOutcome dyn_old =
-      run_dynamic_baseline(c.workload.dag, c.model, c.pool);
+  const DynamicRunResult dyn_old =
+      run_dynamic(c.workload.dag, c.model, c.pool);
   const StrategyOutcome dyn_new = run_strategy(
       StrategyKind::kDynamic, c.workload.dag, c.model, c.model, env);
   EXPECT_DOUBLE_EQ(dyn_old.makespan, dyn_new.makespan);
-  EXPECT_EQ(dyn_old.evaluations, dyn_new.evaluations);
+  EXPECT_EQ(dyn_old.batches, dyn_new.evaluations);
 }
 
 /// The planner's own run() (a private session) and an explicit launch
@@ -426,6 +421,192 @@ TEST(ContentionPolicy, StreamPrioritiesCycleOverInstances) {
   for (std::size_t k = 0; k < setup.instances.size(); ++k) {
     EXPECT_DOUBLE_EQ(setup.instances[k].priority, k % 2 == 0 ? 4.0 : 1.0);
   }
+}
+
+// ------------------------------------------- two-phase dynamic dispatch --
+
+/// A wide just-in-time workflow (6 independent jobs) books one machine
+/// end to end under FCFS (instant advance booking), convoying a short
+/// workflow behind its whole span. Two-phase dispatch keeps the claims
+/// displaceable, so fair share lets the short workflow in earlier.
+struct WideDynamicCase {
+  dag::Dag wide_dag{"wide"};
+  dag::Dag short_dag{"short"};
+  grid::ResourcePool pool;
+  grid::MachineModel wide_model{6, 1};
+  grid::MachineModel short_model{1, 1};
+
+  WideDynamicCase() {
+    for (int i = 0; i < 6; ++i) {
+      wide_dag.add_job("w" + std::to_string(i));
+    }
+    wide_dag.finalize();
+    short_dag.add_job("s0");
+    short_dag.finalize();
+    pool.add(grid::Resource{.name = "only"});
+    for (dag::JobId i = 0; i < 6; ++i) {
+      wide_model.set_compute_cost(i, 0, 10.0);
+    }
+    short_model.set_compute_cost(0, 0, 10.0);
+  }
+
+  [[nodiscard]] std::vector<WorkflowInstance> instances() const {
+    std::vector<WorkflowInstance> result(2);
+    result[0].name = "wide";
+    result[0].dag = &wide_dag;
+    result[0].estimates = &wide_model;
+    result[0].actual = &wide_model;
+    result[1].name = "short";
+    result[1].dag = &short_dag;
+    result[1].estimates = &short_model;
+    result[1].actual = &short_model;
+    return result;
+  }
+};
+
+TEST(TwoPhaseDynamic, FcfsAdvanceBookingConvoysTheShortWorkflow) {
+  const WideDynamicCase c;
+  const std::unique_ptr<StrategyDriver> driver =
+      make_strategy_driver(StrategyKind::kDynamic);
+  const StreamOutcome outcome = run_workflow_stream(
+      policy_env(c.pool, "fcfs"), *driver, c.instances());
+  ASSERT_EQ(outcome.workflows.size(), 2u);
+  // The wide workflow's first decision round books [0,60) in one go; the
+  // short workflow lands behind the whole convoy.
+  EXPECT_DOUBLE_EQ(outcome.workflows[0].makespan, 60.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].makespan, 70.0);
+  EXPECT_DOUBLE_EQ(outcome.workflows[1].wait, 60.0);
+}
+
+TEST(TwoPhaseDynamic, FairShareDisplacesHeldClaims) {
+  const WideDynamicCase c;
+  const std::unique_ptr<StrategyDriver> fcfs_driver =
+      make_strategy_driver(StrategyKind::kDynamic);
+  const StreamOutcome fcfs = run_workflow_stream(
+      policy_env(c.pool, "fcfs"), *fcfs_driver, c.instances());
+  const std::unique_ptr<StrategyDriver> fair_driver =
+      make_strategy_driver(StrategyKind::kDynamic);
+  const StreamOutcome fair = run_workflow_stream(
+      policy_env(c.pool, "fair-share"), *fair_driver, c.instances());
+  ASSERT_EQ(fair.workflows.size(), 2u);
+  // Two-phase dispatch keeps the wide workflow's future slots held (not
+  // committed), so once the short workflow's stretch passes the jump
+  // threshold it starts ahead of the remaining claims.
+  EXPECT_LT(fair.workflows[1].makespan, fcfs.workflows[1].makespan);
+  EXPECT_GE(fair.workflows[0].makespan, 60.0);
+  EXPECT_LT(fair.max_slowdown, fcfs.max_slowdown);
+  EXPECT_GT(fair.jain_fairness, fcfs.jain_fairness);
+  // The displaced machine still runs some job whenever work is ready:
+  // total committed time is conserved.
+  EXPECT_DOUBLE_EQ(fair.span, fcfs.span);
+}
+
+TEST(TwoPhaseDynamic, DeterministicUnderArbitratingPolicies) {
+  const WideDynamicCase c;
+  for (const char* policy : {"priority", "fair-share"}) {
+    const std::unique_ptr<StrategyDriver> driver =
+        make_strategy_driver(StrategyKind::kDynamic);
+    const StreamOutcome a = run_workflow_stream(policy_env(c.pool, policy),
+                                                *driver, c.instances());
+    const StreamOutcome b = run_workflow_stream(policy_env(c.pool, policy),
+                                                *driver, c.instances());
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_DOUBLE_EQ(a.workflows[i].makespan, b.workflows[i].makespan)
+          << policy;
+      EXPECT_DOUBLE_EQ(a.workflows[i].wait, b.workflows[i].wait) << policy;
+    }
+  }
+}
+
+// ------------------------------------------------- session-level ledger --
+
+/// Minimal participant for driving the session's ledger API directly.
+struct Probe : SessionParticipant {};
+
+SessionEnvironment backfill_env(const grid::ResourcePool& pool,
+                                bool backfill) {
+  SessionEnvironment env;
+  env.pool = &pool;
+  env.backfill = backfill;
+  return env;
+}
+
+TEST(SessionLedger, BackfillGrantsProvablyHarmlessHole) {
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "only"});
+  Probe advance;
+  Probe filler;
+
+  // Without backfill: the FCFS floor parks the 5-unit job behind the
+  // advance booking even though [0, 50) idles.
+  {
+    SimulationSession session(backfill_env(pool, false));
+    session.add_participant(&advance);
+    session.add_participant(&filler);
+    ASSERT_DOUBLE_EQ(session.acquire(&advance, 0, 50.0, 10.0, 1), 50.0);
+    session.commit(&advance, 0, 1, 50.0, 60.0);
+    EXPECT_DOUBLE_EQ(session.acquire(&filler, 0, 0.0, 5.0, 1), 60.0);
+  }
+  // With backfill: the hole before the booking is granted.
+  {
+    SimulationSession session(backfill_env(pool, true));
+    session.add_participant(&advance);
+    session.add_participant(&filler);
+    ASSERT_DOUBLE_EQ(session.acquire(&advance, 0, 50.0, 10.0, 1), 50.0);
+    session.commit(&advance, 0, 1, 50.0, 60.0);
+    EXPECT_DOUBLE_EQ(session.acquire(&filler, 0, 0.0, 5.0, 1), 0.0);
+  }
+}
+
+TEST(SessionLedger, BackfillNeverDelaysAnEarlierRequest) {
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "only"});
+  Probe advance;
+  Probe earlier;
+  Probe filler;
+  SimulationSession session(backfill_env(pool, true));
+  session.add_participant(&advance);
+  session.add_participant(&earlier);
+  session.add_participant(&filler);
+  ASSERT_DOUBLE_EQ(session.acquire(&advance, 0, 50.0, 10.0, 1), 50.0);
+  session.commit(&advance, 0, 1, 50.0, 60.0);
+  // A queued request becomes feasible at t=2 but is too long for the
+  // hole before the booking (2 + 55 > 50): its grant is the floor.
+  const sim::Time earlier_grant = session.acquire(&earlier, 0, 2.0, 55.0, 1);
+  EXPECT_DOUBLE_EQ(earlier_grant, 60.0);
+  // A 5-unit filler would run [0, 5) — past the earlier request's
+  // feasible start, so granting it could delay that request: refused.
+  EXPECT_DOUBLE_EQ(session.acquire(&filler, 0, 0.0, 5.0, 1), 60.0);
+  session.withdraw_all(&filler);
+  // A 2-unit filler ends exactly when the earlier request could start:
+  // provably harmless, granted the hole.
+  EXPECT_DOUBLE_EQ(session.acquire(&filler, 0, 0.0, 2.0, 2), 0.0);
+  // The earlier request's grant is unchanged by the backfilled entry.
+  EXPECT_DOUBLE_EQ(session.acquire(&earlier, 0, 2.0, 55.0, 1),
+                   earlier_grant);
+}
+
+TEST(SessionLedger, WithdrawPreservesWaitBaselines) {
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "only"});
+  Probe owner;
+  Probe competitor;
+  SimulationSession session(backfill_env(pool, false));
+  session.add_participant(&owner);
+  session.add_participant(&competitor);
+  ASSERT_DOUBLE_EQ(session.acquire(&competitor, 0, 0.0, 20.0, 1), 0.0);
+  session.commit(&competitor, 0, 1, 0.0, 20.0);
+  // The owner's work first became feasible at t=0 and was deferred.
+  EXPECT_DOUBLE_EQ(session.acquire(&owner, 0, 0.0, 10.0, 7), 20.0);
+  // A reschedule withdraws and re-registers the same work (same tag)
+  // with a later feasible time; the wait clock must not restart.
+  session.withdraw_all(&owner);
+  EXPECT_DOUBLE_EQ(session.acquire(&owner, 0, 5.0, 10.0, 7), 20.0);
+  session.commit(&owner, 0, 7, 20.0, 30.0);
+  const ContentionStats stats = session.contention_stats(&owner);
+  EXPECT_DOUBLE_EQ(stats.total_wait, 20.0);  // from t=0, not t=5
+  EXPECT_DOUBLE_EQ(stats.max_wait, 20.0);
+  EXPECT_EQ(stats.grants, 1u);
 }
 
 // ------------------------------------------------------ arrival ordering --

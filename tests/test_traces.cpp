@@ -9,7 +9,7 @@
 #include <string>
 #include <variant>
 
-#include "core/adaptive_run.h"
+#include "core/strategy.h"
 #include "core/strategy.h"
 #include "exp/case.h"
 #include "exp/sweeps.h"
@@ -431,14 +431,19 @@ TEST(LoadScaling, StaticRunStretchesBySegmentMultiplier) {
   model.set_compute_cost(0, 0, 10.0);
   model.set_compute_cost(1, 0, 5.0);
 
-  const core::StrategyOutcome nominal =
-      core::run_static_heft(dag, model, model, pool);
+  core::SessionEnvironment nominal_env;
+  nominal_env.pool = &pool;
+  const core::StrategyOutcome nominal = core::run_strategy(
+      core::StrategyKind::kStaticHeft, dag, model, model, nominal_env);
   EXPECT_DOUBLE_EQ(nominal.makespan, 15.0);
 
   LoadTimeline load;
   load.add(0, 0.0, sim::kTimeInfinity, 2.0);
-  const core::StrategyOutcome stretched = core::run_static_heft(
-      dag, model, model, pool, {}, nullptr, &load);
+  core::SessionEnvironment loaded_env;
+  loaded_env.pool = &pool;
+  loaded_env.load = &load;
+  const core::StrategyOutcome stretched = core::run_strategy(
+      core::StrategyKind::kStaticHeft, dag, model, model, loaded_env);
   EXPECT_DOUBLE_EQ(stretched.makespan, 30.0);
 }
 
@@ -458,9 +463,12 @@ TEST(LoadScaling, DepartureOverrunReportsClearErrorNotInvariant) {
 
   LoadTimeline load;
   load.add(0, 0.0, sim::kTimeInfinity, 2.0);  // realized 20 > 12
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  env.load = &load;
   try {
-    (void)core::run_static_heft(dag, model, model, pool, {}, nullptr,
-                                &load);
+    (void)core::run_strategy(core::StrategyKind::kStaticHeft, dag, model,
+                             model, env);
     FAIL() << "expected runtime_error";
   } catch (const std::runtime_error& error) {
     const std::string what = error.what();
