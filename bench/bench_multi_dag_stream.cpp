@@ -31,7 +31,8 @@ namespace {
 
 exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
                           std::size_t stream_jobs,
-                          const std::string& policy, bool backfill) {
+                          const std::string& policy, bool backfill,
+                          bool contention_aware) {
   exp::CaseSpec spec;
   spec.app = exp::AppKind::kRandom;
   spec.size = scale == Scale::kSmoke ? 20 : 40;
@@ -51,6 +52,7 @@ exp::CaseSpec stream_spec(Scale scale, std::uint64_t master,
     spec.contention_policy = policy;
   }
   spec.backfill = backfill;
+  spec.contention_aware = contention_aware;
   spec.seed = exp::case_seed(master, spec, /*instance=*/stream_jobs);
   return spec;
 }
@@ -99,8 +101,9 @@ int main(int argc, char** argv) {
   std::vector<exp::StreamCaseResult> results;
   results.reserve(streams.size());
   for (const std::size_t n : streams) {
-    results.push_back(exp::run_stream_case(stream_spec(
-        options.scale, options.seed, n, policy, options.backfill)));
+    results.push_back(exp::run_stream_case(
+        stream_spec(options.scale, options.seed, n, policy, options.backfill,
+                    options.contention_aware)));
     report(n, results.back());
     const exp::StreamCaseResult& r = results.back();
     const std::string policy_label =
@@ -124,8 +127,9 @@ int main(int argc, char** argv) {
   const std::size_t probe_index = streams.size() > 1 ? 1 : 0;
   const std::size_t probe = streams[probe_index];
   const exp::StreamCaseResult& a = results[probe_index];
-  const exp::StreamCaseResult b = exp::run_stream_case(stream_spec(
-      options.scale, options.seed, probe, policy, options.backfill));
+  const exp::StreamCaseResult b = exp::run_stream_case(
+      stream_spec(options.scale, options.seed, probe, policy,
+                  options.backfill, options.contention_aware));
   const bool deterministic = a.heft.makespans == b.heft.makespans &&
                              a.aheft.makespans == b.aheft.makespans &&
                              a.minmin.makespans == b.minmin.makespans &&

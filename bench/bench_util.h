@@ -15,6 +15,10 @@
 //   --backfill                    (session-level ledger backfilling for
 //                                  stream benches; changes grants, so it
 //                                  is never the default)
+//   --contention-aware            (planning passes fit into the session
+//                                  ledger's availability snapshot; off by
+//                                  default so the contention-blind plans
+//                                  stay bit-stable across PRs)
 //   --json=path                   (structured per-configuration results —
 //                                  every row's makespan/wait/jain at full
 //                                  double precision — so CI can archive
@@ -58,6 +62,8 @@ struct BenchOptions {
   std::string contention_policy;
   /// Enables session-level ledger backfilling on every spec.
   bool backfill = false;
+  /// Enables contention-aware planning on every spec.
+  bool contention_aware = false;
   /// Structured JSON results path (empty: no JSON output).
   std::string json;
 };
@@ -74,6 +80,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
   options.trace_path = args.get("trace", "");
   options.contention_policy = args.get("contention-policy", "");
   options.backfill = args.has("backfill");
+  options.contention_aware = args.has("contention-aware");
   options.json = args.get("json", "");
   if (!options.contention_policy.empty()) {
     // Fail at parse time with a usage message — an unknown name would
@@ -177,8 +184,8 @@ class JsonReport {
                     {"jain_fairness", summary.jain_fairness},
                     {"throughput", summary.throughput},
                     {"span", summary.span},
-                    {"adoptions",
-                     static_cast<double>(summary.adoptions)}});
+                    {"adoptions", static_cast<double>(summary.adoptions)},
+                    {"restarts", static_cast<double>(summary.restarts)}});
   }
 
   /// Writes the report to `path`; exits with a message when the file
@@ -263,6 +270,9 @@ inline exp::SweepOutcome run(const BenchOptions& options,
   }
   if (options.backfill) {
     exp::set_backfill(specs, true);
+  }
+  if (options.contention_aware) {
+    exp::set_contention_aware(specs, true);
   }
   Stopwatch watch;
   exp::SweepOutcome outcome =

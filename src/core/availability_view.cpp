@@ -1,0 +1,84 @@
+#include "core/availability_view.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace aheft::core {
+
+namespace {
+
+const std::vector<BusyInterval> kNoIntervals;
+
+}  // namespace
+
+std::size_t AvailabilityView::interval_count() const {
+  std::size_t count = 0;
+  for (const auto& [resource, intervals] : busy_) {
+    count += intervals.size();
+  }
+  return count;
+}
+
+void AvailabilityView::add_busy(grid::ResourceId resource, sim::Time start,
+                                sim::Time end) {
+  if (end <= start) {
+    return;
+  }
+  busy_[resource].push_back(BusyInterval{start, end});
+}
+
+void AvailabilityView::normalize() {
+  for (auto it = busy_.begin(); it != busy_.end();) {
+    std::vector<BusyInterval>& intervals = it->second;
+    std::sort(intervals.begin(), intervals.end(),
+              [](const BusyInterval& a, const BusyInterval& b) {
+                if (a.start != b.start) {
+                  return a.start < b.start;
+                }
+                return a.end < b.end;
+              });
+    std::size_t merged = 0;
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].start <= intervals[merged].end) {
+        intervals[merged].end =
+            std::max(intervals[merged].end, intervals[i].end);
+      } else {
+        intervals[++merged] = intervals[i];
+      }
+    }
+    if (!intervals.empty()) {
+      intervals.resize(merged + 1);
+    }
+    it = intervals.empty() ? busy_.erase(it) : std::next(it);
+  }
+}
+
+const std::vector<BusyInterval>& AvailabilityView::busy(
+    grid::ResourceId resource) const {
+  const auto it = busy_.find(resource);
+  return it == busy_.end() ? kNoIntervals : it->second;
+}
+
+sim::Time AvailabilityView::earliest_fit(grid::ResourceId resource,
+                                         sim::Time candidate,
+                                         sim::Time duration) const {
+  AHEFT_REQUIRE(duration >= 0.0, "fit duration must be non-negative");
+  const auto it = busy_.find(resource);
+  if (it == busy_.end()) {
+    return candidate;
+  }
+  // Intervals are normalized (disjoint, start-sorted), so one forward scan
+  // suffices: either the job fits before the next busy span or it slides
+  // past it. The epsilon mirrors Schedule::earliest_slot's gap test so a
+  // slot touching a foreign window is not rejected over summed-cost dust.
+  for (const BusyInterval& interval : it->second) {
+    if (candidate + duration <= interval.start + sim::kTimeEpsilon) {
+      break;  // fits in the free gap before this busy span
+    }
+    candidate = std::max(candidate, interval.end);
+  }
+  return candidate;
+}
+
+}  // namespace aheft::core

@@ -1,0 +1,100 @@
+// AvailabilityView: a planner-side snapshot of foreign machine load.
+//
+// The schedulers historically estimated earliest-start times against an
+// empty grid: in a multi-DAG session the plan was systematically
+// optimistic because competitors' committed windows and held two-phase
+// claims (the session's ResourceLedger) were invisible to the HEFT pass,
+// so AHEFT adapted to pool changes but not to contention. Batch systems
+// plan against the live reservation timeline instead (conservative
+// backfilling, Mu'alem & Feitelson; availability-aware list scheduling in
+// HEFT derivatives) — the view is that timeline, frozen at one instant.
+//
+// A view is one snapshot: per machine, the merged, disjoint, start-sorted
+// busy intervals a foreign workflow has locked in — committed occupation
+// windows plus held (granted but not yet occupied) claims — taken by
+// ResourceLedger::snapshot_view(owner, now). Owner filtering happens at
+// snapshot time: a workflow's own windows and claims are never foreign
+// load, so a solo session always snapshots an empty view, and an empty
+// view constrains nothing (the compat fence: every planning path must be
+// bit-identical to the pre-view code under an empty view).
+//
+// The view deliberately stays a value type with no ledger reference: a
+// planning pass works over an immutable picture, and freshness is the
+// caller's contract (AdaptivePlanner re-snapshots at every evaluation and
+// records the snapshot time next to the decision so staleness is
+// assertable).
+#ifndef AHEFT_CORE_AVAILABILITY_VIEW_H_
+#define AHEFT_CORE_AVAILABILITY_VIEW_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "grid/resource.h"
+#include "sim/time.h"
+
+namespace aheft::core {
+
+/// One foreign busy span [start, end) on a machine.
+struct BusyInterval {
+  sim::Time start = sim::kTimeZero;
+  sim::Time end = sim::kTimeZero;
+
+  friend bool operator==(const BusyInterval&, const BusyInterval&) = default;
+};
+
+class AvailabilityView {
+ public:
+  /// An empty view at time zero: constrains nothing.
+  AvailabilityView() = default;
+
+  explicit AvailabilityView(sim::Time snapshot_time)
+      : snapshot_time_(snapshot_time) {}
+
+  /// The session clock at which the picture was frozen.
+  [[nodiscard]] sim::Time snapshot_time() const { return snapshot_time_; }
+
+  /// No busy interval on any machine.
+  [[nodiscard]] bool empty() const { return busy_.empty(); }
+
+  /// Number of busy intervals across all machines (after normalization:
+  /// merged spans count once).
+  [[nodiscard]] std::size_t interval_count() const;
+
+  /// Records a foreign busy span; intervals may arrive unordered and
+  /// overlapping. Empty spans (end <= start) are dropped. Call
+  /// normalize() before querying.
+  void add_busy(grid::ResourceId resource, sim::Time start, sim::Time end);
+
+  /// Sorts and merges each machine's spans into disjoint, start-sorted
+  /// intervals (touching spans merge). Idempotent.
+  void normalize();
+
+  /// The machine's merged busy intervals in start order (empty when the
+  /// machine carries no foreign load).
+  [[nodiscard]] const std::vector<BusyInterval>& busy(
+      grid::ResourceId resource) const;
+
+  /// Earliest start >= candidate such that [start, start + duration)
+  /// overlaps no busy interval on `resource` (first-fit over the view's
+  /// free gaps, with the schedule layer's epsilon tolerance so summed
+  /// costs do not reject touching endpoints). Monotone: the result never
+  /// precedes `candidate`.
+  [[nodiscard]] sim::Time earliest_fit(grid::ResourceId resource,
+                                       sim::Time candidate,
+                                       sim::Time duration) const;
+
+  /// Two views are equal when they freeze the same instant and the same
+  /// per-machine intervals — the byte-equality basis of the snapshot
+  /// determinism tests.
+  friend bool operator==(const AvailabilityView&,
+                         const AvailabilityView&) = default;
+
+ private:
+  sim::Time snapshot_time_ = sim::kTimeZero;
+  std::map<grid::ResourceId, std::vector<BusyInterval>> busy_;
+};
+
+}  // namespace aheft::core
+
+#endif  // AHEFT_CORE_AVAILABILITY_VIEW_H_

@@ -40,7 +40,7 @@ std::vector<dag::JobId> cpop_critical_path(
 Schedule cpop_schedule(const dag::Dag& dag,
                        const grid::CostProvider& estimates,
                        const grid::ResourcePool& pool, SchedulerConfig config,
-                       sim::Time clock) {
+                       sim::Time clock, const AvailabilityView* availability) {
   const std::vector<grid::ResourceId> resources = pool.available_at(clock);
   AHEFT_REQUIRE(!resources.empty(), "CPOP needs at least one resource");
 
@@ -92,6 +92,7 @@ Schedule cpop_schedule(const dag::Dag& dag,
   request.resources = resources;
   request.clock = clock;
   request.config = config;
+  request.availability = availability;
 
   Schedule result(dag.job_count());
   while (!ready.empty()) {
@@ -109,26 +110,36 @@ Schedule cpop_schedule(const dag::Dag& dag,
     } else {
       candidates = resources;
     }
-    for (const grid::ResourceId r : candidates) {
-      const grid::Resource& machine = pool.resource(r);
-      sim::Time ready_time = sim::kTimeZero;
-      for (const std::uint32_t e : dag.in_edges(job)) {
-        ready_time =
-            std::max(ready_time, file_available(request, e, r, result));
+    const auto search = [&](const AvailabilityView* view) {
+      for (const grid::ResourceId r : candidates) {
+        const grid::Resource& machine = pool.resource(r);
+        sim::Time ready_time = sim::kTimeZero;
+        for (const std::uint32_t e : dag.in_edges(job)) {
+          ready_time =
+              std::max(ready_time, file_available(request, e, r, result));
+        }
+        const double w = estimates.compute_cost(job, r);
+        const sim::Time start = result.earliest_slot(
+            r, ready_time, w, config.slot_policy,
+            std::max(clock, machine.arrival), machine.departure, view);
+        if (start == sim::kTimeInfinity) {
+          continue;
+        }
+        if (best_resource == grid::kInvalidResource ||
+            (start + w < best_finish &&
+             !sim::time_eq(start + w, best_finish))) {
+          best_resource = r;
+          best_start = start;
+          best_finish = start + w;
+        }
       }
-      const double w = estimates.compute_cost(job, r);
-      const sim::Time start = result.earliest_slot(
-          r, ready_time, w, config.slot_policy,
-          std::max(clock, machine.arrival), machine.departure);
-      if (start == sim::kTimeInfinity) {
-        continue;
-      }
-      if (best_resource == grid::kInvalidResource ||
-          (start + w < best_finish && !sim::time_eq(start + w, best_finish))) {
-        best_resource = r;
-        best_start = start;
-        best_finish = start + w;
-      }
+    };
+    search(availability);
+    if (best_resource == grid::kInvalidResource && availability != nullptr) {
+      // Same degradation as the AHEFT pass: when foreign load fills every
+      // candidate's remaining window, fall back to the blind estimate
+      // (held claims are displaceable) instead of aborting.
+      search(nullptr);
     }
     AHEFT_ASSERT(best_resource != grid::kInvalidResource,
                  "no feasible resource for job " + dag.job(job).name);

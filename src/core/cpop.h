@@ -22,10 +22,14 @@
 namespace aheft::core {
 
 /// Static CPOP plan over the resources visible at time `clock`.
+/// `availability` optionally carries a snapshot of foreign machine load
+/// (see heft_schedule): EST searches fit into its free gaps; null or
+/// empty is bit-identical to the contention-blind plan.
 [[nodiscard]] Schedule cpop_schedule(
     const dag::Dag& dag, const grid::CostProvider& estimates,
     const grid::ResourcePool& pool, SchedulerConfig config = {},
-    sim::Time clock = sim::kTimeZero);
+    sim::Time clock = sim::kTimeZero,
+    const AvailabilityView* availability = nullptr);
 
 /// The jobs CPOP considers critical (|ranku + rankd - max| within a
 /// relative epsilon), in topological order. Exposed for tests.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "dag/algorithms.h"
@@ -26,7 +27,7 @@ DynamicExecution::DynamicExecution(SimulationSession& session,
                                    const dag::Dag& dag,
                                    const grid::CostProvider& actual,
                                    DynamicHeuristic heuristic,
-                                   double priority)
+                                   double priority, bool contention_aware)
     : session_(&session),
       dag_(&dag),
       actual_(&actual),
@@ -34,6 +35,7 @@ DynamicExecution::DynamicExecution(SimulationSession& session,
       load_(session.load()),
       trace_(session.trace()),
       heuristic_(heuristic),
+      contention_aware_(contention_aware),
       schedule_(dag.job_count()),
       finished_(dag.job_count(), false),
       location_(dag.job_count(), grid::kInvalidResource),
@@ -71,9 +73,16 @@ sim::Time DynamicExecution::estimate_solo_finish() const {
   // machines with nominal costs, transfers priced at decision time. The
   // estimate must be realistic — an optimistic bound (say, the bare
   // critical path) inflates every stretch past the displacement
-  // deadband and turns fair share into thrash.
+  // deadband and turns fair share into thrash. Contention-aware runs
+  // additionally fit every placement into the ledger snapshot's free
+  // gaps, mirroring what the contention-aware planner's release-time
+  // HEFT pass prices for the static strategies.
   const std::vector<grid::ResourceId> visible =
       pool_->available_at(release_);
+  std::optional<AvailabilityView> view;
+  if (contention_aware_) {
+    view.emplace(session_->availability_view(this));
+  }
   std::vector<sim::Time> finish(dag_->job_count(), release_);
   std::vector<grid::ResourceId> where(dag_->job_count(),
                                       grid::kInvalidResource);
@@ -92,10 +101,14 @@ sim::Time DynamicExecution::estimate_solo_finish() const {
         }
         ready = std::max(ready, arrival);
       }
+      const double w = actual_->compute_cost(job, r);
       const auto it = free.find(r);
-      const sim::Time start =
+      sim::Time start =
           std::max(ready, it == free.end() ? release_ : it->second);
-      const sim::Time f = start + actual_->compute_cost(job, r);
+      if (view) {
+        start = view->earliest_fit(r, start, w);
+      }
+      const sim::Time f = start + w;
       if (f < best_finish) {
         best_finish = f;
         best_r = r;

@@ -61,11 +61,17 @@ struct DynamicRunResult {
 class DynamicExecution : public SessionParticipant {
  public:
   /// `priority` is the workflow's weight under the session's contention
-  /// policy (ignored by FCFS).
+  /// policy (ignored by FCFS). `contention_aware` makes the release-time
+  /// greedy-EFT estimate (planned_finish, the fair-share scale) price
+  /// the session ledger's foreign load through an AvailabilityView —
+  /// the same snapshot the contention-aware planner fits against — so
+  /// static and dynamic strategies price contention consistently. The
+  /// per-decision dispatch already arbitrates live through the ledger
+  /// and is unaffected.
   DynamicExecution(SimulationSession& session, const dag::Dag& dag,
                    const grid::CostProvider& actual,
                    DynamicHeuristic heuristic = DynamicHeuristic::kMinMin,
-                   double priority = 1.0);
+                   double priority = 1.0, bool contention_aware = false);
 
   using Completion = std::function<void(const DynamicRunResult&)>;
 
@@ -110,6 +116,8 @@ class DynamicExecution : public SessionParticipant {
 
   /// Greedy earliest-finish list schedule over the release-visible
   /// machines: the workflow's uncontended scale for fair-share stretch.
+  /// In contention-aware mode the machines' free intervals come from the
+  /// session ledger's availability snapshot instead of an empty grid.
   [[nodiscard]] sim::Time estimate_solo_finish() const;
   /// Earliest time `job`'s inputs can all be present on `resource` when
   /// the transfer decisions are taken now.
@@ -157,6 +165,7 @@ class DynamicExecution : public SessionParticipant {
   const grid::LoadProfile* load_;
   sim::TraceRecorder* trace_;
   DynamicHeuristic heuristic_;
+  bool contention_aware_ = false;
 
   sim::Time release_ = sim::kTimeZero;
   Completion done_;

@@ -8,16 +8,17 @@ namespace aheft::core {
 Schedule heft_schedule(const dag::Dag& dag,
                        const grid::CostProvider& estimates,
                        const grid::ResourcePool& pool, SchedulerConfig config,
-                       sim::Time clock) {
+                       sim::Time clock, const AvailabilityView* availability) {
   return heft_schedule(dag, estimates, pool, pool.available_at(clock),
-                       config, clock);
+                       config, clock, availability);
 }
 
 Schedule heft_schedule(const dag::Dag& dag,
                        const grid::CostProvider& estimates,
                        const grid::ResourcePool& pool,
                        std::vector<grid::ResourceId> resources,
-                       SchedulerConfig config, sim::Time clock) {
+                       SchedulerConfig config, sim::Time clock,
+                       const AvailabilityView* availability) {
   RescheduleRequest request;
   request.dag = &dag;
   request.estimates = &estimates;
@@ -27,6 +28,7 @@ Schedule heft_schedule(const dag::Dag& dag,
   request.snapshot = nullptr;
   request.previous = nullptr;
   request.config = config;
+  request.availability = availability;
   return aheft_schedule(request);
 }
 

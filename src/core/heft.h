@@ -17,18 +17,23 @@ namespace aheft::core {
 
 /// Schedules the whole DAG statically on the resources visible at time
 /// `clock` (default 0). Resources that arrive later are ignored — that is
-/// precisely the weakness AHEFT addresses.
+/// precisely the weakness AHEFT addresses. `availability` optionally
+/// carries a snapshot of foreign machine load (a multi-DAG session's
+/// ledger picture); every EST search then fits into its free gaps. Null
+/// or empty keeps the classic contention-blind plan bit-identical.
 [[nodiscard]] Schedule heft_schedule(
     const dag::Dag& dag, const grid::CostProvider& estimates,
     const grid::ResourcePool& pool, SchedulerConfig config = {},
-    sim::Time clock = sim::kTimeZero);
+    sim::Time clock = sim::kTimeZero,
+    const AvailabilityView* availability = nullptr);
 
 /// Convenience overload with an explicit visible resource set.
 [[nodiscard]] Schedule heft_schedule(
     const dag::Dag& dag, const grid::CostProvider& estimates,
     const grid::ResourcePool& pool,
     std::vector<grid::ResourceId> resources, SchedulerConfig config = {},
-    sim::Time clock = sim::kTimeZero);
+    sim::Time clock = sim::kTimeZero,
+    const AvailabilityView* availability = nullptr);
 
 }  // namespace aheft::core
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/heft.h"
 #include "core/rescheduler.h"
@@ -59,20 +60,47 @@ void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
   request.previous = &engine_->current_schedule();
   request.config = config_.scheduler;
 
+  // Contention-aware: every evaluation re-snapshots the ledger — the
+  // competitors' picture moves between events (arrivals, completions,
+  // displaced holds), so reusing the release-time view would replan
+  // against stale load. The snapshot time is recorded with the decision;
+  // freshness (view_snapshot == time) is a tested invariant.
+  std::optional<AvailabilityView> view;
+  if (config_.contention_aware) {
+    view.emplace(session_->availability_view(engine_.get()));
+    request.availability = &*view;
+  }
+
   const Schedule candidate = aheft_schedule(request);
   const sim::Time candidate_makespan = candidate.makespan();
+
+  // The incumbent the candidate must beat. Contention-blind: the last
+  // adopted prediction (Fig. 2's S0 makespan). Contention-aware: that
+  // prediction was priced under an older ledger picture, so comparing it
+  // against a fresh-view candidate would under-adopt as foreign load
+  // grows and over-adopt as it drains — re-price "keep the current
+  // mapping" under the same snapshot instead, so both sides of the
+  // adoption test see today's contention.
+  sim::Time current_makespan = predicted_makespan_;
+  if (view) {
+    RescheduleRequest reprice = request;
+    reprice.restrict_to_previous = true;
+    reprice.config.order_candidates = 0;  // mapping fixed; no order search
+    current_makespan = aheft_schedule(reprice).makespan();
+  }
 
   // Fig. 2 line 7: adopt when the new plan strictly improves on S0 (with
   // an optional relative threshold), or when adoption is forced because the
   // current plan became infeasible (resource loss).
   const double required =
-      predicted_makespan_ * (1.0 - config_.scheduler.adoption_threshold);
+      current_makespan * (1.0 - config_.scheduler.adoption_threshold);
   const bool improves = candidate_makespan < required &&
                         !sim::time_eq(candidate_makespan, required);
   const bool adopt = forced || improves;
 
-  result_.decisions.push_back(AdoptionRecord{
-      clock, reason, predicted_makespan_, candidate_makespan, adopt, forced});
+  result_.decisions.push_back(
+      AdoptionRecord{clock, reason, current_makespan, candidate_makespan,
+                     adopt, forced, view ? view->snapshot_time() : -1.0});
 
   if (adopt) {
     AHEFT_LOG_DEBUG("t=" << clock << " adopting reschedule: "
@@ -137,9 +165,16 @@ void AdaptivePlanner::start() {
   });
 
   // Initial static plan over the resources visible at the release time
-  // (Fig. 2: S0 is null, so schedule unconditionally).
+  // (Fig. 2: S0 is null, so schedule unconditionally). Contention-aware
+  // launches snapshot the ledger at release, so even the very first plan
+  // routes around competitors already holding the machines.
+  std::optional<AvailabilityView> view;
+  if (config_.contention_aware) {
+    view.emplace(session_->availability_view(engine_.get()));
+  }
   const Schedule initial =
-      heft_schedule(dag_, estimates_, pool_, config_.scheduler, release_);
+      heft_schedule(dag_, estimates_, pool_, config_.scheduler, release_,
+                    view ? &*view : nullptr);
   predicted_makespan_ = initial.makespan();
   result_.initial_makespan = predicted_makespan_;
   engine_->submit(initial);

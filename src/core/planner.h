@@ -39,6 +39,12 @@ struct AdoptionRecord {
   sim::Time candidate_makespan = sim::kTimeZero; ///< S1's predicted makespan
   bool adopted = false;
   bool forced = false;  ///< adoption was mandatory (resource loss)
+  /// Contention-aware passes only: the session clock at which the
+  /// availability view feeding this evaluation was snapshotted. The
+  /// planner's freshness contract is view_snapshot == time — every
+  /// evaluation re-snapshots, never reuses an earlier picture. Negative
+  /// when the pass ran contention-blind (no view was taken).
+  sim::Time view_snapshot = -1.0;
 };
 
 struct PlannerConfig {
@@ -56,6 +62,16 @@ struct PlannerConfig {
   /// costs. Must outlive the run. Null means nominal. Only consulted by
   /// run(); in launch() mode the session environment's profile wins.
   const grid::LoadProfile* load = nullptr;
+  /// Contention-aware planning: every (re)planning pass snapshots the
+  /// session ledger's foreign busy picture (competitors' committed
+  /// windows + held claims) into an AvailabilityView and fits EST
+  /// searches into its free gaps, so plans price the machines' real
+  /// reservation timelines instead of an empty grid. A fresh snapshot is
+  /// taken at release time and at every re-evaluation (recorded per
+  /// decision in AdoptionRecord::view_snapshot). Off by default: the
+  /// contention-blind pass stays bit-identical, and solo sessions always
+  /// snapshot an empty (constraint-free) view anyway.
+  bool contention_aware = false;
 };
 
 /// Result of a full planner+executor co-simulation.

@@ -1,6 +1,7 @@
 #include "core/rescheduler.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/ranking.h"
 #include "support/assert.h"
@@ -18,6 +19,8 @@ void check_request(const RescheduleRequest& request) {
                 "request needs at least one visible resource");
   AHEFT_REQUIRE((request.snapshot == nullptr) == (request.previous == nullptr),
                 "snapshot and previous schedule come together");
+  AHEFT_REQUIRE(!request.restrict_to_previous || request.previous != nullptr,
+                "re-pricing mode needs a previous schedule to restrict to");
   if (request.snapshot != nullptr) {
     AHEFT_REQUIRE(request.snapshot->job_count() == request.dag->job_count(),
                   "snapshot sized for a different DAG");
@@ -88,33 +91,67 @@ Schedule schedule_in_order(const RescheduleRequest& request,
     sim::Time best_start = sim::kTimeInfinity;
     sim::Time best_finish = sim::kTimeInfinity;
 
-    for (const grid::ResourceId r : request.resources) {
-      const grid::Resource& machine = request.pool->resource(r);
-      // avail[j]: a resource is usable from its arrival, and never before
-      // the rescheduling clock.
-      const sim::Time not_before = std::max(request.clock, machine.arrival);
+    // Re-pricing restricts the search to the resource the previous plan
+    // chose; the full visible set stays the fallback for jobs whose kept
+    // resource became infeasible (departed, or its window filled up).
+    std::vector<grid::ResourceId> kept;
+    if (request.restrict_to_previous &&
+        request.previous->assigned(job)) {
+      kept.push_back(request.previous->assignment(job).resource);
+    }
 
-      // Inner max of Eq. 2: all inputs present on r.
-      sim::Time ready = sim::kTimeZero;
-      for (const std::uint32_t e : dag.in_edges(job)) {
-        ready = std::max(ready, file_available(request, e, r, result));
-      }
+    const auto search = [&](const std::vector<grid::ResourceId>& candidates,
+                            const AvailabilityView* availability) {
+      for (const grid::ResourceId r : candidates) {
+        const grid::Resource& machine = request.pool->resource(r);
+        // avail[j]: a resource is usable from its arrival, and never
+        // before the rescheduling clock.
+        const sim::Time not_before = std::max(request.clock, machine.arrival);
 
-      const double w = est.compute_cost(job, r);
-      const sim::Time start =
-          result.earliest_slot(r, ready, w, request.config.slot_policy,
-                               not_before, machine.departure);
-      if (start == sim::kTimeInfinity) {
-        continue;  // does not fit in the resource's availability window
+        // Inner max of Eq. 2: all inputs present on r.
+        sim::Time ready = sim::kTimeZero;
+        for (const std::uint32_t e : dag.in_edges(job)) {
+          ready = std::max(ready, file_available(request, e, r, result));
+        }
+
+        const double w = est.compute_cost(job, r);
+        const sim::Time start =
+            result.earliest_slot(r, ready, w, request.config.slot_policy,
+                                 not_before, machine.departure, availability);
+        if (start == sim::kTimeInfinity) {
+          continue;  // does not fit in the resource's availability window
+        }
+        const sim::Time finish = start + w;  // Eq. 3
+        // Strictly smaller EFT wins; near-equal EFTs keep the earlier
+        // resource in visible-set order, matching [19]'s published
+        // schedules.
+        if (best_resource == grid::kInvalidResource ||
+            (finish < best_finish && !sim::time_eq(finish, best_finish))) {
+          best_resource = r;
+          best_start = start;
+          best_finish = finish;
+        }
       }
-      const sim::Time finish = start + w;  // Eq. 3
-      // Strictly smaller EFT wins; near-equal EFTs keep the earlier
-      // resource in visible-set order, matching [19]'s published schedules.
-      if (best_resource == grid::kInvalidResource ||
-          (finish < best_finish && !sim::time_eq(finish, best_finish))) {
-        best_resource = r;
-        best_start = start;
-        best_finish = finish;
+    };
+
+    const std::vector<grid::ResourceId>& primary =
+        kept.empty() ? request.resources : kept;
+    search(primary, request.availability);
+    if (best_resource == grid::kInvalidResource &&
+        request.availability != nullptr) {
+      // Foreign load filled every machine's remaining window. The blind
+      // estimate is still executable — held claims are displaceable and
+      // committed windows may truncate — so degrade to it for this job
+      // rather than declaring a live grid infeasible.
+      search(primary, nullptr);
+    }
+    if (best_resource == grid::kInvalidResource && !kept.empty()) {
+      // The kept resource is gone for good (typically departed): let the
+      // re-priced plan move this job like a real reschedule would.
+      search(request.resources, request.availability);
+      if (best_resource == grid::kInvalidResource &&
+          request.availability != nullptr) {
+        search(request.resources, nullptr);
       }
     }
 
@@ -177,6 +214,38 @@ sim::Time file_available(const RescheduleRequest& request,
 Schedule aheft_schedule(const RescheduleRequest& request) {
   check_request(request);
   const dag::Dag& dag = *request.dag;
+
+  if (request.restrict_to_previous) {
+    // Re-pricing: keep the previous plan's mapping and per-resource order
+    // by walking its jobs in start order (a linear extension of both the
+    // precedence and the per-resource queues, since the plan was
+    // feasible). Under an empty view this reproduces the previous
+    // schedule exactly; under a fresh view it re-times the same plan
+    // against today's foreign load. Order exploration is meaningless
+    // with the mapping fixed, so the pass is single-shot.
+    std::vector<dag::JobId> order(dag.job_count());
+    for (dag::JobId i = 0; i < dag.job_count(); ++i) {
+      order[i] = i;
+    }
+    // Jobs the previous plan did not cover sort last (schedule_in_order
+    // remaps them over the full visible set), so a partial previous
+    // schedule degrades instead of aborting.
+    const auto start_of = [&](dag::JobId job) {
+      const std::optional<Assignment>& slot =
+          request.previous->maybe_assignment(job);
+      return slot ? slot->start : sim::kTimeInfinity;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](dag::JobId a, dag::JobId b) {
+                const sim::Time sa = start_of(a);
+                const sim::Time sb = start_of(b);
+                if (sa != sb) {
+                  return sa < sb;
+                }
+                return a < b;
+              });
+    return schedule_in_order(request, order);
+  }
 
   // Upward ranks over the visible resource set (Eq. 5/6), most significant
   // jobs first (Fig. 3 lines 2–3).

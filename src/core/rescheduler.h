@@ -32,6 +32,21 @@ struct RescheduleRequest {
   const ExecutionSnapshot* snapshot = nullptr;     ///< null => initial
   const Schedule* previous = nullptr;              ///< S0; null => initial
   SchedulerConfig config;
+  /// Foreign machine load snapshotted from the session ledger (other
+  /// workflows' committed windows and held claims): every EST search
+  /// fits into the view's free gaps instead of assuming an empty grid.
+  /// Null (the default) and an empty view are bit-identical to the
+  /// historical contention-blind pass.
+  const AvailabilityView* availability = nullptr;
+  /// Re-pricing mode (requires `previous`): every unpinned job keeps the
+  /// resource `previous` mapped it to and only its EST/EFT is
+  /// recomputed — under `availability` when set. The contention-aware
+  /// planner uses this to estimate "keep the current plan" and a fresh
+  /// remap candidate against the same ledger snapshot, so the adoption
+  /// comparison is like-for-like instead of fresh-candidate vs a
+  /// prediction frozen under an older contention picture. A job whose
+  /// kept resource became infeasible falls back to the full visible set.
+  bool restrict_to_previous = false;
 };
 
 /// Runs one AHEFT pass and returns the full-coverage schedule S1: finished

@@ -286,6 +286,36 @@ std::vector<CommittedWindow> ResourceLedger::committed_windows(
   return windows;
 }
 
+AvailabilityView ResourceLedger::snapshot_view(std::size_t owner,
+                                               sim::Time now) const {
+  AvailabilityView view(now);
+  for (const auto& [resource, line] : timelines_) {
+    // Committed windows: occupation that is still (partly) ahead of the
+    // snapshot instant. Fully-elapsed and fully-truncated windows cannot
+    // constrain a plan whose starts are >= now.
+    for (const auto& [key, window] : line.committed) {
+      if (window.participant != owner && window.end > now &&
+          window.end > window.start) {
+        view.add_busy(resource, window.start, window.end);
+      }
+    }
+    // Held two-phase claims: a granted start the owner accepted but has
+    // not occupied yet. Displaceable by the policy, but until displaced
+    // they are load a plan should price. Pending entries have no granted
+    // start and stay invisible.
+    for (const ReservationEntry& entry : line.queue) {
+      if (entry.participant != owner &&
+          entry.state == ReservationState::kHeld &&
+          entry.held_start + entry.duration > now) {
+        view.add_busy(resource, entry.held_start,
+                      entry.held_start + entry.duration);
+      }
+    }
+  }
+  view.normalize();
+  return view;
+}
+
 std::optional<sim::Time> ResourceLedger::backfill_start(
     const ReservationEntry& request, sim::Time now,
     sim::Time policy_grant) const {

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "core/availability_view.h"
 #include "grid/resource.h"
 #include "sim/time.h"
 
@@ -166,6 +167,18 @@ class ResourceLedger {
   /// included; empty windows elided).
   [[nodiscard]] std::vector<CommittedWindow> committed_windows(
       grid::ResourceId resource) const;
+
+  /// Planner-side availability snapshot: the merged foreign busy
+  /// intervals per resource as of `now` — committed occupation windows
+  /// still extending past `now` plus held two-phase claims (granted but
+  /// not yet occupied, hence displaceable), both owner-filtered so a
+  /// workflow never treats its own windows and claims as foreign load.
+  /// Pending entries carry no granted start and are not part of the
+  /// picture. The result is a value snapshot (normalized, start-sorted,
+  /// disjoint per resource) stamped with `now`; snapshots taken at the
+  /// same instant from the same ledger state are identical.
+  [[nodiscard]] AvailabilityView snapshot_view(std::size_t owner,
+                                               sim::Time now) const;
 
   /// Backfilling: the earliest start >= max(request.ready, now) of a
   /// `request.duration`-long hole in the resource's timeline that

@@ -93,24 +93,46 @@ sim::Time Schedule::makespan() const {
 
 sim::Time Schedule::earliest_slot(grid::ResourceId resource, sim::Time ready,
                                   sim::Time duration, SlotPolicy policy,
-                                  sim::Time not_before,
-                                  sim::Time deadline) const {
+                                  sim::Time not_before, sim::Time deadline,
+                                  const AvailabilityView* foreign) const {
   AHEFT_REQUIRE(duration >= 0.0, "duration must be non-negative");
   sim::Time candidate = std::max(ready, not_before);
   const auto it = by_resource_.find(resource);
-  if (it != by_resource_.end()) {
-    if (policy == SlotPolicy::kEndOfQueue) {
-      for (const Assignment& slot : it->second) {
-        candidate = std::max(candidate, slot.finish);
-      }
-    } else {
-      for (const Assignment& slot : it->second) {
-        if (candidate + duration <= slot.start + sim::kTimeEpsilon) {
-          break;  // fits in the gap before this slot
+  // Two monotone push-forward passes — own slots, then foreign busy
+  // intervals — iterated to a fixed point: sliding past a foreign window
+  // may land the candidate inside a later own slot and vice versa. Each
+  // round either stabilizes or strictly advances past an interval
+  // endpoint, of which there are finitely many, so the loop terminates.
+  // With no foreign view the first pass is already the fixed point and
+  // the search is bit-identical to the historical one.
+  for (;;) {
+    sim::Time advanced = candidate;
+    if (it != by_resource_.end()) {
+      if (policy == SlotPolicy::kEndOfQueue) {
+        for (const Assignment& slot : it->second) {
+          advanced = std::max(advanced, slot.finish);
         }
-        candidate = std::max(candidate, slot.finish);
+      } else {
+        for (const Assignment& slot : it->second) {
+          if (advanced + duration <= slot.start + sim::kTimeEpsilon) {
+            break;  // fits in the gap before this slot
+          }
+          advanced = std::max(advanced, slot.finish);
+        }
       }
     }
+    if (foreign == nullptr) {
+      // The own-slot pass alone is already its own fixed point; skip the
+      // confirmation round so the contention-blind hot path stays one
+      // scan per call.
+      candidate = advanced;
+      break;
+    }
+    advanced = foreign->earliest_fit(resource, advanced, duration);
+    if (advanced == candidate) {
+      break;
+    }
+    candidate = advanced;
   }
   if (candidate + duration > deadline + sim::kTimeEpsilon) {
     return sim::kTimeInfinity;

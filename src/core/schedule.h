@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/availability_view.h"
 #include "core/policies.h"
 #include "dag/dag.h"
 #include "grid/cost_provider.h"
@@ -60,13 +61,18 @@ class Schedule {
 
   /// Earliest start >= max(ready, not_before) for a task of `duration` on
   /// `resource` under the given slot policy, and finishing by `deadline`
-  /// (pass kTimeInfinity when the resource never departs). Returns
-  /// kTimeInfinity when no feasible slot exists.
-  [[nodiscard]] sim::Time earliest_slot(grid::ResourceId resource,
-                                        sim::Time ready, sim::Time duration,
-                                        SlotPolicy policy,
-                                        sim::Time not_before,
-                                        sim::Time deadline) const;
+  /// (pass kTimeInfinity when the resource never departs). When `foreign`
+  /// is non-null, the slot must additionally avoid the view's busy
+  /// intervals (other workflows' committed windows and held claims): the
+  /// search walks the free gaps of the merged picture — own slots and
+  /// foreign load together — so contention-aware plans are gap-aware, not
+  /// merely pushed to the busy horizon. A null or empty view leaves the
+  /// result bit-identical to the view-less search. Returns kTimeInfinity
+  /// when no feasible slot exists.
+  [[nodiscard]] sim::Time earliest_slot(
+      grid::ResourceId resource, sim::Time ready, sim::Time duration,
+      SlotPolicy policy, sim::Time not_before, sim::Time deadline,
+      const AvailabilityView* foreign = nullptr) const;
 
   /// Renders per-resource timelines as an ASCII Gantt chart.
   [[nodiscard]] std::string gantt(const dag::Dag& dag,

@@ -184,6 +184,11 @@ void SimulationSession::notify_queued(grid::ResourceId resource,
   }
 }
 
+AvailabilityView SimulationSession::availability_view(
+    const SessionParticipant* self) const {
+  return ledger_.snapshot_view(index_of(self), simulator_.now());
+}
+
 ContentionStats SimulationSession::contention_stats(
     const SessionParticipant* participant) const {
   for (const ParticipantRecord& record : participants_) {

@@ -194,6 +194,15 @@ class SimulationSession {
                        grid::ResourceId resource, std::uint64_t tag,
                        sim::Time at);
 
+  /// Planner-side availability snapshot at the current session clock:
+  /// the ledger's foreign busy picture from `self`'s point of view
+  /// (committed windows and held claims of every other participant; see
+  /// ResourceLedger::snapshot_view). Contention-aware planning passes
+  /// take one fresh view per (re)planning pass — the view is a value and
+  /// never tracks later ledger motion.
+  [[nodiscard]] AvailabilityView availability_view(
+      const SessionParticipant* self) const;
+
   /// Wait bookkeeping accumulated for `participant`'s committed grants;
   /// zeros for an unregistered participant.
   [[nodiscard]] ContentionStats contention_stats(

@@ -80,7 +80,8 @@ class PlannerDriver final : public StrategyDriver {
 class DynamicDriver final : public StrategyDriver {
  public:
   explicit DynamicDriver(const StrategyConfig& config)
-      : heuristic_(config.heuristic) {}
+      : heuristic_(config.heuristic),
+        contention_aware_(config.planner.contention_aware) {}
 
   [[nodiscard]] StrategyKind kind() const override {
     return StrategyKind::kDynamic;
@@ -94,7 +95,8 @@ class DynamicDriver final : public StrategyDriver {
               const grid::CostProvider& actual,
               const LaunchOptions& options, Completion done) override {
     launches_.push_back(std::make_unique<DynamicExecution>(
-        session, dag, actual, heuristic_, options.priority));
+        session, dag, actual, heuristic_, options.priority,
+        contention_aware_));
     launches_.back()->launch(
         options.release,
         [done = std::move(done)](const DynamicRunResult& result) {
@@ -108,6 +110,7 @@ class DynamicDriver final : public StrategyDriver {
 
  private:
   DynamicHeuristic heuristic_;
+  bool contention_aware_;
   std::vector<std::unique_ptr<DynamicExecution>> launches_;
 };
 

@@ -53,7 +53,10 @@ struct StrategyOutcome {
 /// Per-strategy knobs. The planner config drives HEFT (reaction flags
 /// forced off) and AHEFT; the heuristic drives the dynamic baseline.
 /// PlannerConfig::load is ignored here — the session environment is the
-/// single source of the load profile.
+/// single source of the load profile. PlannerConfig::contention_aware
+/// applies to every strategy: the planners fit their (re)plans into the
+/// session ledger's availability snapshot, and the dynamic baseline's
+/// release-time greedy-EFT estimate prices the same snapshot.
 struct StrategyConfig {
   PlannerConfig planner;
   DynamicHeuristic heuristic = DynamicHeuristic::kMinMin;

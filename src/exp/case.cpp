@@ -76,6 +76,7 @@ core::StrategyConfig strategy_config(const CaseSpec& spec) {
   core::StrategyConfig config;
   config.planner.scheduler = spec.scheduler;
   config.planner.react_to_variance = spec.react_to_variance;
+  config.planner.contention_aware = spec.contention_aware;
   return config;
 }
 
@@ -187,6 +188,7 @@ StreamStrategySummary summarize(const core::StreamOutcome& outcome) {
     summary.slowdowns.push_back(wf.slowdown);
     summary.waits.push_back(wf.wait);
     summary.adoptions += wf.outcome.adoptions;
+    summary.restarts += wf.outcome.restarts;
   }
   summary.span = outcome.span;
   summary.throughput = outcome.throughput;

@@ -61,6 +61,12 @@ struct CaseSpec {
   /// change the FCFS event stream, and the default configuration stays
   /// bit-stable across PRs.
   bool backfill = false;
+  /// Contention-aware planning (PlannerConfig::contention_aware): every
+  /// planning pass fits into the session ledger's availability snapshot
+  /// instead of assuming an empty grid. Off by default — single-DAG
+  /// cases snapshot an empty view anyway, and the multi-DAG default
+  /// stays bit-stable across PRs.
+  bool contention_aware = false;
   /// Per-workflow priorities / fair-share weights, cycled over the stream
   /// instances (instance k gets stream_priorities[k % size()]); empty
   /// means every workflow weighs 1.
@@ -114,6 +120,9 @@ struct StreamStrategySummary {
   double max_wait = 0.0;           ///< worst per-workflow contention wait
   double jain_fairness = 1.0;      ///< Jain's index over the slowdowns
   std::size_t adoptions = 0;       ///< summed over workflows (AHEFT)
+  /// Running jobs cancelled and restarted by adopted reschedules,
+  /// summed over workflows (planner strategies only).
+  std::size_t restarts = 0;
 };
 
 struct StreamCaseResult {

@@ -74,6 +74,12 @@ void set_contention_policy(std::vector<CaseSpec>& specs,
 /// benches' --backfill knob.
 void set_backfill(std::vector<CaseSpec>& specs, bool backfill);
 
+/// Applies the contention-aware planning flag to every spec: the
+/// benches' --contention-aware knob (planning passes fit into the
+/// session ledger's availability snapshot).
+void set_contention_aware(std::vector<CaseSpec>& specs,
+                          bool contention_aware);
+
 }  // namespace aheft::exp
 
 #endif  // AHEFT_EXP_SWEEPS_H_

@@ -14,7 +14,13 @@ ResourceId ResourcePool::add(Resource resource) {
   const auto id = static_cast<ResourceId>(resources_.size());
   resource.id = id;
   if (resource.name.empty()) {
-    resource.name = "r" + std::to_string(id + 1);
+    // Built by push_back/append and moved in: the straightforward
+    // `"r" + std::to_string(...)` (and even a literal assignment) trips
+    // GCC 12's -Wrestrict false positive (PR 105329) inside the inlined
+    // basic_string replace path, and this file is pinned -Werror.
+    std::string name = std::to_string(id + 1);
+    name.insert(name.begin(), 'r');
+    resource.name = std::move(name);
   }
   resources_.push_back(std::move(resource));
   return id;

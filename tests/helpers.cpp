@@ -30,6 +30,17 @@ RandomCase make_random_case(std::uint64_t seed,
   return RandomCase{std::move(workload), std::move(pool), std::move(model)};
 }
 
+void expect_bit_identical(const core::Schedule& a, const core::Schedule& b) {
+  ASSERT_EQ(a.job_count(), b.job_count());
+  for (dag::JobId i = 0; i < a.job_count(); ++i) {
+    const core::Assignment& x = a.assignment(i);
+    const core::Assignment& y = b.assignment(i);
+    EXPECT_EQ(x.resource, y.resource) << "job " << i;
+    EXPECT_EQ(x.start, y.start) << "job " << i;
+    EXPECT_EQ(x.finish, y.finish) << "job " << i;
+  }
+}
+
 void expect_valid_trace(const sim::TraceRecorder& trace, const dag::Dag& dag,
                         const grid::CostProvider& costs,
                         const grid::ResourcePool& pool) {

@@ -35,6 +35,12 @@ struct RandomCaseOptions {
 [[nodiscard]] RandomCase make_random_case(std::uint64_t seed,
                                           const RandomCaseOptions& options = {});
 
+/// Asserts two schedules are bit-identical: every job on the same
+/// resource with the exact same start and finish (no epsilon). The
+/// compat fence of contention-aware planning — an empty
+/// AvailabilityView must not perturb a plan — is stated through this.
+void expect_bit_identical(const core::Schedule& a, const core::Schedule& b);
+
 /// Checks that an execution trace is a legal run of `dag` on the grid:
 /// per-resource compute intervals are disjoint and inside availability
 /// windows, every job has exactly one completed compute interval whose

@@ -43,6 +43,20 @@ TEST(Cpop, CriticalPathJobsShareOneResource) {
   }
 }
 
+// Contention-aware planning's compat fence, CPOP side: an empty
+// AvailabilityView leaves the plan bit-identical to the view-less pass.
+TEST(Cpop, EmptyViewIsBitIdenticalOnTheSample) {
+  const auto scenario = workloads::sample_scenario();
+  const AvailabilityView empty;
+  const Schedule blind =
+      cpop_schedule(scenario.dag, scenario.model, scenario.pool);
+  const Schedule viewed =
+      cpop_schedule(scenario.dag, scenario.model, scenario.pool, {},
+                    sim::kTimeZero, &empty);
+  test::expect_bit_identical(blind, viewed);
+  EXPECT_DOUBLE_EQ(viewed.makespan(), 86.0);
+}
+
 class CpopProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CpopProperty, ProducesValidStaticSchedules) {
@@ -63,6 +77,15 @@ TEST_P(CpopProperty, WithinAFewPercentOfHeftOnAverage) {
   // Once all seeds accumulated, the ratio must stay moderate. (CPOP is
   // usually a bit worse; allow up to 35% on this small sample.)
   EXPECT_LT(cpop_total, heft_total * 1.35);
+}
+
+TEST_P(CpopProperty, EmptyViewIsBitIdentical) {
+  const test::RandomCase c = test::make_random_case(GetParam());
+  const AvailabilityView empty;
+  const Schedule blind = cpop_schedule(c.workload.dag, c.model, c.pool);
+  const Schedule viewed = cpop_schedule(c.workload.dag, c.model, c.pool, {},
+                                        sim::kTimeZero, &empty);
+  test::expect_bit_identical(blind, viewed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CpopProperty,

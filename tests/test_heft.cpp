@@ -130,6 +130,20 @@ TEST(HeftRanking, RanksNeedResources) {
                std::invalid_argument);
 }
 
+// The compat fence of contention-aware planning: a default-constructed
+// (empty) AvailabilityView must leave every plan bit-identical to the
+// view-less pass (test::expect_bit_identical).
+TEST_F(SampleHeft, EmptyViewIsBitIdenticalOnTheFig5Example) {
+  const AvailabilityView empty;
+  const Schedule blind =
+      heft_schedule(scenario_.dag, scenario_.model, scenario_.pool);
+  const Schedule viewed =
+      heft_schedule(scenario_.dag, scenario_.model, scenario_.pool, {},
+                    sim::kTimeZero, &empty);
+  test::expect_bit_identical(blind, viewed);
+  EXPECT_DOUBLE_EQ(viewed.makespan(), 80.0);
+}
+
 // ----- property sweep: HEFT output is always a valid static schedule -----
 
 class HeftProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -160,6 +174,44 @@ TEST_P(HeftProperty, MoreResourcesNeverHurtThePlan) {
   // Greedy HEFT is not formally monotone, but with the insertion policy a
   // superset of resources should essentially never lose; allow 5% slack.
   EXPECT_LE(big.makespan(), small.makespan() * 1.05);
+}
+
+TEST_P(HeftProperty, EmptyViewIsBitIdentical) {
+  const test::RandomCase c = test::make_random_case(GetParam());
+  const AvailabilityView empty;
+  for (const SlotPolicy policy :
+       {SlotPolicy::kInsertion, SlotPolicy::kEndOfQueue}) {
+    SchedulerConfig config;
+    config.slot_policy = policy;
+    const Schedule blind =
+        heft_schedule(c.workload.dag, c.model, c.pool, config);
+    const Schedule viewed = heft_schedule(c.workload.dag, c.model, c.pool,
+                                          config, sim::kTimeZero, &empty);
+    test::expect_bit_identical(blind, viewed);
+  }
+}
+
+TEST_P(HeftProperty, ForeignLoadDelaysOrMovesButStaysValid) {
+  // A non-empty view must still yield structurally valid plans, and
+  // blocking every machine over [0, T) can only push the makespan out.
+  const test::RandomCase c = test::make_random_case(GetParam());
+  AvailabilityView view(0.0);
+  for (const grid::ResourceId r : c.pool.available_at(0.0)) {
+    view.add_busy(r, 0.0, 40.0);
+  }
+  view.normalize();
+  const Schedule blind = heft_schedule(c.workload.dag, c.model, c.pool);
+  const Schedule viewed = heft_schedule(c.workload.dag, c.model, c.pool, {},
+                                        sim::kTimeZero, &view);
+  validate_structure(viewed, c.workload.dag, c.model, c.pool);
+  EXPECT_GE(viewed.makespan(), blind.makespan());
+  // No job of the initial pool may start inside the foreign block.
+  for (dag::JobId i = 0; i < c.workload.dag.job_count(); ++i) {
+    const Assignment& a = viewed.assignment(i);
+    if (c.pool.resource(a.resource).arrival == 0.0) {
+      EXPECT_GE(a.start, 40.0) << "job " << i;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeftProperty,

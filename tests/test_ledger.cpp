@@ -179,5 +179,103 @@ TEST(ResourceLedger, BackfillRespectsQueuedRequestsAndHeldClaims) {
   EXPECT_DOUBLE_EQ(*shifted, 10.0);  // first hole after the claim
 }
 
+// ----- snapshot_view: the planner-side availability picture ---------------
+
+TEST(SnapshotView, MergesAdjacentAndOverlappingWindows) {
+  ResourceLedger ledger;
+  // Participant 1 commits [0, 10) and the touching [10, 15); participant 2
+  // overlaps neither but held-claims [12, 20) — 12 < 15, so from owner 0's
+  // point of view the three spans merge into one busy block.
+  upsert(ledger, 1, 1, 0.0, 10.0);
+  (void)ledger.commit(1, kR, 1, 0.0, 10.0);
+  upsert(ledger, 1, 2, 10.0, 5.0);
+  (void)ledger.commit(1, kR, 2, 10.0, 15.0);
+  upsert(ledger, 2, 1, 0.0, 8.0);
+  ledger.hold(2, kR, 1, 12.0);  // claim [12, 20)
+  upsert(ledger, 1, 3, 30.0, 5.0);
+  (void)ledger.commit(1, kR, 3, 30.0, 35.0);
+
+  const AvailabilityView view = ledger.snapshot_view(/*owner=*/0, 0.0);
+  ASSERT_EQ(view.busy(kR).size(), 2u);
+  EXPECT_EQ(view.busy(kR)[0], (BusyInterval{0.0, 20.0}));
+  EXPECT_EQ(view.busy(kR)[1], (BusyInterval{30.0, 35.0}));
+  // Earliest-fit walks the merged free gaps.
+  EXPECT_DOUBLE_EQ(view.earliest_fit(kR, 0.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(view.earliest_fit(kR, 0.0, 5.0), 20.0);
+  EXPECT_DOUBLE_EQ(view.earliest_fit(kR, 21.0, 20.0), 35.0);
+}
+
+TEST(SnapshotView, ExcludesTheOwnersOwnLoad) {
+  ResourceLedger ledger;
+  upsert(ledger, 0, 1, 0.0, 10.0);
+  (void)ledger.commit(0, kR, 1, 0.0, 10.0);
+  upsert(ledger, 0, 2, 0.0, 5.0);
+  ledger.hold(0, kR, 2, 10.0);
+  upsert(ledger, 1, 1, 20.0, 5.0);
+  (void)ledger.commit(1, kR, 1, 20.0, 25.0);
+
+  // Owner 0 sees only participant 1's window; owner 1 only 0's.
+  const AvailabilityView mine = ledger.snapshot_view(0, 0.0);
+  ASSERT_EQ(mine.busy(kR).size(), 1u);
+  EXPECT_EQ(mine.busy(kR)[0], (BusyInterval{20.0, 25.0}));
+  const AvailabilityView theirs = ledger.snapshot_view(1, 0.0);
+  ASSERT_EQ(theirs.busy(kR).size(), 1u);
+  EXPECT_EQ(theirs.busy(kR)[0], (BusyInterval{0.0, 15.0}));
+  // A third workflow sees everything.
+  EXPECT_EQ(ledger.snapshot_view(2, 0.0).interval_count(), 2u);
+}
+
+TEST(SnapshotView, FiltersHeldVersusCommittedAndElapsedLoad) {
+  ResourceLedger ledger;
+  // Committed history fully behind the snapshot instant: invisible.
+  upsert(ledger, 1, 1, 0.0, 10.0);
+  (void)ledger.commit(1, kR, 1, 0.0, 10.0);
+  // Committed window straddling the instant: visible.
+  upsert(ledger, 1, 2, 10.0, 10.0);
+  (void)ledger.commit(1, kR, 2, 10.0, 20.0);
+  // A pending entry has no granted start: invisible.
+  upsert(ledger, 2, 1, 0.0, 50.0);
+  // A held claim is granted load: visible.
+  upsert(ledger, 3, 1, 0.0, 5.0);
+  ledger.hold(3, kR, 1, 25.0);  // claim [25, 30)
+  // A truncated-to-nothing commitment: invisible.
+  upsert(ledger, 1, 3, 40.0, 10.0);
+  (void)ledger.commit(1, kR, 3, 40.0, 50.0);
+  ledger.truncate_commit(1, kR, 3, 40.0);
+
+  const AvailabilityView view = ledger.snapshot_view(/*owner=*/0, 15.0);
+  EXPECT_DOUBLE_EQ(view.snapshot_time(), 15.0);
+  ASSERT_EQ(view.busy(kR).size(), 2u);
+  EXPECT_EQ(view.busy(kR)[0], (BusyInterval{10.0, 20.0}));
+  EXPECT_EQ(view.busy(kR)[1], (BusyInterval{25.0, 30.0}));
+}
+
+TEST(SnapshotView, SameInstantSnapshotsAreByteEqual) {
+  ResourceLedger ledger;
+  for (std::size_t p = 1; p <= 4; ++p) {
+    const auto base = static_cast<sim::Time>(10 * p);
+    upsert(ledger, p, 1, base, 6.0);
+    (void)ledger.commit(p, kR, 1, base, base + 6.0);
+    upsert(ledger, p, 2, 0.0, 3.0);
+    ledger.hold(p, kR, 2, base + 50.0);
+  }
+  const AvailabilityView a = ledger.snapshot_view(0, 12.0);
+  const AvailabilityView b = ledger.snapshot_view(0, 12.0);
+  EXPECT_TRUE(a == b);
+  // A view is a frozen value: later ledger motion must not leak into it.
+  const AvailabilityView before = ledger.snapshot_view(0, 12.0);
+  upsert(ledger, 1, 9, 100.0, 5.0);
+  (void)ledger.commit(1, kR, 9, 100.0, 105.0);
+  EXPECT_TRUE(before == a);
+  EXPECT_FALSE(ledger.snapshot_view(0, 12.0) == a);
+}
+
+TEST(SnapshotView, EmptyViewConstrainsNothing) {
+  const AvailabilityView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.interval_count(), 0u);
+  EXPECT_DOUBLE_EQ(view.earliest_fit(kR, 17.0, 100.0), 17.0);
+}
+
 }  // namespace
 }  // namespace aheft::core

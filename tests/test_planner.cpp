@@ -152,6 +152,124 @@ TEST(Planner, NoVarianceEventsUnderPerfectPrediction) {
   EXPECT_EQ(result.evaluations, 0u);
 }
 
+// ----- contention-aware planning ------------------------------------------
+
+TEST(Planner, ContentionAwareSoloMatchesBlindAndStampsFreshSnapshots) {
+  // A solo session's ledger carries no foreign load, so the availability
+  // view is always empty and the contention-aware run must realize the
+  // exact blind outcome — while still stamping every decision with a
+  // fresh snapshot time.
+  const auto scenario = workloads::sample_scenario(15.0);
+  PlannerConfig blind;
+  blind.scheduler.order_candidates = 8;
+  PlannerConfig aware = blind;
+  aware.contention_aware = true;
+
+  AdaptivePlanner blind_planner(scenario.dag, scenario.model, scenario.model,
+                                scenario.pool, blind);
+  const AdaptiveResult a = blind_planner.run();
+  AdaptivePlanner aware_planner(scenario.dag, scenario.model, scenario.model,
+                                scenario.pool, aware);
+  const AdaptiveResult b = aware_planner.run();
+
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(b.makespan, 76.0);
+  EXPECT_EQ(a.adoptions, b.adoptions);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.decisions[i].candidate_makespan,
+                     b.decisions[i].candidate_makespan);
+    EXPECT_EQ(a.decisions[i].adopted, b.decisions[i].adopted);
+    // Blind decisions carry no snapshot; aware decisions carry one taken
+    // at the evaluation instant.
+    EXPECT_DOUBLE_EQ(a.decisions[i].view_snapshot, -1.0);
+    EXPECT_DOUBLE_EQ(b.decisions[i].view_snapshot, b.decisions[i].time);
+  }
+}
+
+TEST(Planner, ReEvaluationSnapshotsAreFresh) {
+  // Two identical workflows contend in one session; the second releases
+  // mid-flight of the first. Every planner evaluation in the shared run
+  // must re-snapshot the ledger at its own instant — a reused (stale)
+  // view would surface as view_snapshot != time.
+  const auto c = test::make_random_case(4242);
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  PlannerConfig config;
+  config.contention_aware = true;
+
+  SimulationSession session(env);
+  AdaptivePlanner first(c.workload.dag, c.model, c.model, c.pool, config);
+  AdaptivePlanner second(c.workload.dag, c.model, c.model, c.pool, config);
+  AdaptiveResult first_result;
+  AdaptiveResult second_result;
+  bool first_done = false;
+  bool second_done = false;
+  first.launch(session, sim::kTimeZero, [&](const AdaptiveResult& r) {
+    first_result = r;
+    first_done = true;
+  });
+  second.launch(session, 25.0, [&](const AdaptiveResult& r) {
+    second_result = r;
+    second_done = true;
+  });
+  session.run();
+  ASSERT_TRUE(first_done);
+  ASSERT_TRUE(second_done);
+
+  std::size_t stamped = 0;
+  for (const AdaptiveResult* result : {&first_result, &second_result}) {
+    for (const AdoptionRecord& record : result->decisions) {
+      EXPECT_DOUBLE_EQ(record.view_snapshot, record.time);
+      ++stamped;
+    }
+  }
+  // The volatile pool guarantees evaluations actually happened.
+  EXPECT_GT(stamped, 0u);
+}
+
+TEST(Planner, ContentionAwarePlansRouteAroundForeignLoad) {
+  // One machine, one competitor occupying it over [0, 50): a blind plan
+  // believes the machine is free and predicts an immediate start; a
+  // contention-aware plan prices the committed window and predicts the
+  // realized post-window start.
+  dag::Dag graph;
+  const dag::JobId only = graph.add_job("only");
+  graph.finalize();
+  grid::ResourcePool pool;
+  pool.add(grid::Resource{.name = "r1", .arrival = 0.0});
+  grid::MachineModel model(1, 1);
+  model.set_compute_cost(only, 0, 10.0);
+
+  class Occupier final : public SessionParticipant {};
+
+  for (const bool aware : {false, true}) {
+    SessionEnvironment env;
+    env.pool = &pool;
+    SimulationSession session(env);
+    Occupier occupier;
+    session.add_participant(&occupier);
+    (void)session.acquire(&occupier, 0, 0.0, 50.0, /*tag=*/1);
+    session.commit(&occupier, 0, /*tag=*/1, 0.0, 50.0);
+
+    PlannerConfig config;
+    config.contention_aware = aware;
+    AdaptivePlanner planner(graph, model, model, pool, config);
+    AdaptiveResult result;
+    bool done = false;
+    planner.launch(session, sim::kTimeZero, [&](const AdaptiveResult& r) {
+      result = r;
+      done = true;
+    });
+    session.run();
+    ASSERT_TRUE(done);
+    // Both runs realize the same post-window start (FCFS serializes
+    // them), but only the aware plan predicted it.
+    EXPECT_DOUBLE_EQ(result.makespan, 60.0);
+    EXPECT_DOUBLE_EQ(result.initial_makespan, aware ? 60.0 : 10.0);
+  }
+}
+
 // ----- the paper's core guarantee, as a property sweep --------------------
 
 struct SweepParam {

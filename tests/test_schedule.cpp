@@ -90,6 +90,48 @@ TEST(Schedule, EmptyResourceSlotUsesReadyAndFloor) {
                    7.0);
 }
 
+TEST(Schedule, ForeignViewGapsAreSearchedJointlyWithOwnSlots) {
+  // Own slots [10, 20) and [30, 40); a competitor holds [0, 8) and
+  // [22, 28). Free gaps of the merged picture: [8, 10), [20, 22),
+  // [28, 30), [40, inf).
+  Schedule s(4);
+  s.assign(Assignment{0, 0, 10.0, 20.0});
+  s.assign(Assignment{1, 0, 30.0, 40.0});
+  AvailabilityView view(0.0);
+  view.add_busy(0, 0.0, 8.0);
+  view.add_busy(0, 22.0, 28.0);
+  view.normalize();
+  const auto policy = SlotPolicy::kInsertion;
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 2.0, policy, 0.0,
+                                   sim::kTimeInfinity, &view),
+                   8.0);
+  // Too long for [8, 10) -> the next joint gap that fits is [20, 22).
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 2.0, policy, 9.0,
+                                   sim::kTimeInfinity, &view),
+                   20.0);
+  // Nothing shorter than 3 fits before the last own slot ends.
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 3.0, policy, 9.0,
+                                   sim::kTimeInfinity, &view),
+                   40.0);
+  // The deadline check runs against the joint fit.
+  EXPECT_EQ(s.earliest_slot(0, 0.0, 3.0, policy, 9.0, 41.0, &view),
+            sim::kTimeInfinity);
+  // End-of-queue still appends after own slots, then avoids foreign load.
+  AvailabilityView tail(0.0);
+  tail.add_busy(0, 39.0, 50.0);
+  tail.normalize();
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 5.0, SlotPolicy::kEndOfQueue,
+                                   0.0, sim::kTimeInfinity, &tail),
+                   50.0);
+  // A null or empty view changes nothing.
+  const AvailabilityView empty;
+  EXPECT_DOUBLE_EQ(s.earliest_slot(0, 0.0, 2.0, policy, 0.0,
+                                   sim::kTimeInfinity, &empty),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      s.earliest_slot(0, 0.0, 2.0, policy, 0.0, sim::kTimeInfinity), 0.0);
+}
+
 TEST(ScheduleValidation, AcceptsHeftScheduleOnSample) {
   const auto scenario = workloads::sample_scenario();
   Schedule s(10);
