@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
          {core::ContentionPolicyKind::kFcfs,
           core::ContentionPolicyKind::kPriority,
           core::ContentionPolicyKind::kFairShare}) {
-      exp::CaseSpec spec = stream_spec(options.scale, options.seed, n);
+      exp::CaseSpec spec = bench::with_cli_environment(
+          stream_spec(options.scale, options.seed, n), options);
       spec.contention_policy = core::to_string(kind);
       spec.backfill = options.backfill;
       spec.contention_aware = options.contention_aware;

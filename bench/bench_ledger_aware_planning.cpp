@@ -96,8 +96,8 @@ int main(int argc, char** argv) {
     // One environment and one materialized setup per stream size: the
     // modes differ only in how the strategies plan, never in the grid,
     // the DAGs, or the cost matrices they plan over.
-    const exp::CaseSpec blind = stream_spec(options.scale, options.seed, n,
-                                            options);
+    const exp::CaseSpec blind = bench::with_cli_environment(
+        stream_spec(options.scale, options.seed, n, options), options);
     exp::CaseSpec aware = blind;
     aware.contention_aware = true;
     const exp::CaseEnvironment env = exp::build_case_environment(blind);

@@ -101,9 +101,10 @@ int main(int argc, char** argv) {
   std::vector<exp::StreamCaseResult> results;
   results.reserve(streams.size());
   for (const std::size_t n : streams) {
-    results.push_back(exp::run_stream_case(
+    results.push_back(exp::run_stream_case(bench::with_cli_environment(
         stream_spec(options.scale, options.seed, n, policy, options.backfill,
-                    options.contention_aware)));
+                    options.contention_aware),
+        options)));
     report(n, results.back());
     const exp::StreamCaseResult& r = results.back();
     const std::string policy_label =
@@ -128,8 +129,10 @@ int main(int argc, char** argv) {
   const std::size_t probe = streams[probe_index];
   const exp::StreamCaseResult& a = results[probe_index];
   const exp::StreamCaseResult b = exp::run_stream_case(
-      stream_spec(options.scale, options.seed, probe, policy,
-                  options.backfill, options.contention_aware));
+      bench::with_cli_environment(
+          stream_spec(options.scale, options.seed, probe, policy,
+                      options.backfill, options.contention_aware),
+          options));
   const bool deterministic = a.heft.makespans == b.heft.makespans &&
                              a.aheft.makespans == b.aheft.makespans &&
                              a.minmin.makespans == b.minmin.makespans &&

@@ -9,6 +9,10 @@
 //                                  each sweep's own setting, usually
 //                                  "synthetic")
 //   --trace=path                  (trace file for --scenario-source=trace)
+//   --archive=path                (SWF/GWA log for
+//                                  --scenario-source=archive|fitted)
+//   --help                        (lists the flags plus every registered
+//                                  scenario source and contention policy)
 //   --contention-policy=NAME      (cross-workflow machine arbitration for
 //                                  stream benches: fcfs, priority,
 //                                  fair-share, or a custom registration)
@@ -47,6 +51,7 @@
 #include "support/env.h"
 #include "support/stopwatch.h"
 #include "support/table.h"
+#include "traces/scenario_source.h"
 
 namespace aheft::bench {
 
@@ -58,6 +63,8 @@ struct BenchOptions {
   /// Overrides every spec's scenario source when non-empty.
   std::string scenario_source;
   std::string trace_path;
+  /// SWF/GWA log for the "archive"/"fitted" scenario sources.
+  std::string archive_path;
   /// Overrides every spec's contention policy when non-empty.
   std::string contention_policy;
   /// Enables session-level ledger backfilling on every spec.
@@ -68,8 +75,49 @@ struct BenchOptions {
   std::string json;
 };
 
+/// Prints the shared flag reference plus the live backend registries —
+/// scenario sources with their descriptions and contention policies —
+/// so `--help` always reflects what is actually registered.
+inline void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " [options]\n\n"
+      << "  --scale=smoke|default|paper  sweep size (or $AHEFT_SCALE)\n"
+      << "  --threads=N                  worker threads (0 = hardware)\n"
+      << "  --seed=N                     master seed (default 42)\n"
+      << "  --csv=path                   per-case CSV dump\n"
+      << "  --json=path                  structured JSON results\n"
+      << "  --scenario-source=NAME       grid environment backend\n"
+      << "  --trace=path                 trace file (scenario source "
+         "'trace')\n"
+      << "  --archive=path               SWF/GWA log (scenario sources "
+         "'archive' and 'fitted')\n"
+      << "  --contention-policy=NAME     cross-workflow arbitration\n"
+      << "  --backfill                   session-level ledger backfilling\n"
+      << "  --contention-aware           contention-aware planning\n"
+      << "  --help                       this message\n\n"
+      << "scenario sources:\n";
+  const auto& sources = traces::ScenarioSourceRegistry::instance();
+  for (const std::string& name : sources.names()) {
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 12; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << sources.require(name).description() << "\n";
+  }
+  std::cout << "\ncontention policies:\n ";
+  for (const std::string& name :
+       core::ContentionPolicyRegistry::instance().names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "\n";
+}
+
 inline BenchOptions parse_options(int argc, char** argv) {
   const ArgParser args(argc, argv);
+  if (args.has("help")) {
+    print_help(argc > 0 ? argv[0] : "bench");
+    std::exit(0);
+  }
   BenchOptions options;
   options.scale = args.scale();
   options.threads =
@@ -78,7 +126,21 @@ inline BenchOptions parse_options(int argc, char** argv) {
   options.csv = args.get("csv", "");
   options.scenario_source = args.get("scenario-source", "");
   options.trace_path = args.get("trace", "");
+  options.archive_path = args.get("archive", "");
   options.contention_policy = args.get("contention-policy", "");
+  if (!options.scenario_source.empty()) {
+    // Same eager validation as --contention-policy below: an unknown
+    // backend (or a missing --trace/--archive) should fail with a usage
+    // message, not escape as an exception from the first case.
+    try {
+      std::vector<exp::CaseSpec> probe(1);
+      exp::set_scenario_source(probe, options.scenario_source,
+                               options.trace_path, options.archive_path);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "--scenario-source: " << error.what() << "\n";
+      std::exit(2);
+    }
+  }
   options.backfill = args.has("backfill");
   options.contention_aware = args.has("contention-aware");
   options.json = args.get("json", "");
@@ -249,6 +311,23 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
+/// Applies the shared environment overrides (--scenario-source with its
+/// --trace / --archive companions) to one spec. The sweep-style benches
+/// get this through run() below; the stream benches build their specs
+/// one at a time and must route each through here, or the advertised
+/// flag would be validated and then silently ignored.
+inline exp::CaseSpec with_cli_environment(exp::CaseSpec spec,
+                                          const BenchOptions& options) {
+  if (!options.scenario_source.empty()) {
+    std::vector<exp::CaseSpec> one;
+    one.push_back(std::move(spec));
+    exp::set_scenario_source(one, options.scenario_source,
+                             options.trace_path, options.archive_path);
+    spec = std::move(one.front());
+  }
+  return spec;
+}
+
 inline void print_header(const std::string& title,
                          const BenchOptions& options, std::size_t cases) {
   std::cout << "=== " << title << " ===\n"
@@ -263,7 +342,7 @@ inline exp::SweepOutcome run(const BenchOptions& options,
                              std::vector<exp::CaseSpec> specs) {
   if (!options.scenario_source.empty()) {
     exp::set_scenario_source(specs, options.scenario_source,
-                             options.trace_path);
+                             options.trace_path, options.archive_path);
   }
   if (!options.contention_policy.empty()) {
     exp::set_contention_policy(specs, options.contention_policy);

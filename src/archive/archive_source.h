@@ -1,0 +1,32 @@
+// ScenarioSource backends over real-workload archives.
+//
+//   archive  replays a parsed SWF/GWA log: the pool is sized from the
+//            log's MaxNodes/MaxProcs headers (or the machines knob), the
+//            archive's processor-utilization timeline becomes bucketed
+//            background-load segments, and each usable job becomes a
+//            workflow-arrival record — run_workflow_stream then replays
+//            a production trace instead of a synthetic stream.
+//   fitted   fits the archive's marginals (fit_archive) and generates an
+//            unbounded, seeded, statistically-faithful stream from them:
+//            heavy-tailed runtimes, diurnal arrivals, bag-of-task bursts.
+//
+// Both read ScenarioRequest::archive (traces::ArchiveParams). They are
+// registered with the global registry by the ScenarioSourceRegistry
+// constructor through register_archive_sources(), keeping the archive
+// machinery out of the traces layer proper.
+#ifndef AHEFT_ARCHIVE_ARCHIVE_SOURCE_H_
+#define AHEFT_ARCHIVE_ARCHIVE_SOURCE_H_
+
+namespace aheft::traces {
+class ScenarioSourceRegistry;
+}  // namespace aheft::traces
+
+namespace aheft::archive {
+
+/// Registers the `archive` and `fitted` backends with `registry`.
+/// Idempotent: re-registering replaces the previous instances.
+void register_archive_sources(traces::ScenarioSourceRegistry& registry);
+
+}  // namespace aheft::archive
+
+#endif  // AHEFT_ARCHIVE_ARCHIVE_SOURCE_H_

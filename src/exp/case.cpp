@@ -93,6 +93,7 @@ CaseEnvironment build_case_environment(const CaseSpec& spec) {
   request.seed = mix64(spec.seed, hash64("scenario"));
   request.trace_path = spec.trace_path;
   request.bursty = spec.bursty;
+  request.archive = spec.archive;
   request.stream.jobs = spec.stream_jobs;
   request.stream.interarrival_mean = spec.stream_interarrival;
 

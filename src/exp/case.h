@@ -42,6 +42,8 @@ struct CaseSpec {
   std::string trace_path;
   /// Volatility knobs consumed by the "bursty" source.
   traces::BurstyParams bursty;
+  /// SWF/GWA log knobs consumed by the "archive" and "fitted" sources.
+  traces::ArchiveParams archive;
   /// Also react to Performance Monitor variance events (load-driven
   /// estimate/actual divergence), not just pool changes.
   bool react_to_variance = false;

@@ -200,17 +200,25 @@ double axis_value(SweepAxis axis, const CaseSpec& spec) {
 
 void set_scenario_source(std::vector<CaseSpec>& specs,
                          std::string_view source,
-                         std::string_view trace_path) {
+                         std::string_view trace_path,
+                         std::string_view archive_path) {
   // Validate eagerly so a typo'd --scenario-source or a forgotten
-  // --trace fails before the sweep starts, not on the first case.
+  // --trace/--archive fails before the sweep starts, not on the first
+  // case.
   (void)traces::ScenarioSourceRegistry::instance().require(source);
   if (source == "trace" && trace_path.empty()) {
     throw std::invalid_argument(
         "scenario source 'trace' needs a trace file (--trace=path)");
   }
+  if ((source == "archive" || source == "fitted") && archive_path.empty()) {
+    throw std::invalid_argument(
+        "scenario source '" + std::string(source) +
+        "' needs an SWF/GWA log (--archive=path)");
+  }
   for (CaseSpec& spec : specs) {
     spec.scenario_source = source;
     spec.trace_path = trace_path;
+    spec.archive.path = archive_path;
   }
 }
 

@@ -51,11 +51,14 @@ enum class SweepAxis { kCcr, kBeta, kJobs, kPool, kInterval, kFraction };
 [[nodiscard]] double axis_value(SweepAxis axis, const CaseSpec& spec);
 
 /// Applies a scenario-source axis to every spec: the benches'
-/// --scenario-source=NAME knob. `trace_path` feeds the "trace" source.
-/// Throws std::invalid_argument when the source is not registered.
+/// --scenario-source=NAME knob. `trace_path` feeds the "trace" source;
+/// `archive_path` feeds the "archive" and "fitted" sources (--archive).
+/// Throws std::invalid_argument when the source is not registered or
+/// when a file-driven source is missing its path.
 void set_scenario_source(std::vector<CaseSpec>& specs,
                          std::string_view source,
-                         std::string_view trace_path = {});
+                         std::string_view trace_path = {},
+                         std::string_view archive_path = {});
 
 /// Applies the multi-DAG stream axis to every spec: `jobs` concurrent
 /// workflow instances with the given mean inter-arrival gap. Specs

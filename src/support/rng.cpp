@@ -104,6 +104,36 @@ double RngStream::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double RngStream::log_normal(double mu, double sigma) {
+  AHEFT_REQUIRE(sigma >= 0.0, "log_normal sigma must be non-negative");
+  return std::exp(normal(mu, sigma));
+}
+
+double RngStream::weibull(double shape, double scale) {
+  AHEFT_REQUIRE(shape > 0.0 && scale > 0.0,
+                "weibull shape and scale must be positive");
+  double u = uniform01();
+  while (u <= 0.0) {
+    u = uniform01();
+  }
+  // -log(u) is a unit exponential; raising to 1/shape Weibull-izes it.
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+std::size_t RngStream::geometric(double p) {
+  AHEFT_REQUIRE(p > 0.0 && p <= 1.0, "geometric p must lie in (0, 1]");
+  if (p == 1.0) {
+    return 1;
+  }
+  double u = uniform01();
+  while (u <= 0.0) {
+    u = uniform01();
+  }
+  // Inversion: ceil(log(u) / log(1 - p)) trials, at least one.
+  const double trials = std::ceil(std::log(u) / std::log1p(-p));
+  return trials < 1.0 ? 1 : static_cast<std::size_t>(trials);
+}
+
 std::uint64_t hash64(std::string_view text) noexcept {
   // FNV-1a, then strengthened through SplitMix64 finalization.
   std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -81,6 +81,13 @@ class RngStream {
   double normal(double mean, double stddev);
   /// Exponential with the given mean.
   double exponential(double mean);
+  /// Log-normal: exp of a N(mu, sigma^2) draw (mu/sigma on the log scale).
+  double log_normal(double mu, double sigma);
+  /// Weibull with the given shape and scale (CDF 1 - exp(-(x/scale)^shape)).
+  double weibull(double shape, double scale);
+  /// Geometric number of trials until the first success, in {1, 2, ...};
+  /// mean 1/p. p must lie in (0, 1].
+  std::size_t geometric(double p);
 
   /// Picks a uniformly random element of a non-empty vector.
   template <typename T>

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "archive/archive_source.h"
 #include "support/assert.h"
 #include "support/rng.h"
 
@@ -239,6 +240,10 @@ ScenarioSourceRegistry::ScenarioSourceRegistry()
   register_source(std::make_unique<SyntheticSource>());
   register_source(std::make_unique<TraceSource>());
   register_source(std::make_unique<BurstySource>());
+  // The archive backends live in src/archive; explicit registration here
+  // (rather than static initializers in their own translation unit, which
+  // a static library would drop) guarantees they exist in every binary.
+  archive::register_archive_sources(*this);
 }
 
 ScenarioSourceRegistry& ScenarioSourceRegistry::instance() {

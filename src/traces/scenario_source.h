@@ -11,6 +11,9 @@
 //   bursty     MMPP-style on/off volatility: calm/burst phases with
 //              phase-dependent Poisson resource arrivals and load spikes
 //              on a random subset of machines during bursts
+//   archive    replay of a real SWF/GWA workload archive (src/archive)
+//   fitted     statistical generator fitted to an SWF/GWA archive:
+//              diurnal arrivals, heavy-tailed runtimes, task bags
 #ifndef AHEFT_TRACES_SCENARIO_SOURCE_H_
 #define AHEFT_TRACES_SCENARIO_SOURCE_H_
 
@@ -46,6 +49,34 @@ struct BurstyParams {
   double repair_mean = 300.0;
 };
 
+/// Knobs of the `archive` (SWF/GWA replay) and `fitted` (statistical
+/// generator) backends implemented in src/archive. Plain values only, so
+/// the traces layer needs no archive headers.
+struct ArchiveParams {
+  std::string path;  ///< SWF/GWA log file to load
+  std::string text;  ///< inline SWF text; wins over path when non-empty
+  /// Pool size; 0 derives it from the log (MaxNodes, then MaxProcs, then
+  /// the peak concurrent processor demand), capped by max_machines.
+  std::size_t machines = 0;
+  std::size_t max_machines = 64;
+  /// Archive seconds are multiplied by this on the way into the
+  /// simulation clock (compresses months-long logs into solvable
+  /// horizons). Applies to arrivals and load segments alike.
+  double time_scale = 1.0;
+  /// `archive` replay: cap on emitted workflow arrivals (0 = stream.jobs
+  /// when set, else every usable job).
+  std::size_t max_jobs = 0;
+  /// Use failed/cancelled jobs too, not just completed ones.
+  bool include_failed = false;
+  /// `fitted`: submissions by one user at most this many archive seconds
+  /// apart form one bag of tasks.
+  double bag_window = 120.0;
+  /// Load amplitude: utilization u (replay) or relative arrival rate
+  /// (fitted) slows machines by a factor 1 + background_load * u.
+  /// 0 disables background load.
+  double background_load = 0.5;
+};
+
 /// Workload-stream knobs consumed by the generator backends: emit this
 /// many `job` arrival records into CompiledScenario::job_arrivals
 /// (0 = single-DAG scenario). The `trace` backend carries its own
@@ -73,6 +104,8 @@ struct ScenarioRequest {
   std::string trace_path;
   std::string trace_text;
   BurstyParams bursty;
+  /// `archive` / `fitted` backends: which log to replay or fit.
+  ArchiveParams archive;
   /// Workflow-arrival stream emitted by the generator backends.
   StreamParams stream;
 };

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <numbers>
 #include <set>
 #include <stdexcept>
 
@@ -217,6 +218,106 @@ TEST(Stats, JainFairnessIndexOnKnownVectors) {
   // Degenerate inputs count as perfectly fair.
   EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 1.0);
+}
+
+TEST(Stats, NormalCdfOnKnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(normal_cdf(6.0), 1.0, 1e-9);
+}
+
+TEST(Stats, LogNormalAndWeibullClosedForms) {
+  const LogNormalParams ln{1.0, 0.5};
+  // CDF at the median exp(mu) is exactly one half.
+  EXPECT_DOUBLE_EQ(ln.cdf(std::exp(1.0)), 0.5);
+  EXPECT_DOUBLE_EQ(ln.quantile_from_normal(0.0), std::exp(1.0));
+  EXPECT_NEAR(ln.mean(), std::exp(1.0 + 0.25 / 2.0), 1e-12);
+
+  const WeibullParams wb{2.0, 3.0};
+  // CDF at the scale is 1 - 1/e for every shape.
+  EXPECT_NEAR(wb.cdf(3.0), 1.0 - std::exp(-1.0), 1e-12);
+  // quantile is the exact inverse of cdf.
+  for (const double u : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(wb.cdf(wb.quantile(u)), u, 1e-12);
+  }
+}
+
+TEST(Stats, FitLogNormalRecoversParameters) {
+  RngStream rng(42);
+  std::vector<double> sample;
+  sample.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    sample.push_back(rng.log_normal(2.0, 0.75));
+  }
+  const LogNormalParams fitted = fit_log_normal(sample);
+  EXPECT_NEAR(fitted.mu, 2.0, 0.02);
+  EXPECT_NEAR(fitted.sigma, 0.75, 0.02);
+  // MLE on a log-normal sample beats the Weibull alternative in KS.
+  const WeibullParams wrong = fit_weibull(sample);
+  const double ks_right = ks_distance(
+      sample, [&](double x) { return fitted.cdf(x); });
+  const double ks_wrong = ks_distance(
+      sample, [&](double x) { return wrong.cdf(x); });
+  EXPECT_LT(ks_right, ks_wrong);
+}
+
+TEST(Stats, FitWeibullRecoversParameters) {
+  RngStream rng(7);
+  std::vector<double> sample;
+  sample.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    sample.push_back(rng.weibull(1.6, 300.0));
+  }
+  const WeibullParams fitted = fit_weibull(sample);
+  EXPECT_NEAR(fitted.shape, 1.6, 0.03);
+  EXPECT_NEAR(fitted.scale, 300.0, 5.0);
+}
+
+TEST(Stats, FittersRejectNonPositiveSamples) {
+  EXPECT_THROW((void)fit_log_normal({}), std::invalid_argument);
+  EXPECT_THROW((void)fit_log_normal({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_weibull({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalQuantileMatchesR) {
+  // R's default (type 7) on 1..5: quantile(x, .25) = 2, .5 = 3, .1 = 1.4.
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(sorted, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(sorted, 1.0), 5.0);
+  EXPECT_NEAR(empirical_quantile(sorted, 0.1), 1.4, 1e-12);
+}
+
+TEST(Stats, KsDistanceOnKnownVectors) {
+  // Sample {0.25, 0.75} vs U(0,1): sup gap is 0.25 at both points.
+  const double d = ks_distance({0.25, 0.75}, [](double x) { return x; });
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  // Identical two-sample inputs: distance 0; disjoint ones: distance 1.
+  EXPECT_DOUBLE_EQ(ks_distance({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ks_distance({1.0, 2.0}, {10.0, 20.0}), 1.0);
+  // Known partial overlap: {1,2} vs {2,3} -> sup |F1 - F2| = 1/2 at 1.
+  EXPECT_DOUBLE_EQ(ks_distance({1.0, 2.0}, {2.0, 3.0}), 0.5);
+}
+
+TEST(Rng, LogNormalWeibullGeometricMoments) {
+  RngStream rng(11);
+  double ln_sum = 0.0;
+  double wb_sum = 0.0;
+  double geo_sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ln_sum += rng.log_normal(0.0, 0.5);
+    wb_sum += rng.weibull(2.0, 1.0);
+    geo_sum += static_cast<double>(rng.geometric(0.25));
+  }
+  EXPECT_NEAR(ln_sum / n, std::exp(0.125), 0.02);        // exp(sigma^2/2)
+  EXPECT_NEAR(wb_sum / n, std::sqrt(std::numbers::pi) / 2.0,
+              0.01);                                     // Gamma(1.5)
+  EXPECT_NEAR(geo_sum / n, 4.0, 0.05);                   // 1/p
+  EXPECT_EQ(RngStream(3).geometric(1.0), 1u);
+  EXPECT_THROW((void)RngStream(3).geometric(0.0), std::invalid_argument);
 }
 
 // ----- table ---------------------------------------------------------------

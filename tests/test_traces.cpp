@@ -207,6 +207,9 @@ TEST(ScenarioRegistry, ListsBuiltinSources) {
   EXPECT_NE(std::find(names.begin(), names.end(), "synthetic"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "trace"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "bursty"), names.end());
+  // The archive backends (src/archive) register through the same ctor.
+  EXPECT_NE(std::find(names.begin(), names.end(), "archive"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fitted"), names.end());
   for (const std::string& name : names) {
     const ScenarioSource* source =
         ScenarioSourceRegistry::instance().find(name);
