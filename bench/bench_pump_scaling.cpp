@@ -1,28 +1,36 @@
-// EXP-S3 — pump scaling: per-machine-event work versus workflow count.
+// EXP-S3 — pump scaling: per-machine-event work versus workflow count,
+// and sharded-simulator throughput versus shard count.
 //
-// Before the session-owned ResourceLedger, the contention floor of every
-// acquire was computed by polling busy_until() on EVERY registered
-// workflow — so each machine event cost O(session workflows) even when
-// the machine's queue held one entry, and a stream's total work grew
-// quadratically. The ledger keeps the committed horizon per resource, so
-// an acquire costs O(queue on that resource) regardless of how many
-// workflows share the session.
+// Phase 1 (flat-cost): before the session-owned ResourceLedger, the
+// contention floor of every acquire was computed by polling busy_until()
+// on EVERY registered workflow — so each machine event cost O(session
+// workflows) even when the machine's queue held one entry, and a
+// stream's total work grew quadratically. The ledger keeps the committed
+// horizon per resource, so an acquire costs O(queue on that resource)
+// regardless of how many workflows share the session. The bench holds
+// total work constant (kTotalJobs chained jobs split over W workflows,
+// each executing on its own dedicated machine — zero queue overlap)
+// while W grows; the self-check fails when the largest W costs more than
+// kMaxRatio x the smallest per event.
 //
-// The bench holds total work constant (kTotalJobs chained jobs split over
-// W workflows, each executing on its own dedicated machine — zero queue
-// overlap) while W grows. Every job start still runs the full
-// acquire/commit path against a session with W registered workflows.
-// Under the ledger, wall time per executed event stays flat as W grows;
-// under the participant-scan design it grew ~linearly. The self-check
-// fails the bench when the largest W costs more than kMaxRatio x the
-// smallest per event — linear growth would blow well past it.
+// Phase 2 (sharded throughput): the same dedicated-machine chains at
+// 256/1k/4k workflows, swept over SessionEnvironment::shards. Every
+// workflow's jobs run at integer times, so each lock-step epoch carries
+// one job per machine — the per-resource-partition event loops drain W/N
+// machines each in parallel between tick barriers. Rows report events,
+// wall seconds, and events/sec per (workflows, shards) configuration; on
+// a machine with >= 8 cores and an axis containing shards=1 and
+// shards=8, the self-check fails when 8 shards deliver less than
+// kMinSpeedup x the serial throughput at the largest workflow count.
 //
 // The engines are driven directly with precomputed schedules (no HEFT
 // pass), so the measurement isolates the executor/session hot path.
 //
-// Extra knobs: --smoke (quarter-size), --json=path.
+// Extra knobs: --smoke (quarter-size), --shards=a,b,c, --json=path.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -32,6 +40,7 @@
 #include "dag/dag.h"
 #include "grid/machine_model.h"
 #include "grid/resource_pool.h"
+#include "support/thread_pool.h"
 
 using namespace aheft;
 
@@ -40,10 +49,14 @@ namespace {
 struct ScalingPoint {
   std::size_t workflows = 0;
   std::size_t jobs_per_workflow = 0;
+  std::size_t shards = 1;
   std::uint64_t events = 0;
   double seconds = 0.0;
   [[nodiscard]] double micros_per_event() const {
     return events == 0 ? 0.0 : seconds * 1e6 / static_cast<double>(events);
+  }
+  [[nodiscard]] double events_per_sec() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(events) / seconds;
   }
 };
 
@@ -104,7 +117,7 @@ ScalingPoint run_point(std::size_t workflows, std::size_t jobs) {
   point.workflows = workflows;
   point.jobs_per_workflow = jobs;
   point.seconds = watch.seconds();
-  point.events = session.simulator().executed_events();
+  point.events = session.executed_events();
   for (const auto& engine : engines) {
     if (!engine->finished()) {
       std::cerr << "pump-scaling workflow did not finish\n";
@@ -112,6 +125,88 @@ ScalingPoint run_point(std::size_t workflows, std::size_t jobs) {
     }
   }
   return point;
+}
+
+/// One sharded-throughput configuration: W chains of K unit jobs, one
+/// dedicated machine per workflow, swept over the shard count. All
+/// workflows share one chain DAG and one all-ones cost model (plans are
+/// explicit, so per-workflow cost asymmetry buys nothing here and a
+/// dense per-workflow model at 4096 machines would cost gigabytes);
+/// both are const, so shard threads read them race-free. Each engine is
+/// built and submitted under its machine's home-shard binding —
+/// construction captures the shard's simulator and masked pool, and
+/// submit()'s synchronous first pump acquires on the shard's ledger.
+ScalingPoint run_wide_point(std::size_t workflows, std::size_t jobs,
+                            std::size_t shards, ThreadPool* workers) {
+  grid::ResourcePool pool;
+  for (std::size_t w = 0; w < workflows; ++w) {
+    pool.add(grid::Resource{.name = "m" + std::to_string(w)});
+  }
+
+  dag::Dag chain("chain");
+  for (std::size_t i = 0; i < jobs; ++i) {
+    chain.add_job("j" + std::to_string(i));
+    if (i > 0) {
+      chain.add_edge(static_cast<dag::JobId>(i - 1),
+                     static_cast<dag::JobId>(i), 0.0);
+    }
+  }
+  chain.finalize();
+  grid::MachineModel model(jobs, workflows);
+  for (dag::JobId i = 0; i < jobs; ++i) {
+    for (grid::ResourceId r = 0;
+         r < static_cast<grid::ResourceId>(workflows); ++r) {
+      model.set_compute_cost(i, r, 1.0);
+    }
+  }
+
+  core::SessionEnvironment env;
+  env.pool = &pool;
+  env.shards = shards;
+  env.shard_workers = shards > 1 ? workers : nullptr;
+  core::SimulationSession session(env);
+  std::vector<std::unique_ptr<core::ExecutionEngine>> engines;
+  engines.reserve(workflows);
+  Stopwatch watch;
+  for (std::size_t w = 0; w < workflows; ++w) {
+    const auto machine = static_cast<grid::ResourceId>(w);
+    const auto binding = session.bind_shard(session.shard_of(machine));
+    engines.push_back(
+        std::make_unique<core::ExecutionEngine>(session, chain, model));
+    core::Schedule plan(jobs);
+    for (dag::JobId i = 0; i < jobs; ++i) {
+      plan.assign(core::Assignment{i, machine, static_cast<sim::Time>(i),
+                                   static_cast<sim::Time>(i + 1)});
+    }
+    engines.back()->submit(plan);
+  }
+  session.run();
+
+  ScalingPoint point;
+  point.workflows = workflows;
+  point.jobs_per_workflow = jobs;
+  point.shards = session.shard_count();
+  point.seconds = watch.seconds();
+  point.events = session.executed_events();
+  for (const auto& engine : engines) {
+    if (!engine->finished()) {
+      std::cerr << "pump-scaling sharded workflow did not finish\n";
+      std::exit(1);
+    }
+  }
+  return point;
+}
+
+/// Best of two runs: absorbs one-off allocator/cache noise without
+/// hiding real asymptotic growth.
+template <typename RunFn>
+ScalingPoint best_of_two(const RunFn& run) {
+  ScalingPoint best = run();
+  const ScalingPoint second = run();
+  if (second.seconds < best.seconds) {
+    best = second;
+  }
+  return best;
 }
 
 }  // namespace
@@ -122,25 +217,29 @@ int main(int argc, char** argv) {
   if (args.has("smoke")) {
     options.scale = Scale::kSmoke;
   }
-  const std::size_t total_jobs =
-      options.scale == Scale::kSmoke ? 8192 : 32768;
+  const bool smoke = options.scale == Scale::kSmoke;
+  const std::size_t total_jobs = smoke ? 8192 : 32768;
   const std::vector<std::size_t> workflow_counts = {4, 16, 64};
   constexpr double kMaxRatio = 3.0;
+  // Sharded phase axes: stream widths from the ROADMAP's
+  // thousands-of-streams target, shard counts from the CLI.
+  const std::vector<std::size_t> wide_counts =
+      smoke ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{256, 1024, 4096};
+  const std::size_t wide_jobs = smoke ? 4 : 16;
+  const std::vector<std::size_t> shard_counts =
+      bench::parse_shards(args, {1, 8});
+  constexpr double kMinSpeedup = 2.0;
 
   bench::print_header(
       "Pump scaling: per-machine-event work vs workflow count", options,
-      workflow_counts.size());
+      workflow_counts.size() + wide_counts.size() * shard_counts.size());
   bench::JsonReport report("bench_pump_scaling", options);
 
   std::vector<ScalingPoint> points;
   for (const std::size_t w : workflow_counts) {
-    // Best of two runs: absorbs one-off allocator/cache noise without
-    // hiding real asymptotic growth.
-    ScalingPoint best = run_point(w, total_jobs / w);
-    const ScalingPoint second = run_point(w, total_jobs / w);
-    if (second.seconds < best.seconds) {
-      best = second;
-    }
+    const ScalingPoint best =
+        best_of_two([&] { return run_point(w, total_jobs / w); });
     points.push_back(best);
     report.add_row(
         {{"workflows", std::to_string(w)}},
@@ -159,6 +258,37 @@ int main(int argc, char** argv) {
                    format_double(p.micros_per_event(), 3)});
   }
   std::cout << table.to_string() << "\n";
+
+  // Phase 2: sharded throughput at stream scale.
+  ThreadPool workers(options.threads);
+  std::vector<ScalingPoint> wide_points;
+  for (const std::size_t w : wide_counts) {
+    for (const std::size_t shards : shard_counts) {
+      const ScalingPoint best = best_of_two(
+          [&] { return run_wide_point(w, wide_jobs, shards, &workers); });
+      wide_points.push_back(best);
+      report.add_row(
+          {{"workflows", std::to_string(w)},
+           {"shards", std::to_string(best.shards)}},
+          {{"events", static_cast<double>(best.events)},
+           {"seconds", best.seconds},
+           {"events_per_sec", best.events_per_sec()},
+           {"micros_per_event", best.micros_per_event()}});
+    }
+  }
+
+  AsciiTable wide_table(
+      {"workflows", "shards", "events", "seconds", "events/sec"});
+  for (const ScalingPoint& p : wide_points) {
+    wide_table.add_row({std::to_string(p.workflows),
+                        std::to_string(p.shards),
+                        std::to_string(p.events),
+                        format_double(p.seconds, 3),
+                        format_double(p.events_per_sec(), 0)});
+  }
+  std::cout << "sharded throughput (lock-step epochs on "
+            << workers.thread_count() << " pool threads):\n"
+            << wide_table.to_string() << "\n";
   report.write_if_requested(options);
 
   const double first = points.front().micros_per_event();
@@ -172,5 +302,44 @@ int main(int argc, char** argv) {
             << "x; participant-scan scaling would be ~"
             << points.back().workflows / points.front().workflows
             << "x) -> " << (flat ? "PASS" : "FAIL") << "\n";
-  return flat ? 0 : 1;
+
+  // Shard speedup self-check at the largest workflow count: enforced
+  // only where it can physically hold — the axis must compare 1 and 8
+  // shards and the machine must have >= 8 cores for 8 shards to run
+  // concurrently.
+  bool sharded_ok = true;
+  const bool axis_has_pair =
+      std::find(shard_counts.begin(), shard_counts.end(),
+                std::size_t{1}) != shard_counts.end() &&
+      std::find(shard_counts.begin(), shard_counts.end(),
+                std::size_t{8}) != shard_counts.end();
+  const unsigned cores = std::thread::hardware_concurrency();
+  double serial_eps = 0.0;
+  double sharded_eps = 0.0;
+  for (const ScalingPoint& p : wide_points) {
+    if (p.workflows != wide_counts.back()) {
+      continue;
+    }
+    if (p.shards == 1) {
+      serial_eps = p.events_per_sec();
+    } else if (p.shards == 8) {
+      sharded_eps = p.events_per_sec();
+    }
+  }
+  if (axis_has_pair && cores >= 8) {
+    const double speedup =
+        serial_eps > 0.0 ? sharded_eps / serial_eps : 0.0;
+    sharded_ok = speedup >= kMinSpeedup;
+    std::cout << "shard-speedup self-check: 8 shards deliver "
+              << format_double(speedup, 2) << "x the serial events/sec at "
+              << wide_counts.back() << " workflows (bound "
+              << format_double(kMinSpeedup, 1) << "x on " << cores
+              << " cores) -> " << (sharded_ok ? "PASS" : "FAIL") << "\n";
+  } else {
+    std::cout << "shard-speedup self-check: SKIP (needs --shards covering "
+                 "1 and 8, and >= 8 cores; axis pair="
+              << (axis_has_pair ? "yes" : "no") << ", cores=" << cores
+              << ")\n";
+  }
+  return flat && sharded_ok ? 0 : 1;
 }

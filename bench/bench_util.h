@@ -94,6 +94,9 @@ inline void print_help(const char* program) {
       << "  --contention-policy=NAME     cross-workflow arbitration\n"
       << "  --backfill                   session-level ledger backfilling\n"
       << "  --contention-aware           contention-aware planning\n"
+      << "  --shards=a,b,c               parallel-simulation shard axis\n"
+      << "                               (benches that sweep it; 1 = the\n"
+      << "                               serial event loop)\n"
       << "  --help                       this message\n\n"
       << "scenario sources:\n";
   const auto& sources = traces::ScenarioSourceRegistry::instance();
@@ -158,16 +161,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return options;
 }
 
-/// Parses --streams=a,b,c (positive integers) into the stream-bench
-/// concurrency axis; returns `fallback` when the flag is absent and
-/// exits with a usage message on malformed input.
-inline std::vector<std::size_t> parse_streams(
-    const ArgParser& args, std::vector<std::size_t> fallback) {
-  if (!args.has("streams")) {
+/// Parses --<flag>=a,b,c (positive integers) into a sweep axis; returns
+/// `fallback` when the flag is absent and exits with a usage message on
+/// malformed input. Behind parse_streams and parse_shards.
+inline std::vector<std::size_t> parse_size_axis(
+    const ArgParser& args, const std::string& flag,
+    std::vector<std::size_t> fallback, const char* example) {
+  if (!args.has(flag)) {
     return fallback;
   }
-  std::vector<std::size_t> streams;
-  std::stringstream in(args.get("streams", ""));
+  std::vector<std::size_t> values;
+  std::stringstream in(args.get(flag, ""));
   std::string token;
   while (std::getline(in, token, ',')) {
     // All-digits only: std::stoul alone would wrap negatives to huge
@@ -181,18 +185,32 @@ inline std::vector<std::size_t> parse_streams(
       if (value == 0) {
         throw std::invalid_argument("zero");
       }
-      streams.push_back(static_cast<std::size_t>(value));
+      values.push_back(static_cast<std::size_t>(value));
     } catch (const std::exception&) {
-      std::cerr << "bad --streams token '" << token
-                << "' (want positive integers, e.g. --streams=1,4,16)\n";
+      std::cerr << "bad --" << flag << " token '" << token
+                << "' (want positive integers, e.g. --" << flag << "="
+                << example << ")\n";
       std::exit(2);
     }
   }
-  if (streams.empty()) {
-    std::cerr << "--streams needs at least one positive integer\n";
+  if (values.empty()) {
+    std::cerr << "--" << flag << " needs at least one positive integer\n";
     std::exit(2);
   }
-  return streams;
+  return values;
+}
+
+/// Parses --streams=a,b,c, the stream-bench concurrency axis.
+inline std::vector<std::size_t> parse_streams(
+    const ArgParser& args, std::vector<std::size_t> fallback) {
+  return parse_size_axis(args, "streams", std::move(fallback), "1,4,16");
+}
+
+/// Parses --shards=a,b,c, the parallel-simulation shard axis
+/// (SessionEnvironment::shards; 1 is the serial event loop).
+inline std::vector<std::size_t> parse_shards(
+    const ArgParser& args, std::vector<std::size_t> fallback) {
+  return parse_size_axis(args, "shards", std::move(fallback), "1,8");
 }
 
 /// Resolves --strategy=heft|aheft|dynamic through the canonical

@@ -7,15 +7,50 @@
 
 namespace aheft::core {
 
-SimulationSession::SimulationSession(const SessionEnvironment& env)
-    : env_(env) {
+namespace {
+
+std::size_t effective_shards(const SessionEnvironment& env) {
   AHEFT_REQUIRE(env.pool != nullptr, "session environment needs a pool");
-  policy_ = ContentionPolicyRegistry::instance().create(
-      env.contention_policy.empty() ? "fcfs" : env.contention_policy);
+  AHEFT_REQUIRE(env.shards >= 1, "session needs at least one shard");
+  // Clamp so every shard owns at least one machine; empty shards would
+  // only add barrier work.
+  return std::min(env.shards, std::max<std::size_t>(
+                                  1, env.pool->universe_size()));
+}
+
+}  // namespace
+
+SimulationSession::SimulationSession(const SessionEnvironment& env)
+    : env_(env), sharded_(effective_shards(env)) {
+  const std::size_t shards = sharded_.shard_count();
+  AHEFT_REQUIRE(shards == 1 || env.trace == nullptr,
+                "trace recording requires shards=1 (shared mutable sink)");
+  AHEFT_REQUIRE(shards == 1 || env.history == nullptr,
+                "performance history requires shards=1 (shared mutable sink)");
   // Backfill proves a hole fits from the request's nominal duration; a
   // load profile stretches realized run times past that proof, so the
   // combination is refused rather than silently overlapping.
   backfill_ = env.backfill && env.load == nullptr;
+  const std::string policy_name =
+      env.contention_policy.empty() ? "fcfs" : env.contention_policy;
+  states_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto state = std::make_unique<ShardState>();
+    state->policy = ContentionPolicyRegistry::instance().create(policy_name);
+    if (shards > 1) {
+      for (const grid::Resource& resource : env.pool->all()) {
+        grid::Resource copy = resource;
+        if (shard_of(resource.id) != s) {
+          // Foreign machine: never arrives on this shard, and an
+          // infinite departure keeps it out of departs_in scans too.
+          copy.arrival = sim::kTimeInfinity;
+          copy.departure = sim::kTimeInfinity;
+        }
+        state->masked_pool.add(std::move(copy));
+      }
+    }
+    states_.push_back(std::move(state));
+  }
 }
 
 SimulationSession::~SimulationSession() = default;
@@ -24,46 +59,101 @@ void SessionParticipant::contention_changed(grid::ResourceId /*resource*/) {}
 
 sim::Time SessionParticipant::planned_finish() const { return sim::kTimeZero; }
 
+const grid::ResourcePool& SimulationSession::pool() const noexcept {
+  return sharded_.shard_count() == 1 ? *env_.pool : state().masked_pool;
+}
+
+const ContentionPolicy& SimulationSession::policy() const noexcept {
+  return *state().policy;
+}
+
+const ResourceLedger& SimulationSession::ledger() const noexcept {
+  return state().ledger;
+}
+
+bool SimulationSession::two_phase_dynamic() const {
+  return state().policy->two_phase_dynamic();
+}
+
+std::size_t SimulationSession::shard_of(grid::ResourceId resource) const {
+  const std::size_t n = sharded_.shard_count();
+  const std::size_t universe = env_.pool->universe_size();
+  AHEFT_REQUIRE(resource < universe, "resource outside the universe");
+  if (n == 1) {
+    return 0;
+  }
+  if (env_.shard_assignment == ShardAssignment::kHashed) {
+    return static_cast<std::size_t>(resource) % n;
+  }
+  // Contiguous blocks: resource r of a universe of U machines lands on
+  // shard floor(r * n / U); block sizes differ by at most one.
+  return static_cast<std::size_t>(resource) * n / universe;
+}
+
+SimulationSession::ShardState& SimulationSession::state_for(
+    grid::ResourceId resource) {
+  if (sharded_.shard_count() > 1) {
+    AHEFT_REQUIRE(shard_of(resource) == sharded_.current_shard(),
+                  "resource belongs to a different shard than the calling "
+                  "participant's home shard");
+  }
+  return state();
+}
+
+const SimulationSession::ShardState& SimulationSession::state_for(
+    grid::ResourceId resource) const {
+  if (sharded_.shard_count() > 1) {
+    AHEFT_REQUIRE(shard_of(resource) == sharded_.current_shard(),
+                  "resource belongs to a different shard than the calling "
+                  "participant's home shard");
+  }
+  return state();
+}
+
 void SimulationSession::add_participant(SessionParticipant* participant,
                                         double priority) {
   AHEFT_REQUIRE(participant != nullptr,
                 "cannot register a null session participant");
   AHEFT_REQUIRE(priority > 0.0,
                 "participant priority / weight must be positive");
-  for (const ParticipantRecord& record : participants_) {
+  ShardState& shard = state();
+  for (const ParticipantRecord& record : shard.participants) {
     if (record.participant == participant) {
       return;
     }
   }
-  participants_.push_back(ParticipantRecord{participant, priority, -1.0, {}});
+  shard.participants.push_back(
+      ParticipantRecord{participant, priority, -1.0, {}});
 }
 
 std::size_t SimulationSession::index_of(
     const SessionParticipant* participant) const {
-  for (std::size_t i = 0; i < participants_.size(); ++i) {
-    if (participants_[i].participant == participant) {
+  const ShardState& shard = state();
+  for (std::size_t i = 0; i < shard.participants.size(); ++i) {
+    if (shard.participants[i].participant == participant) {
       return i;
     }
   }
   throw std::invalid_argument(
-      "participant is not registered with this session");
+      "participant is not registered with this session shard");
 }
 
 sim::Time SimulationSession::grant_for(
-    const ReservationEntry& entry,
+    const ShardState& state, const ReservationEntry& entry,
     const std::vector<ReservationEntry>& queue) const {
   ContentionQuery query;
   query.request = &entry;
-  query.now = simulator_.now();
+  query.now = sharded_.shard(sharded_.current_shard()).now();
   query.others_busy =
-      ledger_.committed_until_excluding(entry.resource, entry.participant);
+      state.ledger.committed_until_excluding(entry.resource,
+                                             entry.participant);
   query.queue = &queue;
   // Policies may only delay a request, never reach before its own
   // feasible start.
-  sim::Time grant = std::max(entry.ready, policy_->grant(query));
+  sim::Time grant = std::max(entry.ready, state.policy->grant(query));
   if (backfill_) {
     if (const auto hole =
-            ledger_.backfill_start(entry, query.now, grant)) {
+            state.ledger.backfill_start(entry, query.now, grant)) {
       grant = *hole;
     }
   }
@@ -75,24 +165,26 @@ sim::Time SimulationSession::acquire(const SessionParticipant* self,
                                      sim::Time ready, double duration,
                                      std::uint64_t tag) {
   AHEFT_REQUIRE(duration >= 0.0, "acquisition duration must be >= 0");
+  ShardState& shard = state_for(resource);
   const std::size_t index = index_of(self);
-  ParticipantRecord& record = participants_[index];
+  ParticipantRecord& record = shard.participants[index];
   if (record.active_since < 0.0) {
     record.active_since = ready;
   }
   const double planned_span =
       std::max(0.0, self->planned_finish() - record.active_since);
   const ReservationEntry& entry =
-      ledger_.upsert(index, resource, tag, ready, duration, record.priority,
-                     record.active_since, planned_span);
-  return grant_for(entry, ledger_.queue(resource));
+      shard.ledger.upsert(index, resource, tag, ready, duration,
+                          record.priority, record.active_since, planned_span);
+  return grant_for(shard, entry, shard.ledger.queue(resource));
 }
 
 sim::Time SimulationSession::peek(const SessionParticipant* self,
                                   grid::ResourceId resource, sim::Time ready,
                                   double duration) const {
+  const ShardState& shard = state_for(resource);
   const std::size_t index = index_of(self);
-  const ParticipantRecord& record = participants_[index];
+  const ParticipantRecord& record = shard.participants[index];
   ReservationEntry probe;
   // A probe prices a hypothetical NEW registration: give it the newest
   // possible id so every held booking blocks it, exactly as it would
@@ -107,69 +199,79 @@ sim::Time SimulationSession::peek(const SessionParticipant* self,
   probe.active_since = record.active_since < 0.0 ? ready : record.active_since;
   probe.planned_span =
       std::max(0.0, self->planned_finish() - probe.active_since);
-  return grant_for(probe, ledger_.queue(resource));
+  return grant_for(shard, probe, shard.ledger.queue(resource));
 }
 
 void SimulationSession::hold(const SessionParticipant* self,
                              grid::ResourceId resource, std::uint64_t tag,
                              sim::Time granted_start) {
-  if (ledger_.hold(index_of(self), resource, tag, granted_start)) {
+  ShardState& shard = state_for(resource);
+  if (shard.ledger.hold(index_of(self), resource, tag, granted_start)) {
     // A claim that moved may leave another queued entry as the effective
     // head of the policy's service order: wake the queue so the machine
     // never idles waiting on a deferred claim's stale retry. Re-holds at
     // an unchanged start stay silent, which is what terminates the
     // same-instant re-arbitration cascade.
-    notify_queued(resource, self);
+    notify_queued(shard, resource, self);
   }
 }
 
 void SimulationSession::commit(const SessionParticipant* self,
                                grid::ResourceId resource, std::uint64_t tag,
                                sim::Time start, sim::Time end) {
+  ShardState& shard = state_for(resource);
   const std::size_t index = index_of(self);
   const ReservationEntry entry =
-      ledger_.commit(index, resource, tag, start, end);
+      shard.ledger.commit(index, resource, tag, start, end);
   const double wait = std::max(0.0, start - entry.first_ready);
-  ContentionStats& stats = participants_[index].stats;
+  ContentionStats& stats = shard.participants[index].stats;
   stats.total_wait += wait;
   stats.max_wait = std::max(stats.max_wait, wait);
   ++stats.grants;
-  policy_->on_commit(entry, start, end);
-  notify_queued(resource, self);
+  shard.policy->on_commit(entry, start, end);
+  notify_queued(shard, resource, self);
 }
 
 void SimulationSession::withdraw_all(const SessionParticipant* self) {
+  ShardState& shard = state();
   const std::size_t index = index_of(self);
-  for (const grid::ResourceId resource : ledger_.withdraw_all(index)) {
-    notify_queued(resource, self);
+  for (const grid::ResourceId resource : shard.ledger.withdraw_all(index)) {
+    notify_queued(shard, resource, self);
   }
 }
 
 void SimulationSession::withdraw(const SessionParticipant* self,
                                  grid::ResourceId resource,
                                  std::uint64_t tag) {
-  if (ledger_.withdraw(index_of(self), resource, tag)) {
-    notify_queued(resource, self);
+  ShardState& shard = state_for(resource);
+  if (shard.ledger.withdraw(index_of(self), resource, tag)) {
+    notify_queued(shard, resource, self);
   }
 }
 
 void SimulationSession::truncate_commit(const SessionParticipant* self,
                                         grid::ResourceId resource,
                                         std::uint64_t tag, sim::Time at) {
-  ledger_.truncate_commit(index_of(self), resource, tag, at);
-  notify_queued(resource, self);
+  ShardState& shard = state_for(resource);
+  shard.ledger.truncate_commit(index_of(self), resource, tag, at);
+  notify_queued(shard, resource, self);
 }
 
-void SimulationSession::notify_queued(grid::ResourceId resource,
+void SimulationSession::notify_queued(ShardState& state,
+                                      grid::ResourceId resource,
                                       const SessionParticipant* self) {
-  if (!wakeups_enabled()) {
+  if (!wakeups_enabled(state)) {
     return;
   }
   // Wake each queued owner once, even when it holds several entries on
-  // the resource (two-phase dynamic holds).
+  // the resource (two-phase dynamic holds). Queued owners are this
+  // shard's participants by the confinement fence, so the wakeup events
+  // land on this shard's own queue.
+  sim::Simulator& simulator = sharded_.current();
   std::vector<std::size_t> woken;
-  for (const ReservationEntry& entry : ledger_.queue(resource)) {
-    SessionParticipant* waiter = participants_[entry.participant].participant;
+  for (const ReservationEntry& entry : state.ledger.queue(resource)) {
+    SessionParticipant* waiter =
+        state.participants[entry.participant].participant;
     if (waiter == self ||
         std::find(woken.begin(), woken.end(), entry.participant) !=
             woken.end()) {
@@ -178,7 +280,7 @@ void SimulationSession::notify_queued(grid::ResourceId resource,
     woken.push_back(entry.participant);
     // A fresh event: the notified participant may start jobs and commit,
     // which must not run inside the notifying participant's bookkeeping.
-    simulator_.schedule_at(simulator_.now(), [waiter, resource] {
+    simulator.schedule_at(simulator.now(), [waiter, resource] {
       waiter->contention_changed(resource);
     });
   }
@@ -186,17 +288,36 @@ void SimulationSession::notify_queued(grid::ResourceId resource,
 
 AvailabilityView SimulationSession::availability_view(
     const SessionParticipant* self) const {
-  return ledger_.snapshot_view(index_of(self), simulator_.now());
+  return state().ledger.snapshot_view(index_of(self),
+                                      sharded_.shard(sharded_.current_shard())
+                                          .now());
 }
 
 ContentionStats SimulationSession::contention_stats(
     const SessionParticipant* participant) const {
-  for (const ParticipantRecord& record : participants_) {
+  // During the run a participant always asks from its home shard; after
+  // the run (no binding → shard 0) fall through to the other shards.
+  for (const ParticipantRecord& record : state().participants) {
     if (record.participant == participant) {
       return record.stats;
     }
   }
+  for (const auto& shard : states_) {
+    for (const ParticipantRecord& record : shard->participants) {
+      if (record.participant == participant) {
+        return record.stats;
+      }
+    }
+  }
   return {};
+}
+
+std::size_t SimulationSession::participant_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : states_) {
+    total += shard->participants.size();
+  }
+  return total;
 }
 
 }  // namespace aheft::core

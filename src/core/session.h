@@ -22,6 +22,18 @@
 // delay any earlier reservation. The session keeps per-participant wait
 // statistics so starvation is measurable. A single-workflow session has
 // exactly one participant and behaves identically under every policy.
+//
+// Sharding (SessionEnvironment::shards > 1): the session partitions the
+// resource universe across N `sim::ShardedSimulator` shards and gives
+// each shard a private copy of everything mutable — ledger, contention
+// policy, participant table, and a masked resource pool in which foreign
+// machines never arrive. Participants are pinned to the shard whose
+// binding was active when they registered (bind_shard), and may only
+// touch resources of that shard — enforced at acquire time — so the hot
+// path takes no locks and a fixed shard count replays bit-identically.
+// Every accessor below (simulator(), pool(), ledger(), ...) resolves to
+// the calling thread's bound shard; with one shard the session is
+// exactly the historical serial session.
 #ifndef AHEFT_CORE_SESSION_H_
 #define AHEFT_CORE_SESSION_H_
 
@@ -36,10 +48,23 @@
 #include "grid/history.h"
 #include "grid/load_profile.h"
 #include "grid/resource_pool.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
+namespace aheft {
+class ThreadPool;
+}  // namespace aheft
+
 namespace aheft::core {
+
+/// How resources map to shards. Contiguous blocks keep machine clusters
+/// (which benches and scenarios typically build in id order) on one
+/// shard; hashing spreads adjacent ids across shards.
+enum class ShardAssignment {
+  kContiguousBlocks,
+  kHashed,
+};
 
 /// Everything a strategy run observes about the simulated grid. The pool
 /// is mandatory; the optional members default to "absent" (nominal costs,
@@ -47,7 +72,8 @@ namespace aheft::core {
 struct SessionEnvironment {
   const grid::ResourcePool* pool = nullptr;
   /// Time-varying effective cost scaling the executors realize; null
-  /// means nominal costs.
+  /// means nominal costs. Shared read-only across shards (LoadProfile
+  /// holds no caches).
   const grid::LoadProfile* load = nullptr;
   sim::TraceRecorder* trace = nullptr;
   grid::PerformanceHistoryRepository* history = nullptr;
@@ -64,6 +90,16 @@ struct SessionEnvironment {
   /// under a load profile: backfill needs duration certainty to prove a
   /// hole fits, and load-stretched run times void that proof.
   bool backfill = false;
+  /// Parallel shards for the event loop (clamped to the universe size so
+  /// every shard owns at least one machine). 1 — the default — is the
+  /// serial session, bit-identical to every prior PR. More than one
+  /// requires trace and history to be null: both are shared mutable
+  /// sinks the shards would race on.
+  std::size_t shards = 1;
+  ShardAssignment shard_assignment = ShardAssignment::kContiguousBlocks;
+  /// Workers the epoch barriers fan out on; null drains shards inline on
+  /// the calling thread (deterministic either way). Must outlive run().
+  ThreadPool* shard_workers = nullptr;
 };
 
 /// One workflow execution sharing the session's machines. All of a
@@ -106,10 +142,16 @@ class SimulationSession {
   SimulationSession(const SimulationSession&) = delete;
   SimulationSession& operator=(const SimulationSession&) = delete;
 
-  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
-  [[nodiscard]] const grid::ResourcePool& pool() const noexcept {
-    return *env_.pool;
+  /// The event loop of the calling thread's shard (shard 0 when the
+  /// thread is unbound, which is every serial caller).
+  [[nodiscard]] sim::Simulator& simulator() noexcept {
+    return sharded_.current();
   }
+  /// The machines the calling thread's shard may use. Serial sessions
+  /// see the environment pool itself; sharded sessions see a masked copy
+  /// (same universe, same ids, foreign machines never arrive) so every
+  /// planner and engine naturally stays inside its partition.
+  [[nodiscard]] const grid::ResourcePool& pool() const noexcept;
   [[nodiscard]] const grid::LoadProfile* load() const noexcept {
     return env_.load;
   }
@@ -122,24 +164,52 @@ class SimulationSession {
   [[nodiscard]] const SessionEnvironment& environment() const noexcept {
     return env_;
   }
-  [[nodiscard]] const ContentionPolicy& policy() const noexcept {
-    return *policy_;
-  }
-  /// The session's reservation ledger (read-only; mutate it through
+  /// The calling shard's arbitration policy instance.
+  [[nodiscard]] const ContentionPolicy& policy() const noexcept;
+  /// The calling shard's reservation ledger (read-only; mutate it through
   /// acquire/commit/withdraw so policy hooks and wakeups stay coherent).
-  [[nodiscard]] const ResourceLedger& ledger() const noexcept {
-    return ledger_;
-  }
+  [[nodiscard]] const ResourceLedger& ledger() const noexcept;
   /// Whether just-in-time dispatch should reserve→commit in two phases
   /// under the active policy (see ContentionPolicy::two_phase_dynamic).
-  [[nodiscard]] bool two_phase_dynamic() const {
-    return policy_->two_phase_dynamic();
+  [[nodiscard]] bool two_phase_dynamic() const;
+
+  // ---- Sharding ----
+
+  /// Effective shard count (environment request clamped to the universe).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return sharded_.shard_count();
+  }
+  /// The shard owning `resource` under the environment's assignment.
+  [[nodiscard]] std::size_t shard_of(grid::ResourceId resource) const;
+  /// Binds the calling thread to shard `s` until the returned guard
+  /// dies. Setup code uses this to construct participants on their home
+  /// shard; during run() the epoch drains bind each worker themselves.
+  [[nodiscard]] sim::ShardedSimulator::ShardBinding bind_shard(
+      std::size_t s) {
+    return sim::ShardedSimulator::ShardBinding(sharded_, s);
+  }
+  /// Schedules `action` on shard `target` at absolute time `when`.
+  /// Cross-shard posts made during run() are exchanged at the next tick
+  /// barrier in deterministic (time, origin, sequence) order.
+  void post(std::size_t target, sim::Time when,
+            sim::EventQueue::Action action) {
+    sharded_.post(target, when, std::move(action));
+  }
+  /// The sharded kernel, for run statistics (epochs, staging volume).
+  [[nodiscard]] const sim::ShardedSimulator& sharded() const noexcept {
+    return sharded_;
+  }
+  /// Events executed across every shard.
+  [[nodiscard]] std::uint64_t executed_events() const noexcept {
+    return sharded_.executed_events();
   }
 
   /// Registers an executing workflow for contention arbitration with its
   /// priority / fair-share weight (must be positive). The participant
-  /// must stay alive for as long as the simulator runs; registering the
-  /// same participant twice is a no-op (the first priority wins).
+  /// joins the calling thread's shard and must only ever acquire that
+  /// shard's resources. It must stay alive for as long as the simulator
+  /// runs; registering the same participant twice on one shard is a
+  /// no-op (the first priority wins).
   void add_participant(SessionParticipant* participant,
                        double priority = 1.0);
 
@@ -204,16 +274,19 @@ class SimulationSession {
       const SessionParticipant* self) const;
 
   /// Wait bookkeeping accumulated for `participant`'s committed grants;
-  /// zeros for an unregistered participant.
+  /// zeros for an unregistered participant. Resolves on the calling
+  /// thread's shard during the run; after run() (no binding) it finds
+  /// the participant on whichever shard it registered with.
   [[nodiscard]] ContentionStats contention_stats(
       const SessionParticipant* participant) const;
 
-  [[nodiscard]] std::size_t participant_count() const noexcept {
-    return participants_.size();
-  }
+  /// Participants registered across every shard. Sum over shard tables;
+  /// call from the owning thread during setup or after run().
+  [[nodiscard]] std::size_t participant_count() const noexcept;
 
-  /// Drains the event set; returns the final clock value.
-  sim::Time run() { return simulator_.run(); }
+  /// Drains the event set — serial for one shard, lock-step epochs on
+  /// the environment's shard_workers otherwise; returns the final clock.
+  sim::Time run() { return sharded_.run(env_.shard_workers); }
 
  private:
   struct ParticipantRecord {
@@ -225,31 +298,56 @@ class SimulationSession {
     ContentionStats stats;
   };
 
-  /// Registration index of `participant`; throws when unregistered.
+  /// Everything mutable a shard owns. One per shard, touched only by
+  /// the thread currently bound to that shard — no locks anywhere.
+  struct ShardState {
+    ResourceLedger ledger;
+    std::unique_ptr<ContentionPolicy> policy;
+    std::vector<ParticipantRecord> participants;
+    /// Masked copy of the environment pool: same universe and ids, but
+    /// machines of other shards never arrive (arrival = departure = ∞),
+    /// so planners cannot see — let alone choose — foreign machines.
+    /// Unused (empty) in the single-shard session.
+    grid::ResourcePool masked_pool;
+  };
+
+  /// The calling thread's shard state.
+  [[nodiscard]] ShardState& state() noexcept {
+    return *states_[sharded_.current_shard()];
+  }
+  [[nodiscard]] const ShardState& state() const noexcept {
+    return *states_[sharded_.current_shard()];
+  }
+  /// state() plus the confinement fence: with more than one shard,
+  /// `resource` must belong to the calling thread's shard.
+  [[nodiscard]] ShardState& state_for(grid::ResourceId resource);
+  [[nodiscard]] const ShardState& state_for(grid::ResourceId resource) const;
+
+  /// Registration index of `participant` on the calling shard; throws
+  /// when unregistered.
   [[nodiscard]] std::size_t index_of(
       const SessionParticipant* participant) const;
 
-  [[nodiscard]] sim::Time grant_for(const ReservationEntry& entry,
+  [[nodiscard]] sim::Time grant_for(const ShardState& state,
+                                    const ReservationEntry& entry,
                                     const std::vector<ReservationEntry>&
                                         queue) const;
 
   /// Wakes every queued owner on `resource` except `self` in fresh
   /// simulator events (skipped when the policy's grants cannot move
   /// earlier on commits/withdrawals and backfilling is off).
-  void notify_queued(grid::ResourceId resource,
+  void notify_queued(ShardState& state, grid::ResourceId resource,
                      const SessionParticipant* self);
 
-  [[nodiscard]] bool wakeups_enabled() const {
-    return policy_->needs_change_notifications() || backfill_;
+  [[nodiscard]] bool wakeups_enabled(const ShardState& state) const {
+    return state.policy->needs_change_notifications() || backfill_;
   }
 
   SessionEnvironment env_;
-  sim::Simulator simulator_;
-  std::unique_ptr<ContentionPolicy> policy_;
-  std::vector<ParticipantRecord> participants_;
-  /// The single per-resource reservation timeline behind acquire / hold /
-  /// commit / withdraw / truncate.
-  ResourceLedger ledger_;
+  sim::ShardedSimulator sharded_;
+  /// Per-shard mutable state; unique_ptr for address stability across
+  /// the container (shard threads hold references concurrently).
+  std::vector<std::unique_ptr<ShardState>> states_;
   bool backfill_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "core/strategy.h"
 
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -56,9 +57,17 @@ class PlannerDriver final : public StrategyDriver {
               const grid::CostProvider& estimates,
               const grid::CostProvider& actual,
               const LaunchOptions& options, Completion done) override {
-    launches_.push_back(std::make_unique<AdaptivePlanner>(
-        dag, estimates, actual, session.pool(), config_));
-    launches_.back()->launch(
+    auto owned = std::make_unique<AdaptivePlanner>(
+        dag, estimates, actual, session.pool(), config_);
+    AdaptivePlanner* planner = owned.get();
+    {
+      // Launches land concurrently from shard workers and parallel solo
+      // baselines; only ownership registration is shared — the planner
+      // itself stays confined to the launching thread's shard.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      launches_.push_back(std::move(owned));
+    }
+    planner->launch(
         session, options.release,
         [done = std::move(done)](const AdaptiveResult& result) {
           if (done) {
@@ -74,6 +83,7 @@ class PlannerDriver final : public StrategyDriver {
  private:
   StrategyKind kind_;
   PlannerConfig config_;
+  std::mutex mutex_;
   std::vector<std::unique_ptr<AdaptivePlanner>> launches_;
 };
 
@@ -94,10 +104,15 @@ class DynamicDriver final : public StrategyDriver {
               const grid::CostProvider& /*estimates*/,
               const grid::CostProvider& actual,
               const LaunchOptions& options, Completion done) override {
-    launches_.push_back(std::make_unique<DynamicExecution>(
+    auto owned = std::make_unique<DynamicExecution>(
         session, dag, actual, heuristic_, options.priority,
-        contention_aware_));
-    launches_.back()->launch(
+        contention_aware_);
+    DynamicExecution* execution = owned.get();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      launches_.push_back(std::move(owned));
+    }
+    execution->launch(
         options.release,
         [done = std::move(done)](const DynamicRunResult& result) {
           if (done) {
@@ -111,6 +126,7 @@ class DynamicDriver final : public StrategyDriver {
  private:
   DynamicHeuristic heuristic_;
   bool contention_aware_;
+  std::mutex mutex_;
   std::vector<std::unique_ptr<DynamicExecution>> launches_;
 };
 

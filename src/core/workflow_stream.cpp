@@ -1,25 +1,31 @@
 #include "core/workflow_stream.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "support/assert.h"
 #include "support/stats.h"
+#include "support/thread_pool.h"
 
 namespace aheft::core {
 
 namespace {
 
 /// Solo makespan of one instance: the same driver, grid, and release
-/// time, but a fresh session with no competing workflows. The trace
-/// recorder and history repository are NOT shared — the measured stream
-/// run must stay the only thing they observe.
+/// time, but a fresh serial session with no competing workflows. The
+/// trace recorder and history repository are NOT shared — the measured
+/// stream run must stay the only thing they observe.
 sim::Time solo_makespan(const SessionEnvironment& env,
                         StrategyDriver& driver,
                         const WorkflowInstance& instance) {
   SessionEnvironment solo_env = env;
   solo_env.trace = nullptr;
   solo_env.history = nullptr;
+  // One workflow has nothing to shard; a serial solo session also keeps
+  // the baseline identical whatever the contended run's shard count.
+  solo_env.shards = 1;
+  solo_env.shard_workers = nullptr;
   SimulationSession session(solo_env);
   sim::Time finish = sim::kTimeZero;
   bool completed = false;
@@ -59,37 +65,87 @@ StreamOutcome run_workflow_stream(const SessionEnvironment& env,
                      return instances[a].arrival < instances[b].arrival;
                    });
 
-  SimulationSession session(env);
+  // Resolve the worker pool once: explicit config pool, else the
+  // environment's shard pool, else an owned pool for the duration of the
+  // call when anything here can use one.
+  SessionEnvironment stream_env = env;
+  ThreadPool* workers =
+      config.workers != nullptr ? config.workers : env.shard_workers;
+  std::unique_ptr<ThreadPool> owned_pool;
+  const bool wants_workers =
+      env.shards > 1 ||
+      (config.compute_slowdowns && instances.size() > 1);
+  if (workers == nullptr && wants_workers) {
+    owned_pool = std::make_unique<ThreadPool>();
+    workers = owned_pool.get();
+  }
+  if (stream_env.shards > 1 && stream_env.shard_workers == nullptr) {
+    stream_env.shard_workers = workers;
+  }
+
+  SimulationSession session(stream_env);
   StreamOutcome stream;
   stream.workflows.resize(instances.size());
-  std::size_t completed = 0;
+  // Per-instance completion flags instead of one shared counter: shard
+  // workers complete disjoint instances concurrently, and disjoint bytes
+  // keep the bookkeeping race-free without atomics.
+  std::vector<unsigned char> done(instances.size(), 0);
+  const std::size_t shards = session.shard_count();
+  std::size_t next_shard = 0;
   for (const std::size_t i : order) {
     const WorkflowInstance& instance = instances[i];
     WorkflowResult& slot = stream.workflows[i];
     slot.name = instance.name;
     slot.arrival = instance.arrival;
-    driver.launch(session, *instance.dag, *instance.estimates,
-                  *instance.actual,
-                  LaunchOptions{instance.arrival, instance.priority},
-                  [&slot, &completed](const StrategyOutcome& outcome) {
-                    slot.outcome = outcome;
-                    slot.finish = outcome.makespan;
-                    slot.makespan = outcome.makespan - slot.arrival;
-                    slot.wait = outcome.contention_wait;
-                    slot.max_wait = outcome.max_contention_wait;
-                    ++completed;
-                  });
+    auto completion = [&slot, flag = done.data() + i](
+                          const StrategyOutcome& outcome) {
+      slot.outcome = outcome;
+      slot.finish = outcome.makespan;
+      slot.makespan = outcome.makespan - slot.arrival;
+      slot.wait = outcome.contention_wait;
+      slot.max_wait = outcome.max_contention_wait;
+      *flag = 1;
+    };
+    if (shards == 1) {
+      // Serial path, unchanged since PR 2: launch directly so the event
+      // sequence — and therefore the outcome — is bit-identical to every
+      // prior release.
+      driver.launch(session, *instance.dag, *instance.estimates,
+                    *instance.actual,
+                    LaunchOptions{instance.arrival, instance.priority},
+                    std::move(completion));
+    } else {
+      // Sharded path: pin the instance to a home shard (round-robin in
+      // launch order — deterministic) and launch it there in a posted
+      // event at its arrival, when the launching thread is bound to the
+      // shard and session.pool() resolves to the shard's machines.
+      const std::size_t home = next_shard;
+      next_shard = (next_shard + 1) % shards;
+      session.post(home, instance.arrival,
+                   [&session, &driver, &instance,
+                    completion = std::move(completion)]() mutable {
+                     driver.launch(
+                         session, *instance.dag, *instance.estimates,
+                         *instance.actual,
+                         LaunchOptions{instance.arrival, instance.priority},
+                         std::move(completion));
+                   });
+    }
   }
   session.run();
-  AHEFT_ASSERT(completed == instances.size(),
+  AHEFT_ASSERT(std::all_of(done.begin(), done.end(),
+                           [](unsigned char flag) { return flag != 0; }),
                "stream ended with unfinished workflows");
 
   if (config.compute_slowdowns) {
-    for (std::size_t i = 0; i < instances.size(); ++i) {
+    // Each solo run is an independent single-workflow simulation writing
+    // only its own slot, so the reduction is order-independent and the
+    // fan-out changes nothing but wall time.
+    parallel_for(workers, instances.size(), [&](std::size_t i) {
       const sim::Time solo = solo_makespan(env, driver, instances[i]);
       stream.workflows[i].slowdown =
           solo > 0.0 ? stream.workflows[i].makespan / solo : 1.0;
-    }
+    });
   }
 
   sim::Time first_arrival = sim::kTimeInfinity;

@@ -68,7 +68,15 @@ struct StreamOutcome {
 struct StreamConfig {
   /// Also run every instance solo (same environment and release, empty
   /// session) to price the contention: slowdown = contended / solo.
+  /// The solo runs are independent single-workflow simulations, so they
+  /// fan out on a thread pool (order-independent: each lands in its own
+  /// result slot) instead of doubling the stream's wall time serially.
   bool compute_slowdowns = true;
+  /// Workers for the solo fan-out and, when the environment asks for
+  /// shards but names no shard_workers, for the epoch barriers too.
+  /// Null makes the stream create a hardware-sized pool of its own for
+  /// the duration of the call.
+  ThreadPool* workers = nullptr;
 };
 
 /// Runs `instances` through `driver` inside one session over `env`.
@@ -76,6 +84,13 @@ struct StreamConfig {
 /// whole stream deterministic for a fixed input. The driver keeps the
 /// per-launch state alive, so one driver can serve the stream run plus
 /// the solo baselines.
+///
+/// With SessionEnvironment::shards > 1 the session's machines are
+/// partitioned across parallel event-loop shards and each instance is
+/// pinned round-robin (in arrival order) to one shard: it contends only
+/// for that shard's machines, and the shards tick in lock-step epochs on
+/// the thread pool. A fixed shard count gives bit-identical outcomes run
+/// to run; shards = 1 is bit-identical to the historical serial stream.
 [[nodiscard]] StreamOutcome run_workflow_stream(
     const SessionEnvironment& env, StrategyDriver& driver,
     std::vector<WorkflowInstance> instances, StreamConfig config = {});

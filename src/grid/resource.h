@@ -34,10 +34,13 @@ struct Resource {
     return arrival <= t && t < departure;
   }
 
-  /// The resource joins the grid within (after, horizon].
+  /// The resource joins the grid within (after, horizon] (an infinite
+  /// arrival — a machine masked out of a session shard's pool — never
+  /// counts, even against an infinite horizon).
   [[nodiscard]] bool arrives_in(sim::Time after,
                                 sim::Time horizon) const noexcept {
-    return arrival > after && arrival <= horizon;
+    return arrival > after && arrival <= horizon &&
+           arrival < sim::kTimeInfinity;
   }
 
   /// The resource leaves the grid within (after, horizon] (an infinite

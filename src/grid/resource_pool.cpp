@@ -9,7 +9,12 @@ namespace aheft::grid {
 
 ResourceId ResourcePool::add(Resource resource) {
   AHEFT_REQUIRE(resource.arrival >= 0.0, "arrival must be non-negative");
-  AHEFT_REQUIRE(resource.arrival < resource.departure,
+  // arrival == departure == infinity is the never-arrives sentinel used by
+  // the session's masked per-shard pools: the machine keeps its global id
+  // but is invisible to availability and change-time queries.
+  AHEFT_REQUIRE(resource.arrival < resource.departure ||
+                    (resource.arrival == sim::kTimeInfinity &&
+                     resource.departure == sim::kTimeInfinity),
                 "resource must depart after it arrives");
   const auto id = static_cast<ResourceId>(resources_.size());
   resource.id = id;

@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "support/assert.h"
 
 namespace aheft::sim {
@@ -8,20 +10,39 @@ EventId EventQueue::push(Time when, Action action) {
   AHEFT_REQUIRE(action != nullptr, "cannot schedule a null action");
   AHEFT_REQUIRE(when < kTimeInfinity, "cannot schedule at infinity");
   const EventId id = next_id_++;
-  heap_.push(Key{when, id});
+  heap_.push_back(Key{when, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   actions_.emplace(id, std::move(action));
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  return actions_.erase(id) > 0;
+  if (actions_.erase(id) == 0) {
+    return false;
+  }
+  // Orphaned keys surface at the heap top eventually and get skimmed; a
+  // far-future orphan can stay buried forever, so reclaim once orphans
+  // outnumber live entries.
+  if (heap_.size() > kCompactionFloor && heap_.size() > 2 * actions_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Key& key) {
+    return actions_.find(key.id) == actions_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::skim() const {
   // actions_ is the source of truth; heap keys whose action was cancelled
   // are garbage and get dropped here.
-  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         actions_.find(heap_.front().id) == actions_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -32,14 +53,15 @@ bool EventQueue::empty() const {
 
 Time EventQueue::next_time() const {
   skim();
-  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   skim();
   AHEFT_ASSERT(!heap_.empty(), "pop from empty event queue");
-  const Key key = heap_.top();
-  heap_.pop();
+  const Key key = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   auto it = actions_.find(key.id);
   AHEFT_ASSERT(it != actions_.end(), "live heap key without action");
   Fired fired{key.time, key.id, std::move(it->second)};

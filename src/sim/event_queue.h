@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -18,7 +17,10 @@ using EventId = std::uint64_t;
 /// Min-heap of (time, sequence) ordered events. Ties in time are broken by
 /// insertion order, which makes every simulation replayable bit-for-bit.
 /// Cancellation is lazy: the heap keys stay, the action is dropped, and the
-/// orphaned key is skipped on pop.
+/// orphaned key is skipped on pop — but once orphaned keys outnumber live
+/// entries the heap is compacted, so a workload that repeatedly
+/// schedules-then-cancels far-future events (two-phase dynamic holds under
+/// churn) cannot grow the heap without bound.
 class EventQueue {
  public:
   using Action = std::function<void()>;
@@ -46,6 +48,15 @@ class EventQueue {
 
   [[nodiscard]] std::size_t live_count() const { return actions_.size(); }
 
+  /// Heap keys currently held: live entries plus keys orphaned by
+  /// cancel() and not yet skimmed or compacted. The compaction invariant
+  /// (tested) is key_count() <= max(2 * live_count(), kCompactionFloor).
+  [[nodiscard]] std::size_t key_count() const { return heap_.size(); }
+
+  /// Heaps smaller than this never compact — below it the orphan scan
+  /// costs more than the memory it reclaims.
+  static constexpr std::size_t kCompactionFloor = 64;
+
  private:
   struct Key {
     Time time;
@@ -63,7 +74,14 @@ class EventQueue {
   /// Removes cancelled entries sitting at the top of the heap.
   void skim() const;
 
-  mutable std::priority_queue<Key, std::vector<Key>, Later> heap_;
+  /// Drops every orphaned key and re-heapifies. Pop order is unchanged:
+  /// the heap's comparator is a strict total order on (time, id), so the
+  /// drain sequence never depends on the heap's internal layout.
+  void compact();
+
+  /// Binary heap under Later (top = earliest), kept as an explicit vector
+  /// so compact() can filter it in place.
+  mutable std::vector<Key> heap_;
   std::unordered_map<EventId, Action> actions_;
   EventId next_id_ = 1;
 };

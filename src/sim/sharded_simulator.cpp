@@ -1,0 +1,183 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace aheft::sim {
+
+namespace {
+
+// Thread-local shard binding. File-scope so every ShardedSimulator shares
+// the same slot: a thread is bound to at most one (simulator, shard) pair
+// at a time, and nested bindings (solo-baseline sessions spawned from a
+// stream worker) save and restore the outer pair.
+thread_local ShardedSimulator* tls_owner = nullptr;
+thread_local std::size_t tls_shard = 0;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, Time epoch_width)
+    : epoch_width_(epoch_width) {
+  AHEFT_REQUIRE(shards >= 1, "need at least one shard");
+  AHEFT_REQUIRE(epoch_width >= 0.0 && epoch_width < kTimeInfinity,
+                "epoch width must be finite and non-negative");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+Simulator& ShardedSimulator::shard(std::size_t s) {
+  AHEFT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->sim;
+}
+
+const Simulator& ShardedSimulator::shard(std::size_t s) const {
+  AHEFT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->sim;
+}
+
+std::size_t ShardedSimulator::current_shard() const {
+  return tls_owner == this ? tls_shard : 0;
+}
+
+void ShardedSimulator::post(std::size_t target, Time when,
+                            EventQueue::Action action) {
+  AHEFT_REQUIRE(target < shards_.size(), "post target out of range");
+  if (!running_) {
+    // Setup phase: every shard's queue is freely addressable.
+    shards_[target]->sim.schedule_at(when, std::move(action));
+    return;
+  }
+  AHEFT_REQUIRE(tls_owner == this,
+                "post() during run() from a thread not bound to a shard");
+  if (target == tls_shard) {
+    // Same-shard: the shard owns its queue, schedule directly. The clock
+    // may already have passed `when` within this epoch; clamp forward.
+    Simulator& sim = shards_[target]->sim;
+    sim.schedule_at(std::max(when, sim.now()), std::move(action));
+    return;
+  }
+  Shard& origin = *shards_[tls_shard];
+  origin.outbox.push_back(
+      Staged{when, target, origin.posted++, std::move(action), tls_shard});
+}
+
+bool ShardedSimulator::any_staged() const {
+  for (const auto& shard : shards_) {
+    if (!shard->outbox.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Time ShardedSimulator::min_next_event_time() const {
+  Time earliest = kTimeInfinity;
+  for (const auto& shard : shards_) {
+    earliest = std::min(earliest, shard->sim.next_event_time());
+  }
+  return earliest;
+}
+
+void ShardedSimulator::apply_staged() {
+  std::vector<Staged> merged;
+  for (auto& shard : shards_) {
+    staging_high_water_ = std::max(staging_high_water_, shard->outbox.size());
+    merged.insert(merged.end(),
+                  std::make_move_iterator(shard->outbox.begin()),
+                  std::make_move_iterator(shard->outbox.end()));
+    shard->outbox.clear();
+  }
+  if (merged.empty()) {
+    return;
+  }
+  staged_total_ += merged.size();
+  // (time, origin, seq) is a strict total order over staged messages that
+  // is independent of worker scheduling, so application order — and hence
+  // the EventIds the targets assign — is identical run to run.
+  std::sort(merged.begin(), merged.end(),
+            [](const Staged& a, const Staged& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.origin != b.origin) {
+                return a.origin < b.origin;
+              }
+              return a.seq < b.seq;
+            });
+  for (auto& msg : merged) {
+    Simulator& sim = shards_[msg.target]->sim;
+    // Conservative delivery: the target already drained this epoch, so a
+    // message timestamped inside it lands at the target's clock instead.
+    sim.schedule_at(std::max(msg.when, sim.now()), std::move(msg.action));
+  }
+}
+
+void ShardedSimulator::drain(std::size_t s, Time horizon) {
+  ShardBinding bind(*this, s);
+  shards_[s]->sim.run_until(horizon);
+}
+
+Time ShardedSimulator::run(ThreadPool* pool) {
+  AHEFT_REQUIRE(!running_, "run() is not reentrant");
+  if (shards_.size() == 1) {
+    // Compat fence: one shard is exactly the historical serial loop —
+    // same pops, same clock, no horizon arithmetic in the path.
+    ShardBinding bind(*this, 0);
+    running_ = true;
+    const Time end = shards_[0]->sim.run();
+    running_ = false;
+    return end;
+  }
+  running_ = true;
+  const std::size_t n = shards_.size();
+  while (true) {
+    apply_staged();
+    const Time horizon = min_next_event_time();
+    if (horizon >= kTimeInfinity) {
+      break;
+    }
+    ++epochs_;
+    // The barrier: parallel_for returns only after every shard has
+    // drained [.., horizon]. Chunk size 1 so each shard gets its own
+    // pool task; a null pool drains the shards inline, in order.
+    parallel_for(
+        pool, n,
+        [this, horizon](std::size_t s) { drain(s, horizon + epoch_width_); },
+        /*chunk_size=*/1);
+  }
+  running_ = false;
+  Time end = kTimeZero;
+  for (const auto& shard : shards_) {
+    end = std::max(end, shard->sim.now());
+  }
+  return end;
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->sim.executed_events();
+  }
+  return total;
+}
+
+ShardedSimulator::ShardBinding::ShardBinding(ShardedSimulator& owner,
+                                             std::size_t s)
+    : prev_owner_(tls_owner), prev_shard_(tls_shard) {
+  AHEFT_REQUIRE(s < owner.shards_.size(), "shard binding out of range");
+  tls_owner = &owner;
+  tls_shard = s;
+}
+
+ShardedSimulator::ShardBinding::~ShardBinding() {
+  tls_owner = prev_owner_;
+  tls_shard = prev_shard_;
+}
+
+}  // namespace aheft::sim

@@ -44,6 +44,9 @@ class Simulator {
   bool step();
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+  /// Time of the earliest pending event; kTimeInfinity when idle. The
+  /// sharded core uses this to compute each epoch's global horizon.
+  [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
   [[nodiscard]] std::size_t pending_events() const {
     return queue_.live_count();
   }

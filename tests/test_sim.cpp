@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
+#include "support/thread_pool.h"
 
 namespace aheft::sim {
 namespace {
@@ -57,6 +59,62 @@ TEST(EventQueue, RejectsNullAndInfinite) {
   EventQueue queue;
   EXPECT_THROW(queue.push(1.0, nullptr), std::invalid_argument);
   EXPECT_THROW(queue.push(kTimeInfinity, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelChurnDoesNotGrowHeapUnbounded) {
+  // Regression: cancel() used to leave the heap key behind until skim()
+  // reached it, so scheduling-then-cancelling far-future events (the
+  // two-phase dynamic hold pattern under churn) grew the heap without
+  // bound. One live near event keeps skim() from ever reaching the
+  // orphans, forcing the compaction path to do the reclaiming.
+  EventQueue queue;
+  queue.push(1.0, [] {});
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = queue.push(1e9 + i, [] {});
+    queue.cancel(id);
+    EXPECT_LE(queue.key_count(),
+              std::max(2 * queue.live_count(), EventQueue::kCompactionFloor))
+        << "orphaned heap keys exceeded the compaction bound at churn " << i;
+  }
+  EXPECT_EQ(queue.live_count(), 1u);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+}
+
+TEST(EventQueue, CompactionPreservesPopOrder) {
+  // Interleave live and cancelled entries so compaction (triggered by
+  // the cancels) has to rebuild the heap mid-stream, then verify the
+  // drain is still strict (time, insertion) order.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 300; ++i) {
+    const double when = static_cast<double>((i * 7919) % 100);
+    if (i % 2 == 0) {
+      queue.push(when, [&fired, i] { fired.push_back(i); });
+    } else {
+      doomed.push_back(queue.push(when + 1000.0, [] {}));
+    }
+  }
+  for (const EventId id : doomed) {
+    EXPECT_TRUE(queue.cancel(id));
+  }
+  double last_time = -1.0;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    EXPECT_GE(event.time, last_time);
+    last_time = event.time;
+    event.action();
+  }
+  EXPECT_EQ(fired.size(), 150u);
+  // Same-time ties broke by insertion id: within each timestamp the
+  // recorded indices must ascend.
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    const double t_prev = static_cast<double>((fired[i - 1] * 7919) % 100);
+    const double t_cur = static_cast<double>((fired[i] * 7919) % 100);
+    if (t_prev == t_cur) {
+      EXPECT_LT(fired[i - 1], fired[i]);
+    }
+  }
 }
 
 TEST(Simulator, AdvancesClockMonotonically) {
@@ -121,6 +179,114 @@ TEST(Simulator, StepExecutesExactlyOneEvent) {
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
   EXPECT_EQ(count, 2);
+}
+
+TEST(ShardedSimulator, SingleShardMatchesSerialLoop) {
+  // The compat fence: shards=1 must execute the exact serial loop.
+  Simulator serial;
+  ShardedSimulator sharded(1);
+  std::vector<int> serial_fired;
+  std::vector<int> sharded_fired;
+  for (Simulator* sim : {&serial, &sharded.shard(0)}) {
+    std::vector<int>* out =
+        sim == &serial ? &serial_fired : &sharded_fired;
+    sim->schedule_at(2.0, [out, sim] {
+      out->push_back(2);
+      sim->schedule_in(1.0, [out] { out->push_back(3); });
+    });
+    sim->schedule_at(2.0, [out] { out->push_back(-2); });
+    sim->schedule_at(1.0, [out] { out->push_back(1); });
+  }
+  const Time serial_end = serial.run();
+  const Time sharded_end = sharded.run(nullptr);
+  EXPECT_EQ(serial_fired, sharded_fired);
+  EXPECT_DOUBLE_EQ(serial_end, sharded_end);
+  EXPECT_EQ(serial.executed_events(), sharded.executed_events());
+  EXPECT_EQ(sharded.epochs(), 0u);  // epoch machinery bypassed
+}
+
+TEST(ShardedSimulator, ShardsDrainSameTimeEventsInOneEpoch) {
+  ShardedSimulator sharded(3);
+  std::vector<std::vector<int>> fired(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto* out = &fired[s];
+    sharded.shard(s).schedule_at(1.0, [out] { out->push_back(1); });
+    sharded.shard(s).schedule_at(2.0, [out] { out->push_back(2); });
+  }
+  ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(sharded.run(&pool), 2.0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(fired[s], (std::vector<int>{1, 2})) << "shard " << s;
+  }
+  // One epoch per distinct timestamp: all shards' t=1 events ran in the
+  // first epoch, all t=2 events in the second.
+  EXPECT_EQ(sharded.epochs(), 2u);
+  EXPECT_EQ(sharded.executed_events(), 6u);
+}
+
+TEST(ShardedSimulator, CrossShardPostsApplyAtBarriersDeterministically) {
+  // Shards 0 and 1 each post to shard 2 from events at t=1; both runs
+  // must deliver in (time, origin, sequence) order regardless of which
+  // worker drains which shard first.
+  const auto run_once = [](ThreadPool* pool) {
+    ShardedSimulator sharded(3);
+    std::vector<int> delivered;
+    for (std::size_t s : {std::size_t{0}, std::size_t{1}}) {
+      sharded.shard(s).schedule_at(1.0, [&sharded, &delivered, s] {
+        // Two messages per origin: sequence order within an origin must
+        // hold as well as origin order across shards.
+        sharded.post(2, 5.0, [&delivered, s] {
+          delivered.push_back(static_cast<int>(s) * 10);
+        });
+        sharded.post(2, 5.0, [&delivered, s] {
+          delivered.push_back(static_cast<int>(s) * 10 + 1);
+        });
+      });
+    }
+    sharded.run(pool);
+    return delivered;
+  };
+  ThreadPool pool(3);
+  const std::vector<int> inline_order = run_once(nullptr);
+  EXPECT_EQ(inline_order, (std::vector<int>{0, 1, 10, 11}));
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    EXPECT_EQ(run_once(&pool), inline_order) << "repeat " << repeat;
+  }
+}
+
+TEST(ShardedSimulator, LateCrossShardPostClampsToTargetClock) {
+  // Shard 1's clock reaches t=9 in the epoch where shard 0 posts a
+  // message timestamped t=2 (conservative delivery: the message cannot
+  // rewind the target, it lands at the target's clock instead).
+  ShardedSimulator sharded(2);
+  Time delivered_at = -1.0;
+  sharded.shard(1).schedule_at(9.0, [] {});
+  sharded.shard(0).schedule_at(9.0, [&sharded, &delivered_at] {
+    sharded.post(1, 2.0, [&sharded, &delivered_at] {
+      delivered_at = sharded.shard(1).now();
+    });
+  });
+  sharded.run(nullptr);
+  EXPECT_DOUBLE_EQ(delivered_at, 9.0);
+  EXPECT_EQ(sharded.staged_messages(), 1u);
+  EXPECT_GE(sharded.staging_high_water(), 1u);
+}
+
+TEST(ShardedSimulator, PostBeforeRunSchedulesDirectly) {
+  ShardedSimulator sharded(2);
+  std::vector<int> fired;
+  sharded.post(0, 1.0, [&fired] { fired.push_back(0); });
+  sharded.post(1, 1.0, [&fired] { fired.push_back(1); });
+  sharded.run(nullptr);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sharded.staged_messages(), 0u);  // nothing needed staging
+}
+
+TEST(ShardedSimulator, RejectsZeroShardsAndBadTargets) {
+  EXPECT_THROW(ShardedSimulator(0), std::invalid_argument);
+  ShardedSimulator sharded(2);
+  EXPECT_THROW(sharded.post(2, 1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(sharded.shard(2)), std::invalid_argument);
 }
 
 TEST(Trace, RecordsAndSortsIntervals) {

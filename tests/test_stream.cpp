@@ -743,5 +743,191 @@ TEST(Stream, SingletonStreamMatchesSingleDagRun) {
   EXPECT_DOUBLE_EQ(stream.heft.makespans[0], single.heft_makespan);
 }
 
+// ------------------------------------------------------- sharded streams --
+
+/// Four machines, six three-job chains with staggered arrivals, uniform
+/// unit-ish costs so any machine of an instance's home shard is a valid
+/// placement. Shared const DAG/model across instances (what the sharded
+/// stream also relies on in production use).
+struct ShardedCase {
+  dag::Dag dag{"chain3"};
+  grid::ResourcePool pool;
+  grid::MachineModel model{3, 4};
+
+  ShardedCase() {
+    for (int i = 0; i < 3; ++i) {
+      dag.add_job("j" + std::to_string(i));
+      if (i > 0) {
+        dag.add_edge(i - 1, i, 1.0);
+      }
+    }
+    dag.finalize();
+    for (int m = 0; m < 4; ++m) {
+      pool.add(grid::Resource{.name = "m" + std::to_string(m)});
+    }
+    for (dag::JobId i = 0; i < 3; ++i) {
+      for (grid::ResourceId r = 0; r < 4; ++r) {
+        model.set_compute_cost(i, r, 2.0 + 0.25 * static_cast<double>(r));
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<WorkflowInstance> instances() const {
+    std::vector<WorkflowInstance> result(6);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      result[i].name = "wf" + std::to_string(i);
+      result[i].dag = &dag;
+      result[i].estimates = &model;
+      result[i].actual = &model;
+      result[i].arrival = 0.5 * static_cast<double>(i);
+    }
+    return result;
+  }
+
+  [[nodiscard]] StreamOutcome run(StrategyKind kind, std::size_t shards,
+                                  ThreadPool* workers) const {
+    SessionEnvironment env;
+    env.pool = &pool;
+    env.shards = shards;
+    env.shard_workers = workers;
+    const auto driver = make_strategy_driver(kind);
+    StreamConfig config;
+    config.workers = workers;
+    return run_workflow_stream(env, *driver, instances(), config);
+  }
+};
+
+/// Exact equality over every numeric field of two stream outcomes — the
+/// twin-run byte comparison (EXPECT_EQ on doubles is bitwise-exact for
+/// non-NaN values).
+void expect_outcomes_identical(const StreamOutcome& a,
+                               const StreamOutcome& b) {
+  ASSERT_EQ(a.workflows.size(), b.workflows.size());
+  for (std::size_t i = 0; i < a.workflows.size(); ++i) {
+    SCOPED_TRACE("workflow " + std::to_string(i));
+    EXPECT_EQ(a.workflows[i].finish, b.workflows[i].finish);
+    EXPECT_EQ(a.workflows[i].makespan, b.workflows[i].makespan);
+    EXPECT_EQ(a.workflows[i].slowdown, b.workflows[i].slowdown);
+    EXPECT_EQ(a.workflows[i].wait, b.workflows[i].wait);
+    EXPECT_EQ(a.workflows[i].max_wait, b.workflows[i].max_wait);
+    EXPECT_EQ(a.workflows[i].outcome.makespan, b.workflows[i].outcome.makespan);
+    EXPECT_EQ(a.workflows[i].outcome.evaluations,
+              b.workflows[i].outcome.evaluations);
+  }
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_makespan, b.mean_makespan);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+}
+
+/// The determinism contract for a fixed shard count > 1: twin runs on a
+/// real multi-threaded pool must agree bit-for-bit, every strategy kind.
+TEST(ShardedStream, FixedShardCountIsBitDeterministicRunToRun) {
+  const ShardedCase c;
+  for (const StrategyKind kind :
+       {StrategyKind::kStaticHeft, StrategyKind::kAdaptiveAheft,
+        StrategyKind::kDynamic}) {
+    SCOPED_TRACE(to_string(kind));
+    ThreadPool workers_a(3);
+    const StreamOutcome a = c.run(kind, 2, &workers_a);
+    ThreadPool workers_b(3);
+    const StreamOutcome b = c.run(kind, 2, &workers_b);
+    expect_outcomes_identical(a, b);
+  }
+}
+
+/// The compat fence: shards=1 (even with a worker pool supplied) must be
+/// bit-identical to the default serial configuration.
+TEST(ShardedStream, SingleShardMatchesSerialBitIdentically) {
+  const ShardedCase c;
+  ThreadPool workers(3);
+  const StreamOutcome serial = c.run(StrategyKind::kAdaptiveAheft, 1, nullptr);
+  const StreamOutcome sharded =
+      c.run(StrategyKind::kAdaptiveAheft, 1, &workers);
+  expect_outcomes_identical(serial, sharded);
+}
+
+/// A sharded stream must finish every workflow and keep the instances on
+/// their home shards' machines (the masked pool never exposes foreign
+/// machines, so participant counts split across shard tables).
+TEST(ShardedStream, PartitionsParticipantsAcrossShards) {
+  const ShardedCase c;
+  ThreadPool workers(2);
+  const StreamOutcome outcome = c.run(StrategyKind::kStaticHeft, 2, &workers);
+  ASSERT_EQ(outcome.workflows.size(), 6u);
+  for (const WorkflowResult& wf : outcome.workflows) {
+    EXPECT_GT(wf.makespan, 0.0) << wf.name;
+    EXPECT_GE(wf.slowdown, 0.99) << wf.name;
+  }
+}
+
+TEST(ShardedSession, MaskedPoolHidesForeignMachines) {
+  const ShardedCase c;
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  env.shards = 2;
+  SimulationSession session(env);
+  ASSERT_EQ(session.shard_count(), 2u);
+  {
+    const auto binding = session.bind_shard(0);
+    const auto visible = session.pool().available_at(0.0);
+    EXPECT_EQ(visible, (std::vector<grid::ResourceId>{0, 1}));
+    // Ids are universe ids: the masked pool holds all four machines.
+    EXPECT_EQ(session.pool().universe_size(), 4u);
+    // Foreign machines never produce visibility-change events either.
+    EXPECT_TRUE(session.pool().change_times(0.0, sim::kTimeInfinity).empty());
+  }
+  {
+    const auto binding = session.bind_shard(1);
+    const auto visible = session.pool().available_at(0.0);
+    EXPECT_EQ(visible, (std::vector<grid::ResourceId>{2, 3}));
+  }
+}
+
+TEST(ShardedSession, ConfinementRejectsForeignResourceAcquire) {
+  const ShardedCase c;
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  env.shards = 2;
+  SimulationSession session(env);
+  Probe probe;
+  const auto binding = session.bind_shard(0);
+  session.add_participant(&probe);
+  // Machine 3 belongs to shard 1; acquiring it from shard 0 must throw.
+  EXPECT_THROW((void)session.acquire(&probe, 3, 0.0, 1.0),
+               std::invalid_argument);
+  // The home shard's machines work normally.
+  EXPECT_DOUBLE_EQ(session.acquire(&probe, 0, 0.0, 1.0), 0.0);
+}
+
+TEST(ShardedSession, SharedMutableSinksRequireSerialSession) {
+  const ShardedCase c;
+  sim::TraceRecorder trace;
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  env.shards = 2;
+  env.trace = &trace;
+  EXPECT_THROW(SimulationSession{env}, std::invalid_argument);
+}
+
+TEST(ShardedSession, ShardCountClampsToUniverse) {
+  const ShardedCase c;  // 4 machines
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  env.shards = 64;
+  SimulationSession session(env);
+  EXPECT_EQ(session.shard_count(), 4u);
+  // Every machine maps to a valid shard and every shard owns a machine.
+  std::vector<bool> seen(session.shard_count(), false);
+  for (grid::ResourceId r = 0; r < 4; ++r) {
+    seen[session.shard_of(r)] = true;
+  }
+  for (std::size_t s = 0; s < seen.size(); ++s) {
+    EXPECT_TRUE(seen[s]) << "shard " << s << " owns no machine";
+  }
+}
+
 }  // namespace
 }  // namespace aheft::core

@@ -439,5 +439,56 @@ TEST(ThreadPool, ZeroCountIsNoop) {
   parallel_for(&pool, 0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ParallelForPropagatesExceptionWithUnitChunks) {
+  // chunk_size=1 is the sharded simulator's epoch-barrier configuration:
+  // every index is its own pool task, and a throwing shard drain must
+  // still surface at the barrier after the other chunks settle.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(
+                   &pool, 16,
+                   [&ran](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 3) {
+                       throw std::runtime_error("shard failed");
+                     }
+                   },
+                   /*chunk_size=*/1),
+               std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleCoversTasksSubmittedByTasks) {
+  // A task that fans out further tasks (rescheduling cascades) must be
+  // fully settled — children included — when wait_idle() returns.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &done] {
+      pool.submit([&pool, &done] {
+        pool.submit([&done] { done.fetch_add(1); });
+        done.fetch_add(1);
+      });
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // The destructor contract: outstanding tasks run before the workers
+  // join, so work queued behind a slow task is never dropped.
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&completed] { completed.fetch_add(1); });
+    }
+    // No wait_idle(): destruction itself must flush the queue.
+  }
+  EXPECT_EQ(completed.load(), 32);
+}
+
 }  // namespace
 }  // namespace aheft
