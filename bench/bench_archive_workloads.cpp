@@ -21,7 +21,11 @@
 //               second stream at the same seed bit-identical.
 //
 // Extra knobs: --smoke, --json=path (per-stage fidelity metrics at full
-// precision, uploaded by CI into the BENCH_stream.json artifact).
+// precision, uploaded by CI into the BENCH_stream.json artifact), and
+// --archive-fit-report: skip the stages, fit the SWF/GWA log named by
+// --archive (default: the checked-in sample_clean.swf fixture) and dump
+// the complete ArchiveFit as JSON — to the --json path when given, else
+// to stdout — so fitted models can be inspected and diffed offline.
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -141,6 +145,80 @@ bool check(bool ok, const std::string& what) {
   return ok;
 }
 
+void append_array(std::ostream& out, const char* key,
+                  const std::vector<double>& values) {
+  out << "  \"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << values[i];
+  }
+  out << "],\n";
+}
+
+/// --archive-fit-report: the complete fitted model of one log as a JSON
+/// object (full double precision, arrays included), for offline
+/// inspection and cross-commit diffing of fits.
+void write_fit_report(std::ostream& out, const std::string& path,
+                      const archive::ArchiveFit& fit) {
+  out << std::setprecision(17);
+  out << "{\n  \"archive\": \"" << path << "\",\n"
+      << "  \"runtime_family\": \""
+      << (fit.runtime_is_log_normal ? "log-normal" : "weibull") << "\",\n"
+      << "  \"runtime_log_normal\": {\"mu\": " << fit.runtime_log_normal.mu
+      << ", \"sigma\": " << fit.runtime_log_normal.sigma << "},\n"
+      << "  \"runtime_weibull\": {\"shape\": " << fit.runtime_weibull.shape
+      << ", \"scale\": " << fit.runtime_weibull.scale << "},\n"
+      << "  \"runtime_ks\": {\"log_normal\": " << fit.runtime_ks_log_normal
+      << ", \"weibull\": " << fit.runtime_ks_weibull << "},\n";
+  append_array(out, "hourly_rate",
+               {fit.hourly_rate.begin(), fit.hourly_rate.end()});
+  out << "  \"phase_seconds\": " << fit.phase_seconds << ",\n"
+      << "  \"mean_rate\": " << fit.mean_rate << ",\n"
+      << "  \"peak_rate\": " << fit.peak_rate << ",\n"
+      << "  \"bag_size_p\": " << fit.bag_size_p << ",\n"
+      << "  \"mean_bag_size\": " << fit.mean_bag_size << ",\n"
+      << "  \"intra_bag_gap_mean\": " << fit.intra_bag_gap_mean << ",\n";
+  append_array(out, "intra_gap_quantiles", fit.intra_gap_quantiles);
+  out << "  \"runtime_correlation\": " << fit.runtime_correlation << ",\n"
+      << "  \"procs_cdf\": [";
+  for (std::size_t i = 0; i < fit.procs_cdf.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "[" << fit.procs_cdf[i].first << ", "
+        << fit.procs_cdf[i].second << "]";
+  }
+  out << "],\n"
+      << "  \"fitted_jobs\": " << fit.fitted_jobs << ",\n"
+      << "  \"span_seconds\": " << fit.span_seconds << ",\n"
+      << "  \"mean_runtime\": " << fit.mean_runtime << ",\n"
+      << "  \"mean_procs\": " << fit.mean_procs << "\n}\n";
+}
+
+int run_fit_report(const bench::BenchOptions& options) {
+  const std::string path =
+      options.archive_path.empty()
+          ? std::string(AHEFT_TEST_DATA_DIR) + "/sample_clean.swf"
+          : options.archive_path;
+  archive::ArchiveFit fit;
+  try {
+    fit = archive::fit_archive(archive::read_swf_file(path));
+  } catch (const std::exception& error) {
+    std::cerr << "--archive-fit-report: cannot fit " << path << ": "
+              << error.what() << "\n";
+    return 2;
+  }
+  if (options.json.empty()) {
+    write_fit_report(std::cout, path, fit);
+    return 0;
+  }
+  std::ofstream out(options.json);
+  if (!out) {
+    std::cerr << "--json: cannot write " << options.json << "\n";
+    return 2;
+  }
+  write_fit_report(out, path, fit);
+  std::cout << "fit report for " << path << " (" << fit.fitted_jobs
+            << " jobs) written to " << options.json << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +226,9 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.has("smoke")) {
     options.scale = Scale::kSmoke;
+  }
+  if (args.has("archive-fit-report")) {
+    return run_fit_report(options);
   }
   const bool smoke = options.scale == Scale::kSmoke;
   const std::size_t reference_jobs = smoke ? 20000 : 50000;

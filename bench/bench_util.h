@@ -94,11 +94,19 @@ inline void print_help(const char* program) {
       << "  --contention-policy=NAME     cross-workflow arbitration\n"
       << "  --backfill                   session-level ledger backfilling\n"
       << "  --contention-aware           contention-aware planning\n"
+      << "  --strategy=NAME              strategy under test (benches that\n"
+      << "                               take one; see the list below)\n"
+      << "  --streams=a,b,c              stream-concurrency axis (stream\n"
+      << "                               benches)\n"
       << "  --shards=a,b,c               parallel-simulation shard axis\n"
       << "                               (benches that sweep it; 1 = the\n"
       << "                               serial event loop)\n"
       << "  --help                       this message\n\n"
-      << "scenario sources:\n";
+      << "strategies:\n ";
+  for (const std::string& name : core::strategy_names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "\n\nscenario sources:\n";
   const auto& sources = traces::ScenarioSourceRegistry::instance();
   for (const std::string& name : sources.names()) {
     std::cout << "  " << name;
@@ -225,10 +233,14 @@ inline core::StrategyKind parse_strategy(const ArgParser& args,
   if (const auto kind = core::strategy_from_string(text)) {
     return *kind;
   }
-  std::cerr << "unknown --strategy '" << text << "' (want "
-            << core::to_string(core::StrategyKind::kStaticHeft) << ", "
-            << core::to_string(core::StrategyKind::kAdaptiveAheft) << ", or "
-            << core::to_string(core::StrategyKind::kDynamic) << ")\n";
+  // Mirror the unknown --scenario-source / --contention-policy style:
+  // the error names every value that actually parses, from the same
+  // canonical list --help prints.
+  std::cerr << "unknown --strategy '" << text << "' (registered strategies:";
+  for (const std::string& name : core::strategy_names()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << ")\n";
   std::exit(2);
 }
 

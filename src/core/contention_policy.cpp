@@ -45,6 +45,13 @@ bool ContentionPolicy::two_phase_dynamic() const {
   return needs_change_notifications();
 }
 
+bool ContentionPolicy::supports_preemption() const { return false; }
+
+double ContentionPolicy::preemption_stretch(const ReservationEntry& /*entry*/,
+                                            sim::Time /*now*/) const {
+  return 0.0;
+}
+
 namespace {
 
 /// The machine slot the request is asking for: its own feasible start
@@ -202,6 +209,14 @@ class FairSharePolicy final : public ContentionPolicy {
       start = std::max(start, projected_release(*starved, query));
     }
     return start;
+  }
+
+  // Preemption escalates the same stretch comparison to committed
+  // windows; the session applies the resilience deadband on top.
+  [[nodiscard]] bool supports_preemption() const override { return true; }
+  [[nodiscard]] double preemption_stretch(const ReservationEntry& entry,
+                                          sim::Time now) const override {
+    return stretch(entry, now);
   }
 
  private:

@@ -98,6 +98,20 @@ class ContentionPolicy {
   /// historical, bit-stable behavior — so it returns false by default
   /// when change notifications are off.
   [[nodiscard]] virtual bool two_phase_dynamic() const;
+
+  /// Whether this policy's arbitration may escalate to revoking a
+  /// *committed* window (preemption of running work). Policies without a
+  /// starvation notion opt out (default); fair-share opts in. The
+  /// session additionally requires the environment's resilience config
+  /// to enable preemption, so a capable policy alone changes nothing.
+  [[nodiscard]] virtual bool supports_preemption() const;
+
+  /// Starvation measure of `entry` at `now` for preemption comparisons;
+  /// only meaningful when supports_preemption() (default 0). The session
+  /// compares a deferred requester's value against the value of the
+  /// committed window's owner under the resilience deadband.
+  [[nodiscard]] virtual double preemption_stretch(
+      const ReservationEntry& entry, sim::Time now) const;
 };
 
 /// Builds a fresh instance of a built-in policy.

@@ -42,6 +42,9 @@ DynamicExecution::DynamicExecution(SimulationSession& session,
       aft_(dag.job_count(), sim::kTimeZero),
       pending_preds_(dag.job_count(), 0) {
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
+  if (session.resilience().active()) {
+    resilience_ = &session.resilience();
+  }
   session.add_participant(this, priority);
 }
 
@@ -123,6 +126,9 @@ sim::Time DynamicExecution::estimate_solo_finish() const {
 }
 
 void DynamicExecution::contention_changed(grid::ResourceId resource) {
+  if (failed_) {
+    return;
+  }
   // Re-arbitrate every held dispatch on the resource (job-id order keeps
   // the replay deterministic). retry_held may commit and mutate held_,
   // so collect first.
@@ -194,7 +200,7 @@ sim::Time DynamicExecution::completion_time(dag::JobId job,
 
 /// Runs one just-in-time decision round over every currently ready job.
 void DynamicExecution::dispatch() {
-  if (ready_.empty()) {
+  if (failed_ || ready_.empty()) {
     return;
   }
   const sim::Time now = session_->simulator().now();
@@ -202,7 +208,8 @@ void DynamicExecution::dispatch() {
   AHEFT_ASSERT(!visible.empty(), "no resource available for dispatch");
   ++batches_;
 
-  while (!ready_.empty()) {
+  bool stuck = false;
+  while (!ready_.empty() && !failed_) {
     // For each ready job, its best and second-best completion times.
     dag::JobId chosen = dag::kInvalidJob;
     grid::ResourceId chosen_resource = grid::kInvalidResource;
@@ -230,11 +237,17 @@ void DynamicExecution::dispatch() {
         }
       }
       if (best_r == grid::kInvalidResource) {
-        throw std::runtime_error(
-            "dynamic dispatch: no visible machine can finish job " +
-            dag_->job(job).name +
-            " before departing (the dynamic baseline does not defer "
-            "dispatch until repairs arrive)");
+        if (resilience_ == nullptr) {
+          throw std::runtime_error(
+              "dynamic dispatch: no visible machine can finish job " +
+              dag_->job(job).name +
+              " before departing (the dynamic baseline does not defer "
+              "dispatch until repairs arrive)");
+        }
+        // Resilience on: the job waits for the pool to change (a repair
+        // may bring a machine); see defer_dispatch below.
+        stuck = true;
+        continue;
       }
       double key = 0.0;
       switch (heuristic_) {
@@ -256,9 +269,71 @@ void DynamicExecution::dispatch() {
       }
     }
 
+    if (chosen == dag::kInvalidJob) {
+      break;  // every remaining ready job is stuck
+    }
     assign(chosen, chosen_resource, now);
     ready_.erase(std::find(ready_.begin(), ready_.end(), chosen));
   }
+  if (stuck && !ready_.empty() && !failed_) {
+    defer_dispatch(now);
+  }
+}
+
+void DynamicExecution::defer_dispatch(sim::Time now) {
+  sim::Time next = sim::kTimeInfinity;
+  for (const sim::Time when :
+       pool_->change_times(now, sim::kTimeInfinity)) {
+    if (when > now && !sim::time_eq(when, now) && when < next) {
+      next = when;
+    }
+  }
+  if (next == sim::kTimeInfinity) {
+    fail_run("no machine can finish job " +
+             dag_->job(ready_.front()).name +
+             " before departing, and the pool never changes again");
+    return;
+  }
+  if (sim::time_eq(deferred_until_, next)) {
+    return;  // retry already armed
+  }
+  deferred_until_ = next;
+  session_->simulator().schedule_at(next, [this, next] {
+    if (sim::time_eq(deferred_until_, next)) {
+      deferred_until_ = -1.0;
+      dispatch();
+    }
+  });
+}
+
+void DynamicExecution::fail_run(const std::string& reason) {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  failure_reason_ = reason;
+  session_->withdraw_all(this);
+  held_.clear();
+  ready_.clear();
+  const sim::Time now = session_->simulator().now();
+  makespan_ = std::max(makespan_, now);
+  // Fire the completion like a normal finish would — in a fresh event,
+  // so the failing dispatch unwinds first.
+  session_->simulator().schedule_at(now, [this] {
+    if (!done_) {
+      return;
+    }
+    DynamicRunResult result;
+    result.makespan = makespan_;
+    result.batches = batches_;
+    result.schedule = schedule_;
+    const ContentionStats stats = session_->contention_stats(this);
+    result.contention_wait = stats.total_wait;
+    result.max_contention_wait = stats.max_wait;
+    result.failed = true;
+    result.failure_reason = failure_reason_;
+    done_(result);
+  });
 }
 
 void DynamicExecution::record_input_transfers(dag::JobId job,
@@ -322,7 +397,7 @@ void DynamicExecution::schedule_retry(dag::JobId job, sim::Time when) {
 
 void DynamicExecution::retry_held(dag::JobId job) {
   const auto it = held_.find(job);
-  if (it == held_.end()) {
+  if (failed_ || it == held_.end()) {
     return;
   }
   HeldDispatch hold = it->second;
@@ -367,13 +442,20 @@ void DynamicExecution::start_assignment(dag::JobId job,
   const sim::Time finish = start + duration;
   // The dispatch loop vetted the nominal completion against the window;
   // a load spike can still stretch the realized run past it, which is
-  // the same unsupported combination the execution engine reports.
+  // the same unsupported combination the execution engine reports —
+  // unless resilience is on, in which case the run fails gracefully
+  // (dynamic jobs have no restart machinery; see the class note).
   if (!sim::time_le(finish, pool_->resource(resource).departure)) {
-    throw std::runtime_error(
-        "load-stretched job " + dag_->job(job).name +
-        " would outlive its machine: scenarios combining load segments "
-        "with finite departures need restart semantics (unsupported; "
-        "see ROADMAP)");
+    if (resilience_ == nullptr) {
+      throw std::runtime_error(
+          "load-stretched job " + dag_->job(job).name +
+          " would outlive its machine: scenarios combining load segments "
+          "with finite departures need restart semantics (unsupported; "
+          "see ROADMAP)");
+    }
+    fail_run("load-stretched job " + dag_->job(job).name +
+             " would outlive its machine");
+    return;
   }
   session_->commit(this, resource, /*tag=*/job, start, finish);
   schedule_.assign(Assignment{job, resource, start, finish});

@@ -51,6 +51,10 @@ struct DynamicRunResult {
   /// policy (zero for uncontended runs).
   double contention_wait = 0.0;
   double max_contention_wait = 0.0;
+  /// The run failed terminally (see DynamicExecution's resilience note);
+  /// `makespan` is then the failure time and `schedule` partial.
+  bool failed = false;
+  std::string failure_reason;
 };
 
 /// Event-driven just-in-time execution of one DAG inside a shared
@@ -58,6 +62,16 @@ struct DynamicRunResult {
 /// visible at decision time; realized run times are stretched by the
 /// session's load profile, and machine reservations respect (and are
 /// visible to) every other workflow in the session through the ledger.
+///
+/// Resilience note: under an active session ResilienceConfig the two
+/// historical throws soften — a decision round with no machine able to
+/// finish a job defers until the pool next changes (a repair may bring
+/// one) and fails the run gracefully only when the pool never changes
+/// again, and a load-stretched run outliving its machine fails the run
+/// instead of aborting the process. Dynamic runs have no restart
+/// machinery (a just-in-time job either finishes or never ran), so
+/// DepartureAction::kRequeue degrades to the same graceful failure —
+/// checkpoint/restart requeueing is the planner engines' domain.
 class DynamicExecution : public SessionParticipant {
  public:
   /// `priority` is the workflow's weight under the session's contention
@@ -139,6 +153,12 @@ class DynamicExecution : public SessionParticipant {
                                           sim::Time now) const;
 
   void dispatch();
+  /// Ready jobs no visible machine can host right now wait for the next
+  /// pool change; a pool that never changes again fails the run.
+  void defer_dispatch(sim::Time now);
+  /// Terminal graceful failure: drops every queued reservation and fires
+  /// the completion callback once with a failed result (fresh event).
+  void fail_run(const std::string& reason);
   void assign(dag::JobId job, grid::ResourceId resource, sim::Time now);
   /// Starts the job at `start` (records the input transfers that began
   /// at the decision, commits the ledger reservation, applies the load
@@ -166,9 +186,15 @@ class DynamicExecution : public SessionParticipant {
   sim::TraceRecorder* trace_;
   DynamicHeuristic heuristic_;
   bool contention_aware_ = false;
+  /// The session's resilience config when active; null keeps the
+  /// historical hard-abort paths bit-identical.
+  const resilience::ResilienceConfig* resilience_ = nullptr;
 
   sim::Time release_ = sim::kTimeZero;
   Completion done_;
+  bool failed_ = false;
+  std::string failure_reason_;
+  sim::Time deferred_until_ = -1.0;  ///< pending pool-change retry (dedup)
 
   Schedule schedule_;
   std::vector<bool> finished_;

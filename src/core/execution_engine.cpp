@@ -1,6 +1,7 @@
 #include "core/execution_engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "support/assert.h"
 
@@ -17,6 +18,8 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& simulator,
       pool_(&pool),
       trace_(trace),
       jobs_(dag.job_count()),
+      done_frac_(dag.job_count(), 0.0),
+      restart_debt_(dag.job_count(), 0.0),
       edge_arrivals_(dag.edge_count()) {
   AHEFT_REQUIRE(dag.finalized(), "DAG must be finalized");
 }
@@ -29,6 +32,9 @@ ExecutionEngine::ExecutionEngine(SimulationSession& session,
                       session.trace()) {
   load_ = session.load();
   session_ = &session;
+  if (session.resilience().active()) {
+    resilience_ = &session.resilience();
+  }
   session.add_participant(this, priority);
 }
 
@@ -92,6 +98,7 @@ void ExecutionEngine::submit(const Schedule& schedule) {
   AHEFT_REQUIRE(schedule.job_count() == dag_->job_count(),
                 "schedule sized for a different DAG");
   AHEFT_REQUIRE(schedule.complete(), "submitted schedule must be complete");
+  AHEFT_REQUIRE(!failed_, "schedule submitted to a failed workflow");
   const sim::Time now = simulator_->now();
 
   for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
@@ -109,12 +116,13 @@ void ExecutionEngine::submit(const Schedule& schedule) {
                           sim::time_eq(next.start, state.ast);
         if (!kept) {
           // The planner replanned this running job: cancel and restart
-          // from scratch (no checkpointing). The machine frees now, so
-          // the ledger's committed reservation is truncated to the
-          // cancellation instead of blocking competitors until the
+          // (keeping only checkpointed progress, if any). The machine
+          // frees now, so the ledger's committed reservation is truncated
+          // to the cancellation instead of blocking competitors until the
           // cancelled job's projected finish.
           const bool cancelled = simulator_->cancel(state.completion);
           AHEFT_ASSERT(cancelled, "running job had no completion event");
+          account_interrupted_segment(i, now);
           if (session_ != nullptr) {
             session_->truncate_commit(this, state.resource, /*tag=*/i, now);
           }
@@ -149,7 +157,15 @@ void ExecutionEngine::submit(const Schedule& schedule) {
   }
 
   rebuild_queues();
+  // A pump can restructure or clear queues_ mid-loop (kFail tears the
+  // whole map down, a requeue fails over), so iterate a snapshot of the
+  // keys; pump() re-finds its queue and no-ops on vanished resources.
+  std::vector<grid::ResourceId> to_pump;
+  to_pump.reserve(queues_.size());
   for (const auto& [resource, queue] : queues_) {
+    to_pump.push_back(resource);
+  }
+  for (const grid::ResourceId resource : to_pump) {
     pump(resource);
   }
 }
@@ -191,6 +207,9 @@ void ExecutionEngine::rebuild_queues() {
 }
 
 void ExecutionEngine::pump(grid::ResourceId resource) {
+  if (failed_) {
+    return;
+  }
   const auto queue_it = queues_.find(resource);
   if (queue_it == queues_.end()) {
     return;
@@ -202,8 +221,9 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
   while (pos < queue.size()) {
     const dag::JobId job = queue[pos];
     const JobState& state = jobs_[job];
-    if (state.phase == Phase::kFinished) {
-      ++pos;  // stale entry after a reschedule
+    if (state.phase == Phase::kFinished ||
+        schedule_.assignment(job).resource != resource) {
+      ++pos;  // stale entry after a reschedule or a requeue
       continue;
     }
     AHEFT_ASSERT(state.phase == Phase::kPending,
@@ -235,8 +255,11 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
     //     (arbitrating against the other workflows' bookings and pending
     //     requests; under FCFS the grant is just their bookings).
     if (session_ != nullptr) {
-      start = session_->acquire(this, resource, start,
-                                actual_->compute_cost(job, resource),
+      double request = actual_->compute_cost(job, resource);
+      if (resilience_ != nullptr) {
+        request = requeue_occupancy(job, resource);
+      }
+      start = session_->acquire(this, resource, start, request,
                                 /*tag=*/job);
     }
 
@@ -253,26 +276,55 @@ void ExecutionEngine::pump(grid::ResourceId resource) {
       return;
     }
 
-    start_job(job, resource);
+    if (!start_job(job, resource)) {
+      return;  // queues restructured (fail/requeue): scan state is stale
+    }
     ++pos;
   }
 }
 
-void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
+double ExecutionEngine::requeue_occupancy(dag::JobId job,
+                                          grid::ResourceId resource) const {
+  return restart_debt_[job] +
+         resilience::segment_occupancy(
+             resilience_->checkpoint,
+             actual_->compute_cost(job, resource) * (1.0 - done_frac_[job]));
+}
+
+bool ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
   const sim::Time now = simulator_->now();
   const grid::Resource& machine = pool_->resource(resource);
   double duration = actual_->compute_cost(job, resource);
+  double work = duration;
+  double debt = 0.0;
+  double writes = 0.0;
+  if (resilience_ != nullptr) {
+    // The segment attempts the job's remaining fraction, pays any restart
+    // read debt up front, and interleaves checkpoint writes.
+    work = duration * (1.0 - done_frac_[job]);
+    debt = restart_debt_[job];
+    const double occupancy =
+        resilience::segment_occupancy(resilience_->checkpoint, work);
+    writes = occupancy - work;
+    duration = debt + occupancy;
+  }
+  double factor = 1.0;
   if (load_ != nullptr) {
-    const double factor = load_->factor(resource, now);
+    factor = load_->factor(resource, now);
     AHEFT_ASSERT(factor > 0.0,
                  "load factor must be positive on " + machine.name);
     duration *= factor;
-    // The planner fits jobs against nominal costs, so a load spike can
-    // legitimately stretch one past a finite departure window. That is
-    // a scenario the engine cannot honor (restart-on-unpredicted-failure
-    // semantics don't exist yet), not an internal invariant violation —
-    // report it as such.
-    if (!sim::time_le(now + duration, machine.departure)) {
+  }
+  const bool fits = sim::time_le(now + duration, machine.departure);
+
+  if (resilience_ == nullptr ||
+      resilience_->departure_action == resilience::DepartureAction::kError) {
+    if (load_ != nullptr && !fits) {
+      // The planner fits jobs against nominal costs, so a load spike can
+      // legitimately stretch one past a finite departure window. Without
+      // restart semantics switched on that is a scenario the engine
+      // cannot honor, not an internal invariant violation — report it as
+      // such.
       throw std::runtime_error(
           "load-stretched job " + dag_->job(job).name + " (" +
           std::to_string(duration) + " units at factor " +
@@ -281,23 +333,54 @@ void ExecutionEngine::start_job(dag::JobId job, grid::ResourceId resource) {
           ": scenarios combining load segments with finite departures "
           "need restart semantics (unsupported; see ROADMAP)");
     }
+    AHEFT_ASSERT(fits, "job " + dag_->job(job).name +
+                           " would outlive resource " + machine.name);
+  } else if (!fits) {
+    if (resilience_->departure_action == resilience::DepartureAction::kFail) {
+      fail_workflow("job " + dag_->job(job).name + " would outlive resource " +
+                    machine.name);
+      return false;
+    }
+    // kRequeue: the departure is a failure the job does not foresee.
+    if (sim::time_le(machine.departure, now)) {
+      // The machine is already gone; nothing can run here. Withdraw the
+      // pending acquisition and move the job elsewhere.
+      if (session_ != nullptr) {
+        session_->withdraw(this, resource, /*tag=*/job);
+      }
+      requeue_job(job, now);
+      return false;
+    }
   }
-  AHEFT_ASSERT(sim::time_le(now + duration, machine.departure),
-               "job " + dag_->job(job).name +
-                   " would outlive resource " + machine.name);
 
   JobState& state = jobs_[job];
   state.phase = Phase::kRunning;
   state.resource = resource;
   state.ast = now;
-  state.aft = now + duration;
-  state.completion =
-      simulator_->schedule_at(state.aft, [this, job] { complete_job(job); });
+  state.load_factor = factor;
+  state.segment_work = work;
+  state.segment_debt = debt;
+  state.segment_writes = writes;
+  if (resilience_ != nullptr) {
+    restart_debt_[job] = 0.0;  // consumed into this segment
+  }
+  if (fits) {
+    state.aft = now + duration;
+    state.completion = simulator_->schedule_at(
+        state.aft, [this, job] { complete_job(job); });
+  } else {
+    // Run to the wall: the job is interrupted by the departure and keeps
+    // only its checkpointed floor progress.
+    state.aft = machine.departure;
+    state.completion = simulator_->schedule_at(
+        state.aft, [this, job] { hit_departure(job); });
+  }
   auto& free_at = resource_free_[resource];
   free_at = std::max(free_at, state.aft);
   if (session_ != nullptr) {
     session_->commit(this, resource, /*tag=*/job, state.ast, state.aft);
   }
+  return true;
 }
 
 void ExecutionEngine::complete_job(dag::JobId job) {
@@ -306,6 +389,8 @@ void ExecutionEngine::complete_job(dag::JobId job) {
   state.phase = Phase::kFinished;
   ++finished_count_;
   makespan_ = std::max(makespan_, state.aft);
+  useful_work_ += state.segment_work;
+  checkpoint_overhead_ += state.segment_debt + state.segment_writes;
   if (trace_ != nullptr) {
     trace_->record_compute(job, state.resource, state.ast, state.aft);
   }
@@ -330,6 +415,206 @@ void ExecutionEngine::complete_job(dag::JobId job) {
   pump(state.resource);
   if (hook_) {
     hook_(job, state.resource, state.ast, state.aft);
+  }
+}
+
+void ExecutionEngine::account_interrupted_segment(dag::JobId job,
+                                                  sim::Time at) {
+  JobState& state = jobs_[job];
+  // Wall-clock elapsed back to nominal units (the segment composition is
+  // nominal; the load factor stretched it uniformly).
+  const double elapsed =
+      std::max(at - state.ast, sim::kTimeZero) / state.load_factor;
+  const double debt_paid = std::min(elapsed, state.segment_debt);
+  checkpoint_overhead_ += debt_paid;
+  resilience::SegmentProgress progress;
+  if (resilience_ != nullptr) {
+    progress = resilience::segment_progress(
+        resilience_->checkpoint, elapsed - debt_paid, state.segment_work);
+  } else {
+    progress.lost = elapsed - debt_paid;  // no checkpoints: all redone
+  }
+  checkpoint_overhead_ += progress.overhead;
+  lost_work_ += progress.lost;
+  if (progress.retained > 0.0) {
+    useful_work_ += progress.retained;
+    // Retained work is in this machine's nominal units; fold it into the
+    // machine-independent completed fraction. Strictly < 1: a segment's
+    // retainable work is capped below its full remainder.
+    const double total = actual_->compute_cost(job, state.resource);
+    done_frac_[job] = std::min(done_frac_[job] + progress.retained / total,
+                               1.0);
+  }
+  restart_debt_[job] =
+      (resilience_ != nullptr && resilience_->checkpoint.enabled &&
+       done_frac_[job] > 0.0)
+          ? resilience_->checkpoint.read_cost
+          : 0.0;
+}
+
+void ExecutionEngine::hit_departure(dag::JobId job) {
+  JobState& state = jobs_[job];
+  AHEFT_ASSERT(state.phase == Phase::kRunning,
+               "departure hit a non-running job");
+  const sim::Time now = simulator_->now();
+  account_interrupted_segment(job, now);
+  if (trace_ != nullptr) {
+    trace_->record_compute(job, state.resource, state.ast, now);
+  }
+  // The committed ledger window ends exactly at the wall — no truncation
+  // needed; the machine is gone either way.
+  ++revoked_jobs_;
+  state = JobState{};
+  requeue_job(job, now);
+}
+
+bool ExecutionEngine::revoke_committed(grid::ResourceId resource,
+                                       std::uint64_t tag) {
+  if (resilience_ == nullptr || failed_ || !has_schedule_ ||
+      tag >= jobs_.size()) {
+    return false;
+  }
+  const dag::JobId job = static_cast<dag::JobId>(tag);
+  JobState& state = jobs_[job];
+  if (state.phase != Phase::kRunning || state.resource != resource) {
+    return false;
+  }
+  if (!simulator_->cancel(state.completion)) {
+    return false;  // completing this very instant: nothing left to take
+  }
+  const sim::Time now = simulator_->now();
+  account_interrupted_segment(job, now);
+  // Truncating carries the job's first-feasible baseline into its
+  // re-registration, so the eviction does not zero its fair-share wait.
+  session_->truncate_commit(this, resource, tag, now, /*carry_baseline=*/true);
+  if (trace_ != nullptr) {
+    trace_->record_compute(job, resource, state.ast, now);
+  }
+  if (const auto it = resource_free_.find(resource);
+      it != resource_free_.end() && it->second > now) {
+    it->second = now;  // the machine frees under the evicted job
+  }
+  ++revoked_jobs_;
+  state = JobState{};
+  requeue_job(job, now);
+  return true;
+}
+
+void ExecutionEngine::requeue_job(dag::JobId job, sim::Time now) {
+  if (failed_) {
+    return;
+  }
+  if (!session_->may_revoke(this, /*tag=*/job)) {
+    fail_workflow("job " + dag_->job(job).name +
+                  " exceeded the per-job revocation cap");
+    return;
+  }
+  session_->record_revocation(this, /*tag=*/job);
+  const grid::ResourceId target = choose_requeue_target(job, now);
+  if (target == grid::kInvalidResource) {
+    fail_workflow("no machine left to requeue job " + dag_->job(job).name +
+                  " on");
+    return;
+  }
+  reassign(job, target, now);
+  // The job was at (or past) its start: every producer has finished, so
+  // its inputs retransmit toward the new machine from now.
+  for (const std::uint32_t e : dag_->in_edges(job)) {
+    ensure_transfer(e, target, now);
+  }
+  queues_[target].push_back(job);
+  pump(target);
+}
+
+grid::ResourceId ExecutionEngine::choose_requeue_target(dag::JobId job,
+                                                        sim::Time now) const {
+  grid::ResourceId best = grid::kInvalidResource;
+  sim::Time best_finish = sim::kTimeInfinity;
+  grid::ResourceId fallback = grid::kInvalidResource;
+  sim::Time fallback_departure = now;
+  for (const grid::Resource& machine : pool_->all()) {
+    if (machine.arrival == sim::kTimeInfinity) {
+      continue;  // masked: owned by another shard of the session
+    }
+    if (sim::time_le(machine.departure, now)) {
+      continue;  // already departed
+    }
+    const double occupancy = requeue_occupancy(job, machine.id);
+    sim::Time start = std::max(now, machine.arrival);
+    if (const auto it = resource_free_.find(machine.id);
+        it != resource_free_.end()) {
+      start = std::max(start, it->second);
+    }
+    if (session_ != nullptr) {
+      start = session_->peek(this, machine.id, start, occupancy);
+    }
+    const sim::Time finish = start + occupancy;
+    if (sim::time_le(finish, machine.departure)) {
+      if (finish < best_finish) {
+        best = machine.id;
+        best_finish = finish;
+      }
+    } else if (machine.departure > fallback_departure) {
+      fallback = machine.id;
+      fallback_departure = machine.departure;
+    }
+  }
+  return best != grid::kInvalidResource ? best : fallback;
+}
+
+void ExecutionEngine::reassign(dag::JobId job, grid::ResourceId target,
+                               sim::Time now) {
+  const grid::Resource& machine = pool_->resource(target);
+  Schedule next(dag_->job_count());
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    if (i != job) {
+      next.assign(schedule_.assignment(i));
+    }
+  }
+  // Plan the remainder after the target's planned work; the pump applies
+  // the real gating (inputs, machine free, contention grant) at start.
+  sim::Time start = std::max(now, machine.arrival);
+  for (const Assignment& slot : next.timeline(target)) {
+    start = std::max(start, slot.finish);
+  }
+  next.assign(
+      Assignment{job, target, start, start + requeue_occupancy(job, target)});
+  schedule_ = std::move(next);
+}
+
+void ExecutionEngine::fail_workflow(const std::string& reason) {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  failure_reason_ = reason;
+  const sim::Time now = simulator_->now();
+  for (dag::JobId i = 0; i < dag_->job_count(); ++i) {
+    JobState& state = jobs_[i];
+    if (state.phase != Phase::kRunning) {
+      continue;
+    }
+    if (!simulator_->cancel(state.completion)) {
+      continue;  // completes this very instant: let it finish
+    }
+    account_interrupted_segment(i, now);
+    if (session_ != nullptr) {
+      session_->truncate_commit(this, state.resource, /*tag=*/i, now);
+    }
+    if (trace_ != nullptr) {
+      trace_->record_compute(i, state.resource, state.ast, now);
+    }
+    state = JobState{};
+  }
+  queues_.clear();
+  queue_pos_.clear();
+  pending_pump_.clear();
+  if (session_ != nullptr) {
+    session_->withdraw_all(this);
+  }
+  makespan_ = std::max(makespan_, now);
+  if (failure_hook_) {
+    failure_hook_(failure_reason_);
   }
 }
 

@@ -9,15 +9,23 @@
 //
 // submit() accepts both the initial schedule and mid-run replacements
 // (the Planner's adopted reschedules). On replacement, running jobs that
-// were replanned are cancelled and restarted from scratch (no checkpoint),
-// finished producers' outputs are retransmitted from the current time to
-// any consumer that moved (mirroring FEA case 2), and per-resource queues
-// are rebuilt.
+// were replanned are cancelled and restarted, finished producers' outputs
+// are retransmitted from the current time to any consumer that moved
+// (mirroring FEA case 2), and per-resource queues are rebuilt.
+//
+// Resilience (session environments with an active ResilienceConfig):
+// a job that loses its machine mid-run — a finite departure its
+// load-stretched duration cannot beat, or a fair-share preemption — keeps
+// only the work its checkpoints saved (see resilience/checkpoint_model.h)
+// and requeues its remainder on another machine through the normal
+// acquire/commit lifecycle. The inactive default config leaves every
+// simulated event bit-identical to the pre-resilience engine.
 #ifndef AHEFT_CORE_EXECUTION_ENGINE_H_
 #define AHEFT_CORE_EXECUTION_ENGINE_H_
 
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/schedule.h"
@@ -27,6 +35,7 @@
 #include "grid/cost_provider.h"
 #include "grid/load_profile.h"
 #include "grid/resource_pool.h"
+#include "resilience/checkpoint_model.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -41,11 +50,11 @@ class ExecutionEngine : public SessionParticipant {
                   const grid::ResourcePool& pool,
                   sim::TraceRecorder* trace = nullptr);
 
-  /// Session form: simulator, pool, trace, and load profile all come from
-  /// the session's environment, and the engine registers itself for
-  /// cross-workflow resource contention with `priority` as its weight
-  /// under the session's contention policy. The session must outlive the
-  /// engine's execution.
+  /// Session form: simulator, pool, trace, load profile, and resilience
+  /// config all come from the session's environment, and the engine
+  /// registers itself for cross-workflow resource contention with
+  /// `priority` as its weight under the session's contention policy. The
+  /// session must outlive the engine's execution.
   ExecutionEngine(SimulationSession& session, const dag::Dag& dag,
                   const grid::CostProvider& actual, double priority = 1.0);
 
@@ -61,6 +70,31 @@ class ExecutionEngine : public SessionParticipant {
   [[nodiscard]] std::size_t finished_count() const { return finished_count_; }
   /// Number of running jobs cancelled and restarted by reschedules.
   [[nodiscard]] std::size_t restarted_jobs() const { return restarts_; }
+
+  /// Resilience accounting (nominal machine-seconds; all zero when the
+  /// session's resilience config is inactive and no reschedule cancelled
+  /// a running job). "Useful" work is work that counted toward a
+  /// completion or survived in a checkpoint image; "lost" work is redone.
+  [[nodiscard]] std::size_t revoked_jobs() const { return revoked_jobs_; }
+  [[nodiscard]] double lost_work() const { return lost_work_; }
+  [[nodiscard]] double checkpoint_overhead() const {
+    return checkpoint_overhead_;
+  }
+  [[nodiscard]] double useful_work() const { return useful_work_; }
+
+  /// Whether the workflow failed terminally (departure under kFail, the
+  /// per-job revocation cap, or no machine left to requeue on). A failed
+  /// engine never reaches finished(); its queues are drained and its
+  /// running work truncated.
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& failure_reason() const {
+    return failure_reason_;
+  }
+  /// Callback fired exactly once when the workflow fails terminally.
+  using FailureHook = std::function<void(const std::string&)>;
+  void set_failure_hook(FailureHook hook) {
+    failure_hook_ = std::move(hook);
+  }
 
   [[nodiscard]] const Schedule& current_schedule() const;
 
@@ -103,6 +137,13 @@ class ExecutionEngine : public SessionParticipant {
   [[nodiscard]] sim::Time planned_finish() const override {
     return initial_plan_makespan_;
   }
+  // SessionParticipant: fair-share preemption chose this engine's running
+  // job `tag` on `resource` as its victim. The job keeps its checkpointed
+  // floor progress, its ledger window is truncated (wait baseline
+  // carried), and its remainder requeues elsewhere. Declines (returns
+  // false) when the job is not actually running there anymore — e.g. it
+  // completes in this very instant.
+  bool revoke_committed(grid::ResourceId resource, std::uint64_t tag) override;
 
  private:
   enum class Phase { kPending, kRunning, kFinished };
@@ -112,18 +153,57 @@ class ExecutionEngine : public SessionParticipant {
     sim::Time ast = sim::kTimeZero;
     sim::Time aft = sim::kTimeZero;  ///< completion (projected while running)
     sim::EventId completion = 0;
+    // The running segment's composition, fixed at start (nominal units;
+    // wall clock = nominal * load_factor). Interruption accounting
+    // decomposes the elapsed occupancy against these.
+    double load_factor = 1.0;
+    double segment_work = 0.0;    ///< useful work this segment attempts
+    double segment_debt = 0.0;    ///< restart read cost paid up front
+    double segment_writes = 0.0;  ///< checkpoint writes if run to term
   };
 
   void rebuild_queues();
   void pump(grid::ResourceId resource);
-  void start_job(dag::JobId job, grid::ResourceId resource);
-  void complete_job(dag::JobId job);
   void record_arrival(std::size_t edge_index, grid::ResourceId resource,
                       sim::Time when);
   /// Launches the transfer of edge `e`'s payload toward `target` at `when`
   /// if it is not already there or in flight; returns the arrival time.
   sim::Time ensure_transfer(std::size_t edge_index, grid::ResourceId target,
                             sim::Time when);
+  /// Starts `job` on `resource` now, or — under an active resilience
+  /// config — converts a doomed start into a fail/run-to-the-wall/requeue.
+  /// Returns false when the engine's queues were restructured (the caller
+  /// must abandon its queue scan).
+  bool start_job(dag::JobId job, grid::ResourceId resource);
+  void complete_job(dag::JobId job);
+  /// A running job's machine departed under it (DepartureAction::kRequeue
+  /// ran it to the wall): salvage checkpointed progress and requeue.
+  void hit_departure(dag::JobId job);
+  /// Splits the elapsed occupancy of `job`'s running segment at `at` into
+  /// retained / overhead / lost work, updating the accounting counters,
+  /// the job's completed fraction, and its restart debt.
+  void account_interrupted_segment(dag::JobId job, sim::Time at);
+  /// Routes a revoked job's remainder back through the lifecycle: checks
+  /// the per-job revocation cap, picks a target machine, rewrites the
+  /// schedule slot, retransmits inputs, and pumps the target's queue.
+  void requeue_job(dag::JobId job, sim::Time now);
+  /// Machine whose requeued remainder finishes earliest under the current
+  /// contention picture; machines it cannot finish on before departure
+  /// only qualify as a latest-departure fallback (salvaging further
+  /// checkpoints there beats failing). kInvalidResource when no machine
+  /// is left at all.
+  [[nodiscard]] grid::ResourceId choose_requeue_target(dag::JobId job,
+                                                       sim::Time now) const;
+  /// Rewrites `job`'s schedule slot onto `target` after that timeline's
+  /// planned work (the other slots are untouched).
+  void reassign(dag::JobId job, grid::ResourceId target, sim::Time now);
+  /// Terminal failure: truncates running work, drains the queues, and
+  /// fires the failure hook once.
+  void fail_workflow(const std::string& reason);
+  /// Machine time `job`'s remaining work occupies on `resource`: restart
+  /// read debt plus the checkpoint-interleaved remainder.
+  [[nodiscard]] double requeue_occupancy(dag::JobId job,
+                                         grid::ResourceId resource) const;
 
   sim::Simulator* simulator_;
   const dag::Dag* dag_;
@@ -132,10 +212,21 @@ class ExecutionEngine : public SessionParticipant {
   sim::TraceRecorder* trace_;
   const grid::LoadProfile* load_ = nullptr;
   SimulationSession* session_ = nullptr;  ///< contention; null standalone
+  /// The session's resilience config when active; null keeps the engine
+  /// on the bit-identical historical paths.
+  const resilience::ResilienceConfig* resilience_ = nullptr;
 
   Schedule schedule_;
   bool has_schedule_ = false;
   std::vector<JobState> jobs_;
+  /// Fraction of each job's total work persisted by checkpoints. Kept as
+  /// a fraction (not absolute units) because compute costs differ per
+  /// machine: a requeue realizes the remaining fraction at the new
+  /// machine's own cost.
+  std::vector<double> done_frac_;
+  /// Checkpoint read cost owed when each job next starts (a prior image
+  /// exists); cleared once paid.
+  std::vector<double> restart_debt_;
   EdgeArrivals edge_arrivals_;
   std::map<grid::ResourceId, std::vector<dag::JobId>> queues_;
   std::map<grid::ResourceId, std::size_t> queue_pos_;
@@ -143,9 +234,16 @@ class ExecutionEngine : public SessionParticipant {
   std::map<grid::ResourceId, sim::Time> pending_pump_;
   std::size_t finished_count_ = 0;
   std::size_t restarts_ = 0;
+  std::size_t revoked_jobs_ = 0;
+  double lost_work_ = 0.0;
+  double checkpoint_overhead_ = 0.0;
+  double useful_work_ = 0.0;
+  bool failed_ = false;
+  std::string failure_reason_;
   sim::Time makespan_ = sim::kTimeZero;
   sim::Time initial_plan_makespan_ = sim::kTimeZero;
   CompletionHook hook_;
+  FailureHook failure_hook_;
   TransferPolicy transfer_policy_ = TransferPolicy::kRetransmitFromClock;
 };
 

@@ -8,9 +8,10 @@ namespace aheft::core {
 Schedule heft_schedule(const dag::Dag& dag,
                        const grid::CostProvider& estimates,
                        const grid::ResourcePool& pool, SchedulerConfig config,
-                       sim::Time clock, const AvailabilityView* availability) {
+                       sim::Time clock, const AvailabilityView* availability,
+                       bool allow_infeasible) {
   return heft_schedule(dag, estimates, pool, pool.available_at(clock),
-                       config, clock, availability);
+                       config, clock, availability, allow_infeasible);
 }
 
 Schedule heft_schedule(const dag::Dag& dag,
@@ -18,7 +19,8 @@ Schedule heft_schedule(const dag::Dag& dag,
                        const grid::ResourcePool& pool,
                        std::vector<grid::ResourceId> resources,
                        SchedulerConfig config, sim::Time clock,
-                       const AvailabilityView* availability) {
+                       const AvailabilityView* availability,
+                       bool allow_infeasible) {
   RescheduleRequest request;
   request.dag = &dag;
   request.estimates = &estimates;
@@ -29,6 +31,7 @@ Schedule heft_schedule(const dag::Dag& dag,
   request.previous = nullptr;
   request.config = config;
   request.availability = availability;
+  request.allow_infeasible = allow_infeasible;
   return aheft_schedule(request);
 }
 

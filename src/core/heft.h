@@ -21,11 +21,15 @@ namespace aheft::core {
 /// carries a snapshot of foreign machine load (a multi-DAG session's
 /// ledger picture); every EST search then fits into its free gaps. Null
 /// or empty keeps the classic contention-blind plan bit-identical.
+/// `allow_infeasible` forwards RescheduleRequest::allow_infeasible:
+/// under restart semantics a job no machine can finish is planned onto
+/// the longest-surviving wall instead of failing the pass.
 [[nodiscard]] Schedule heft_schedule(
     const dag::Dag& dag, const grid::CostProvider& estimates,
     const grid::ResourcePool& pool, SchedulerConfig config = {},
     sim::Time clock = sim::kTimeZero,
-    const AvailabilityView* availability = nullptr);
+    const AvailabilityView* availability = nullptr,
+    bool allow_infeasible = false);
 
 /// Convenience overload with an explicit visible resource set.
 [[nodiscard]] Schedule heft_schedule(
@@ -33,7 +37,8 @@ namespace aheft::core {
     const grid::ResourcePool& pool,
     std::vector<grid::ResourceId> resources, SchedulerConfig config = {},
     sim::Time clock = sim::kTimeZero,
-    const AvailabilityView* availability = nullptr);
+    const AvailabilityView* availability = nullptr,
+    bool allow_infeasible = false);
 
 }  // namespace aheft::core
 

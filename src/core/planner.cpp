@@ -36,7 +36,7 @@ AdaptivePlanner::AdaptivePlanner(const dag::Dag& dag,
 }
 
 void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
-  if (engine_->finished()) {
+  if (engine_->finished() || engine_->failed()) {
     return;
   }
   sim::Simulator& simulator = session_->simulator();
@@ -59,6 +59,12 @@ void AdaptivePlanner::evaluate(const std::string& reason, bool forced) {
   request.snapshot = &snapshot;
   request.previous = &engine_->current_schedule();
   request.config = config_.scheduler;
+  // Under restart semantics a burst can leave no machine able to finish
+  // some job before departing; the plan then knowingly runs it to the
+  // least-bad wall instead of aborting the evaluation.
+  request.allow_infeasible =
+      session_->resilience().departure_action !=
+      resilience::DepartureAction::kError;
 
   // Contention-aware: every evaluation re-snapshots the ledger — the
   // competitors' picture moves between events (arrivals, completions,
@@ -135,6 +141,18 @@ void AdaptivePlanner::start() {
   engine_ = std::make_unique<ExecutionEngine>(*session_, dag_, actual_,
                                               priority_);
   engine_->set_transfer_policy(config_.scheduler.transfer_policy);
+  // Terminal failure (resilience: a departure under kFail, the revocation
+  // cap, or no machine left) ends the workflow like a completion would —
+  // in a fresh event, so the failing pump unwinds before the completion
+  // callback can reshape the session.
+  engine_->set_failure_hook([this](const std::string& /*reason*/) {
+    sim::Simulator& simulator = session_->simulator();
+    simulator.schedule_at(simulator.now(), [this] {
+      if (!completed_) {
+        finish();
+      }
+    });
+  });
 
   grid::PerformanceHistoryRepository* history = session_->history();
   engine_->set_completion_hook([this, history](dag::JobId job,
@@ -172,9 +190,11 @@ void AdaptivePlanner::start() {
   if (config_.contention_aware) {
     view.emplace(session_->availability_view(engine_.get()));
   }
-  const Schedule initial =
-      heft_schedule(dag_, estimates_, pool_, config_.scheduler, release_,
-                    view ? &*view : nullptr);
+  const Schedule initial = heft_schedule(
+      dag_, estimates_, pool_, config_.scheduler, release_,
+      view ? &*view : nullptr,
+      /*allow_infeasible=*/session_->resilience().departure_action !=
+          resilience::DepartureAction::kError);
   predicted_makespan_ = initial.makespan();
   result_.initial_makespan = predicted_makespan_;
   engine_->submit(initial);
@@ -201,6 +221,12 @@ void AdaptivePlanner::finish() {
   completed_ = true;
   result_.makespan = engine_->makespan();
   result_.restarts = engine_->restarted_jobs();
+  result_.revoked_jobs = engine_->revoked_jobs();
+  result_.lost_work = engine_->lost_work();
+  result_.checkpoint_overhead = engine_->checkpoint_overhead();
+  result_.useful_work = engine_->useful_work();
+  result_.failed = engine_->failed();
+  result_.failure_reason = engine_->failure_reason();
   const ContentionStats stats = session_->contention_stats(engine_.get());
   result_.contention_wait = stats.total_wait;
   result_.max_contention_wait = stats.max_wait;

@@ -85,6 +85,17 @@ struct AdaptiveResult {
   /// policy (zero for uncontended runs).
   double contention_wait = 0.0;
   double max_contention_wait = 0.0;
+  /// Resilience accounting (see ExecutionEngine): revocations absorbed,
+  /// nominal machine-seconds redone / spent on checkpoints / retained.
+  std::size_t revoked_jobs = 0;
+  double lost_work = 0.0;
+  double checkpoint_overhead = 0.0;
+  double useful_work = 0.0;
+  /// The workflow failed terminally (departure under DepartureAction::
+  /// kFail, the revocation cap, or no machine left to requeue on);
+  /// `makespan` is then the failure time and the schedule the last plan.
+  bool failed = false;
+  std::string failure_reason;
   Schedule final_schedule;
   std::vector<AdoptionRecord> decisions;
 };

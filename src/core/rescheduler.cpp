@@ -155,6 +155,38 @@ Schedule schedule_in_order(const RescheduleRequest& request,
       }
     }
 
+    if (best_resource == grid::kInvalidResource &&
+        request.allow_infeasible) {
+      // Every visible machine departs before this job could finish. With
+      // restart semantics on, infeasibility is an outcome rather than an
+      // error: place the job on the longest-surviving machine (the wall
+      // that salvages the most checkpointed progress) and let the
+      // executor's departure handling take it from there.
+      sim::Time best_departure = -sim::kTimeInfinity;
+      for (const grid::ResourceId r : request.resources) {
+        const grid::Resource& machine = request.pool->resource(r);
+        const sim::Time not_before = std::max(request.clock, machine.arrival);
+        sim::Time ready = sim::kTimeZero;
+        for (const std::uint32_t e : dag.in_edges(job)) {
+          ready = std::max(ready, file_available(request, e, r, result));
+        }
+        const double w = est.compute_cost(job, r);
+        const sim::Time start =
+            result.earliest_slot(r, ready, w, request.config.slot_policy,
+                                 not_before, sim::kTimeInfinity, nullptr);
+        const sim::Time finish = start + w;
+        if (best_resource == grid::kInvalidResource ||
+            machine.departure > best_departure ||
+            (sim::time_eq(machine.departure, best_departure) &&
+             finish < best_finish)) {
+          best_resource = r;
+          best_start = start;
+          best_finish = finish;
+          best_departure = machine.departure;
+        }
+      }
+    }
+
     AHEFT_ASSERT(best_resource != grid::kInvalidResource,
                  "no feasible resource for job " + dag.job(job).name);
     result.assign(Assignment{job, best_resource, best_start, best_finish});

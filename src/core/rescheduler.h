@@ -47,6 +47,15 @@ struct RescheduleRequest {
   /// prediction frozen under an older contention picture. A job whose
   /// kept resource became infeasible falls back to the full visible set.
   bool restrict_to_previous = false;
+  /// When no visible machine can finish a job before its departure wall,
+  /// plan the job anyway on the machine that survives the longest
+  /// instead of failing the pass. Only meaningful under restart
+  /// semantics (DepartureAction kFail/kRequeue): the executor treats the
+  /// doomed slot as a failure the job does not foresee — it runs to the
+  /// wall, salvages checkpointed progress, and requeues or fails the
+  /// workflow as data. Off by default: a historical (kError) session
+  /// must keep reporting infeasibility as an invariant violation.
+  bool allow_infeasible = false;
 };
 
 /// Runs one AHEFT pass and returns the full-coverage schedule S1: finished

@@ -150,7 +150,8 @@ ReservationEntry ResourceLedger::commit(std::size_t participant,
   committed.state = ReservationState::kCommitted;
   line->committed.emplace(
       std::make_pair(start, committed.id),
-      CommittedWindow{committed.id, participant, tag, start, end});
+      CommittedWindow{committed.id, participant, tag, start, end,
+                      committed.first_ready});
   auto& horizon = line->committed_until_by[participant];
   horizon = std::max(horizon, end);
   carried_first_ready_.erase({participant, tag});
@@ -211,7 +212,8 @@ bool ResourceLedger::withdraw(std::size_t participant,
 
 void ResourceLedger::truncate_commit(std::size_t participant,
                                      grid::ResourceId resource,
-                                     std::uint64_t tag, sim::Time at) {
+                                     std::uint64_t tag, sim::Time at,
+                                     bool carry_baseline) {
   Timeline* line = timeline(resource);
   if (line == nullptr) {
     return;
@@ -222,6 +224,13 @@ void ResourceLedger::truncate_commit(std::size_t participant,
         window.end > at) {
       window.end = std::max(window.start, at);
       truncated = true;
+      if (carry_baseline) {
+        const auto [carried, inserted] = carried_first_ready_.try_emplace(
+            {participant, tag}, window.first_ready);
+        if (!inserted) {
+          carried->second = std::min(carried->second, window.first_ready);
+        }
+      }
     }
   }
   if (!truncated) {
@@ -232,7 +241,9 @@ void ResourceLedger::truncate_commit(std::size_t participant,
   // job — so the scan is off the hot path).
   sim::Time horizon = sim::kTimeZero;
   for (const auto& [key, window] : line->committed) {
-    if (window.participant == participant) {
+    // Fully truncated (empty) windows are elided everywhere else; a
+    // revoked job that never ran must not leave a phantom floor either.
+    if (window.participant == participant && window.end > window.start) {
       horizon = std::max(horizon, window.end);
     }
   }

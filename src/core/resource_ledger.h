@@ -95,6 +95,9 @@ struct CommittedWindow {
   std::uint64_t tag = 0;
   sim::Time start = sim::kTimeZero;
   sim::Time end = sim::kTimeZero;
+  /// The committing entry's wait baseline, preserved so a revocation can
+  /// carry it back into the queue (see truncate_commit).
+  sim::Time first_ready = sim::kTimeZero;
 };
 
 class ResourceLedger {
@@ -143,10 +146,16 @@ class ResourceLedger {
                 std::uint64_t tag);
 
   /// Truncates the committed window of (participant, tag) on `resource`
-  /// to end at `at` (a reschedule cancelled the running job behind it).
-  /// No-op when no such window extends past `at`.
+  /// to end at `at` (a reschedule or a revocation cancelled the running
+  /// job behind it). No-op when no such window extends past `at`. With
+  /// `carry_baseline` the truncated window's first_ready is carried like
+  /// a withdrawal's, so the revoked work's re-registration under the
+  /// same tag resumes its wait clock instead of restarting it — the
+  /// revocation path opts in; the historical reschedule path does not
+  /// (its wait metrics are a shipped baseline).
   void truncate_commit(std::size_t participant, grid::ResourceId resource,
-                       std::uint64_t tag, sim::Time at);
+                       std::uint64_t tag, sim::Time at,
+                       bool carry_baseline = false);
 
   /// Pending + held entries of `resource` in registration order.
   [[nodiscard]] const std::vector<ReservationEntry>& queue(

@@ -31,12 +31,17 @@ SimulationSession::SimulationSession(const SessionEnvironment& env)
   // load profile stretches realized run times past that proof, so the
   // combination is refused rather than silently overlapping.
   backfill_ = env.backfill && env.load == nullptr;
+  resilience::validate(env.resilience);
   const std::string policy_name =
       env.contention_policy.empty() ? "fcfs" : env.contention_policy;
   states_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     auto state = std::make_unique<ShardState>();
     state->policy = ContentionPolicyRegistry::instance().create(policy_name);
+    if (env.resilience.active()) {
+      state->revocation =
+          std::make_unique<resilience::RevocationManager>(env.resilience);
+    }
     if (shards > 1) {
       for (const grid::Resource& resource : env.pool->all()) {
         grid::Resource copy = resource;
@@ -58,6 +63,11 @@ SimulationSession::~SimulationSession() = default;
 void SessionParticipant::contention_changed(grid::ResourceId /*resource*/) {}
 
 sim::Time SessionParticipant::planned_finish() const { return sim::kTimeZero; }
+
+bool SessionParticipant::revoke_committed(grid::ResourceId /*resource*/,
+                                          std::uint64_t /*tag*/) {
+  return false;
+}
 
 const grid::ResourcePool& SimulationSession::pool() const noexcept {
   return sharded_.shard_count() == 1 ? *env_.pool : state().masked_pool;
@@ -176,7 +186,93 @@ sim::Time SimulationSession::acquire(const SessionParticipant* self,
   const ReservationEntry& entry =
       shard.ledger.upsert(index, resource, tag, ready, duration,
                           record.priority, record.active_since, planned_span);
-  return grant_for(shard, entry, shard.ledger.queue(resource));
+  const sim::Time grant = grant_for(shard, entry, shard.ledger.queue(resource));
+  if (shard.revocation != nullptr) {
+    maybe_preempt(shard, entry, grant);
+  }
+  return grant;
+}
+
+resilience::RevocationManager* SimulationSession::revocation() noexcept {
+  return state().revocation.get();
+}
+
+bool SimulationSession::may_revoke(const SessionParticipant* self,
+                                   std::uint64_t tag) const {
+  const ShardState& shard = state();
+  return shard.revocation == nullptr ||
+         shard.revocation->may_revoke(index_of(self), tag);
+}
+
+void SimulationSession::record_revocation(const SessionParticipant* self,
+                                          std::uint64_t tag) {
+  ShardState& shard = state();
+  if (shard.revocation != nullptr) {
+    shard.revocation->record(index_of(self), tag);
+  }
+}
+
+void SimulationSession::maybe_preempt(ShardState& shard,
+                                      const ReservationEntry& entry,
+                                      sim::Time grant) {
+  resilience::RevocationManager& manager = *shard.revocation;
+  if (!manager.config().preemption || !shard.policy->supports_preemption()) {
+    return;
+  }
+  sim::Simulator& simulator = sharded_.current();
+  const sim::Time now = simulator.now();
+  const sim::Time feasible = std::max(entry.ready, now);
+  if (sim::time_le(grant, feasible)) {
+    return;  // not deferred: nothing to preempt for
+  }
+  const double self_stretch = shard.policy->preemption_stretch(entry, now);
+  if (self_stretch <= manager.config().preemption_min_stretch) {
+    return;  // inside the deadband: starved, but not starved enough
+  }
+  // The victim: the committed window blocking the requester's feasible
+  // start with the latest end — the reservation whose truncation moves
+  // the grant the most.
+  CommittedWindow victim;
+  bool found = false;
+  for (const CommittedWindow& window :
+       shard.ledger.committed_windows(entry.resource)) {
+    if (window.participant != entry.participant && window.end > feasible &&
+        (!found || window.end > victim.end)) {
+      victim = window;
+      found = true;
+    }
+  }
+  if (!found) {
+    return;  // the delay comes from queued claims, not committed work
+  }
+  const ParticipantRecord& owner_record = shard.participants[victim.participant];
+  ReservationEntry owner_probe;
+  owner_probe.priority = owner_record.priority;
+  owner_probe.active_since =
+      owner_record.active_since < 0.0 ? now : owner_record.active_since;
+  owner_probe.planned_span = std::max(
+      0.0, owner_record.participant->planned_finish() -
+               owner_probe.active_since);
+  const double victim_stretch =
+      shard.policy->preemption_stretch(owner_probe, now);
+  if (self_stretch <= manager.config().preemption_ratio * victim_stretch) {
+    return;  // disparity inside the displacement band
+  }
+  if (!manager.may_revoke(victim.participant, victim.tag) ||
+      !manager.begin_preemption(entry.resource)) {
+    return;
+  }
+  // Evict in a fresh event: the victim truncates its window and requeues,
+  // which must not run inside the requester's acquire.
+  SessionParticipant* owner = owner_record.participant;
+  const grid::ResourceId resource = entry.resource;
+  const std::uint64_t tag = victim.tag;
+  simulator.schedule_at(now, [this, owner, resource, tag] {
+    state().revocation->end_preemption(resource);
+    // A landed revocation is recorded by the victim's requeue path
+    // (record_revocation), the same bookkeeping departure hits use.
+    owner->revoke_committed(resource, tag);
+  });
 }
 
 sim::Time SimulationSession::peek(const SessionParticipant* self,
@@ -251,9 +347,11 @@ void SimulationSession::withdraw(const SessionParticipant* self,
 
 void SimulationSession::truncate_commit(const SessionParticipant* self,
                                         grid::ResourceId resource,
-                                        std::uint64_t tag, sim::Time at) {
+                                        std::uint64_t tag, sim::Time at,
+                                        bool carry_baseline) {
   ShardState& shard = state_for(resource);
-  shard.ledger.truncate_commit(index_of(self), resource, tag, at);
+  shard.ledger.truncate_commit(index_of(self), resource, tag, at,
+                               carry_baseline);
   notify_queued(shard, resource, self);
 }
 

@@ -46,6 +46,7 @@
 #include "core/contention_policy.h"
 #include "core/resource_ledger.h"
 #include "grid/history.h"
+#include "resilience/revocation.h"
 #include "grid/load_profile.h"
 #include "grid/resource_pool.h"
 #include "sim/sharded_simulator.h"
@@ -100,6 +101,11 @@ struct SessionEnvironment {
   /// Workers the epoch barriers fan out on; null drains shards inline on
   /// the calling thread (deterministic either way). Must outlive run().
   ThreadPool* shard_workers = nullptr;
+  /// Resilience: checkpoint/restart model, the departure action, and
+  /// fair-share preemption (see resilience/checkpoint_model.h). The
+  /// default config is inactive and leaves every simulated event
+  /// bit-identical to the pre-resilience behavior.
+  resilience::ResilienceConfig resilience;
 };
 
 /// One workflow execution sharing the session's machines. All of a
@@ -124,6 +130,15 @@ class SessionParticipant {
   /// barely register for long ones. kTimeZero means unknown (default);
   /// such a workflow never displaces competitors.
   [[nodiscard]] virtual sim::Time planned_finish() const;
+
+  /// The session revokes the participant's *committed, running* work
+  /// `tag` on `resource` (fair-share preemption chose it as the victim).
+  /// An implementation checkpoints-or-kills the job, truncates its
+  /// ledger window, and requeues the remainder through the normal
+  /// acquire/commit lifecycle. Returns whether the work was actually
+  /// revoked; the default declines (the participant cannot restart).
+  /// Delivered in a fresh simulator event, never re-entrantly.
+  virtual bool revoke_committed(grid::ResourceId resource, std::uint64_t tag);
 };
 
 /// Cross-workflow wait bookkeeping of one participant: how long its
@@ -257,12 +272,31 @@ class SimulationSession {
   void withdraw(const SessionParticipant* self, grid::ResourceId resource,
                 std::uint64_t tag);
 
-  /// A reschedule cancelled `self`'s running work `tag`: truncates its
-  /// committed reservation on `resource` to end at `at`, releasing the
-  /// rest of the window to competitors.
+  /// A reschedule or a revocation cancelled `self`'s running work `tag`:
+  /// truncates its committed reservation on `resource` to end at `at`,
+  /// releasing the rest of the window to competitors. Revocations pass
+  /// `carry_baseline` so the requeued work's re-registration resumes its
+  /// wait clock (see ResourceLedger::truncate_commit); the historical
+  /// reschedule path keeps the default.
   void truncate_commit(const SessionParticipant* self,
                        grid::ResourceId resource, std::uint64_t tag,
-                       sim::Time at);
+                       sim::Time at, bool carry_baseline = false);
+
+  /// The calling shard's revocation bookkeeping; null when the
+  /// environment's resilience config is inactive.
+  [[nodiscard]] resilience::RevocationManager* revocation() noexcept;
+  /// Whether `self`'s work `tag` may absorb another revocation under the
+  /// resilience per-job cap (true when resilience is inactive).
+  [[nodiscard]] bool may_revoke(const SessionParticipant* self,
+                                std::uint64_t tag) const;
+  /// Records a landed revocation of `self`'s work `tag` (departure hits
+  /// and requeues count against the same cap as policy preemptions).
+  void record_revocation(const SessionParticipant* self, std::uint64_t tag);
+  /// The environment's resilience config (validated at construction).
+  [[nodiscard]] const resilience::ResilienceConfig& resilience()
+      const noexcept {
+    return env_.resilience;
+  }
 
   /// Planner-side availability snapshot at the current session clock:
   /// the ledger's foreign busy picture from `self`'s point of view
@@ -309,6 +343,10 @@ class SimulationSession {
     /// so planners cannot see — let alone choose — foreign machines.
     /// Unused (empty) in the single-shard session.
     grid::ResourcePool masked_pool;
+    /// Revocation bookkeeping (per-job caps, preemption latches); built
+    /// only when the environment's resilience config is active, so an
+    /// inactive session carries no resilience state at all.
+    std::unique_ptr<resilience::RevocationManager> revocation;
   };
 
   /// The calling thread's shard state.
@@ -338,6 +376,14 @@ class SimulationSession {
   /// earlier on commits/withdrawals and backfilling is off).
   void notify_queued(ShardState& state, grid::ResourceId resource,
                      const SessionParticipant* self);
+
+  /// Fair-share preemption check after a deferred acquire: when the
+  /// requester's stretch clears the resilience deadband against the
+  /// owner of the committed window blocking it, schedules a revocation
+  /// of that window in a fresh event. No-op unless the environment
+  /// enabled preemption and the shard policy supports it.
+  void maybe_preempt(ShardState& shard, const ReservationEntry& entry,
+                     sim::Time grant);
 
   [[nodiscard]] bool wakeups_enabled(const ShardState& state) const {
     return state.policy->needs_change_notifications() || backfill_;

@@ -31,6 +31,12 @@ std::optional<StrategyKind> strategy_from_string(std::string_view text) {
   return std::nullopt;
 }
 
+std::vector<std::string> strategy_names() {
+  return {to_string(StrategyKind::kStaticHeft),
+          to_string(StrategyKind::kAdaptiveAheft),
+          to_string(StrategyKind::kDynamic)};
+}
+
 namespace {
 
 /// Static HEFT and AHEFT share the planner machinery; they differ only in
@@ -71,10 +77,20 @@ class PlannerDriver final : public StrategyDriver {
         session, options.release,
         [done = std::move(done)](const AdaptiveResult& result) {
           if (done) {
-            done(StrategyOutcome{result.makespan, result.evaluations,
-                                 result.adoptions, result.restarts,
-                                 result.contention_wait,
-                                 result.max_contention_wait});
+            StrategyOutcome outcome;
+            outcome.makespan = result.makespan;
+            outcome.evaluations = result.evaluations;
+            outcome.adoptions = result.adoptions;
+            outcome.restarts = result.restarts;
+            outcome.contention_wait = result.contention_wait;
+            outcome.max_contention_wait = result.max_contention_wait;
+            outcome.revoked_jobs = result.revoked_jobs;
+            outcome.lost_work = result.lost_work;
+            outcome.checkpoint_overhead = result.checkpoint_overhead;
+            outcome.useful_work = result.useful_work;
+            outcome.failed = result.failed;
+            outcome.failure_reason = result.failure_reason;
+            done(outcome);
           }
         },
         options.priority);
@@ -116,9 +132,14 @@ class DynamicDriver final : public StrategyDriver {
         options.release,
         [done = std::move(done)](const DynamicRunResult& result) {
           if (done) {
-            done(StrategyOutcome{result.makespan, result.batches, 0, 0,
-                                 result.contention_wait,
-                                 result.max_contention_wait});
+            StrategyOutcome outcome;
+            outcome.makespan = result.makespan;
+            outcome.evaluations = result.batches;
+            outcome.contention_wait = result.contention_wait;
+            outcome.max_contention_wait = result.max_contention_wait;
+            outcome.failed = result.failed;
+            outcome.failure_reason = result.failure_reason;
+            done(outcome);
           }
         });
   }

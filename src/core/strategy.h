@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/dynamic_scheduler.h"
 #include "core/planner.h"
@@ -35,6 +36,11 @@ enum class StrategyKind { kStaticHeft, kAdaptiveAheft, kDynamic };
 [[nodiscard]] std::optional<StrategyKind> strategy_from_string(
     std::string_view text);
 
+/// Every strategy name strategy_from_string accepts, in enum order. The
+/// benches' --help and unknown---strategy messages list these, so the
+/// advertised names always match what actually parses.
+[[nodiscard]] std::vector<std::string> strategy_names();
+
 /// Makespan and bookkeeping of one simulated strategy run. `makespan` is
 /// the absolute completion time on the session clock (for a workflow
 /// released at t the duration is makespan - t).
@@ -48,6 +54,20 @@ struct StrategyOutcome {
   /// acquisition. Zero for uncontended runs.
   double contention_wait = 0.0;
   double max_contention_wait = 0.0;
+  /// Resilience accounting (planner strategies; the dynamic baseline has
+  /// no restart machinery and reports zeros): jobs revoked mid-run,
+  /// nominal machine-seconds redone / spent on checkpoint traffic /
+  /// retained as useful progress.
+  std::size_t revoked_jobs = 0;
+  double lost_work = 0.0;
+  double checkpoint_overhead = 0.0;
+  double useful_work = 0.0;
+  /// The workflow failed terminally instead of completing; `makespan` is
+  /// then the failure time. Only possible under an active resilience
+  /// config (DepartureAction::kFail, the revocation cap, or no machine
+  /// left to requeue on).
+  bool failed = false;
+  std::string failure_reason;
 };
 
 /// Per-strategy knobs. The planner config drives HEFT (reaction flags

@@ -140,8 +140,13 @@ StreamOutcome run_workflow_stream(const SessionEnvironment& env,
   if (config.compute_slowdowns) {
     // Each solo run is an independent single-workflow simulation writing
     // only its own slot, so the reduction is order-independent and the
-    // fan-out changes nothing but wall time.
+    // fan-out changes nothing but wall time. Failed workflows keep the
+    // neutral slowdown 1 — a failure time over a solo makespan prices
+    // nothing — and are excluded from the aggregates below anyway.
     parallel_for(workers, instances.size(), [&](std::size_t i) {
+      if (stream.workflows[i].outcome.failed) {
+        return;
+      }
       const sim::Time solo = solo_makespan(env, driver, instances[i]);
       stream.workflows[i].slowdown =
           solo > 0.0 ? stream.workflows[i].makespan / solo : 1.0;
@@ -158,22 +163,37 @@ StreamOutcome run_workflow_stream(const SessionEnvironment& env,
   for (const WorkflowResult& wf : stream.workflows) {
     first_arrival = std::min(first_arrival, wf.arrival);
     last_finish = std::max(last_finish, wf.finish);
+    sum_wait += wf.wait;
+    stream.max_wait = std::max(stream.max_wait, wf.wait);
+    stream.revoked_jobs += wf.outcome.revoked_jobs;
+    stream.lost_work += wf.outcome.lost_work;
+    stream.checkpoint_overhead += wf.outcome.checkpoint_overhead;
+    stream.useful_work += wf.outcome.useful_work;
+    if (wf.outcome.failed) {
+      ++stream.failed_workflows;
+      continue;  // timing statistics price completed work only
+    }
+    ++stream.completed_workflows;
     sum_makespan += wf.makespan;
     stream.max_makespan = std::max(stream.max_makespan, wf.makespan);
     sum_slowdown += wf.slowdown;
     stream.max_slowdown = std::max(stream.max_slowdown, wf.slowdown);
-    sum_wait += wf.wait;
-    stream.max_wait = std::max(stream.max_wait, wf.wait);
     fairness_basis.push_back(config.compute_slowdowns ? wf.slowdown
                                                       : wf.makespan);
   }
   const auto count = static_cast<double>(stream.workflows.size());
+  const auto completed = static_cast<double>(stream.completed_workflows);
   stream.span = last_finish - first_arrival;
-  stream.throughput = stream.span > 0.0 ? count / stream.span : 0.0;
-  stream.mean_makespan = sum_makespan / count;
-  stream.mean_slowdown = sum_slowdown / count;
+  stream.throughput = stream.span > 0.0 ? completed / stream.span : 0.0;
+  if (stream.completed_workflows > 0) {
+    stream.mean_makespan = sum_makespan / completed;
+    stream.mean_slowdown = sum_slowdown / completed;
+    stream.jain_fairness = jain_fairness_index(fairness_basis);
+  }
   stream.mean_wait = sum_wait / count;
-  stream.jain_fairness = jain_fairness_index(fairness_basis);
+  const double spent =
+      stream.useful_work + stream.lost_work + stream.checkpoint_overhead;
+  stream.goodput = spent > 0.0 ? stream.useful_work / spent : 1.0;
   return stream;
 }
 

@@ -63,6 +63,22 @@ struct StreamOutcome {
   double mean_wait = 0.0;
   double max_wait = 0.0;
   double jain_fairness = 1.0;
+  /// Resilience aggregate. Workflows that failed terminally (an active
+  /// resilience config's DepartureAction::kFail, the revocation cap, or
+  /// no machine left to requeue on) are excluded from the makespan /
+  /// slowdown / fairness statistics above and from the throughput
+  /// numerator; their contention waits still count. Work is in nominal
+  /// machine-seconds: `useful_work` counted toward completions or
+  /// survived in checkpoint images, `lost_work` was redone, and
+  /// `checkpoint_overhead` paid for writes and restart reads. Goodput is
+  /// useful over total machine-seconds spent (1 when none were spent).
+  std::size_t completed_workflows = 0;
+  std::size_t failed_workflows = 0;
+  std::size_t revoked_jobs = 0;
+  double lost_work = 0.0;
+  double checkpoint_overhead = 0.0;
+  double useful_work = 0.0;
+  double goodput = 1.0;
 };
 
 struct StreamConfig {

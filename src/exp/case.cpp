@@ -69,6 +69,7 @@ core::SessionEnvironment session_environment(const CaseSpec& spec,
   session.load = env.scenario.load.empty() ? nullptr : &env.scenario.load;
   session.contention_policy = spec.contention_policy;
   session.backfill = spec.backfill;
+  session.resilience = spec.resilience;
   return session;
 }
 
@@ -200,6 +201,13 @@ StreamStrategySummary summarize(const core::StreamOutcome& outcome) {
   summary.mean_wait = outcome.mean_wait;
   summary.max_wait = outcome.max_wait;
   summary.jain_fairness = outcome.jain_fairness;
+  summary.completed_workflows = outcome.completed_workflows;
+  summary.failed_workflows = outcome.failed_workflows;
+  summary.revoked_jobs = outcome.revoked_jobs;
+  summary.lost_work = outcome.lost_work;
+  summary.checkpoint_overhead = outcome.checkpoint_overhead;
+  summary.useful_work = outcome.useful_work;
+  summary.goodput = outcome.goodput;
   return summary;
 }
 

@@ -73,6 +73,10 @@ struct CaseSpec {
   /// instances (instance k gets stream_priorities[k % size()]); empty
   /// means every workflow weighs 1.
   std::vector<double> stream_priorities;
+  /// Resilience knobs (SessionEnvironment::resilience): departure
+  /// handling, checkpoint/restart model, fair-share preemption. The
+  /// default config is inactive and keeps every case bit-stable.
+  resilience::ResilienceConfig resilience;
 };
 
 struct CaseResult {
@@ -125,6 +129,16 @@ struct StreamStrategySummary {
   /// Running jobs cancelled and restarted by adopted reschedules,
   /// summed over workflows (planner strategies only).
   std::size_t restarts = 0;
+  /// Resilience aggregate (see StreamOutcome): completions vs terminal
+  /// failures, revocations absorbed, the machine-second ledger, and
+  /// goodput = useful / (useful + lost + overhead).
+  std::size_t completed_workflows = 0;
+  std::size_t failed_workflows = 0;
+  std::size_t revoked_jobs = 0;
+  double lost_work = 0.0;
+  double checkpoint_overhead = 0.0;
+  double useful_work = 0.0;
+  double goodput = 1.0;
 };
 
 struct StreamCaseResult {

@@ -256,6 +256,14 @@ void set_contention_aware(std::vector<CaseSpec>& specs,
   }
 }
 
+void set_resilience(std::vector<CaseSpec>& specs,
+                    const resilience::ResilienceConfig& config) {
+  resilience::validate(config);
+  for (CaseSpec& spec : specs) {
+    spec.resilience = config;
+  }
+}
+
 std::vector<CaseSpec> build_fig8_sweep(AppKind app, SweepAxis axis,
                                        Scale scale, std::uint64_t master) {
   AHEFT_REQUIRE(app != AppKind::kRandom,

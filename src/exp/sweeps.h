@@ -83,6 +83,11 @@ void set_backfill(std::vector<CaseSpec>& specs, bool backfill);
 void set_contention_aware(std::vector<CaseSpec>& specs,
                           bool contention_aware);
 
+/// Applies a resilience-config axis to every spec (validated eagerly so
+/// inconsistent knobs fail before the sweep starts).
+void set_resilience(std::vector<CaseSpec>& specs,
+                    const resilience::ResilienceConfig& config);
+
 }  // namespace aheft::exp
 
 #endif  // AHEFT_EXP_SWEEPS_H_

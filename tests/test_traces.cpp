@@ -403,7 +403,9 @@ TEST(ScenarioRegistry, AheftSurvivesFailureBursts) {
   spec.bursty.failure_fraction = 0.3;
   spec.bursty.repair_mean = 400.0;
   // Departures only: load spikes that stretch a job past a failed
-  // machine's window are the engine's documented unsupported corner.
+  // machine's window need restart semantics (DepartureAction::kRequeue,
+  // exercised by bench_checkpoint_restart); this historical-mode case
+  // keeps them off.
   spec.bursty.spike_fraction = 0.0;
   spec.horizon_factor = 2.0;
   const exp::CaseEnvironment env = exp::build_case_environment(spec);
