@@ -120,7 +120,19 @@ inline void print_help(const char* program) {
        core::ContentionPolicyRegistry::instance().names()) {
     std::cout << ' ' << name;
   }
-  std::cout << "\n";
+  // Passthrough pointer, --version style: the determinism rules these
+  // benches' byte-for-byte self-checks rely on are enforced statically
+  // by the in-tree linter; `detlint --list-rules` documents them the
+  // same way this help documents the bench axes.
+  std::cout << "\n\nstatic analysis:\n"
+            << "  the determinism & concurrency rules this bench's "
+               "bit-identical\n"
+            << "  self-checks depend on are enforced by tools/detlint "
+               "(build target\n"
+            << "  `detlint`); run `detlint --list-rules` for the rule "
+               "table and\n"
+            << "  README \"Static analysis\" for the suppression "
+               "grammar.\n";
 }
 
 inline BenchOptions parse_options(int argc, char** argv) {

@@ -4,7 +4,6 @@
 #include <deque>
 #include <set>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "support/assert.h"
 
@@ -177,10 +176,13 @@ double Dag::data(JobId from, JobId to) const {
 }
 
 std::vector<std::string> Dag::operations() const {
+  // Insertion-ordered dedup without a hashed container: operation
+  // alphabets are tiny (a handful per application), so the linear probe
+  // costs nothing and keeps src/dag free of unordered containers whose
+  // iteration order could one day leak into scheduling order.
   std::vector<std::string> ops;
-  std::unordered_set<std::string> seen;
   for (const JobInfo& info : jobs_) {
-    if (seen.insert(info.operation).second) {
+    if (std::find(ops.begin(), ops.end(), info.operation) == ops.end()) {
       ops.push_back(info.operation);
     }
   }

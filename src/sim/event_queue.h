@@ -82,6 +82,10 @@ class EventQueue {
   /// Binary heap under Later (top = earliest), kept as an explicit vector
   /// so compact() can filter it in place.
   mutable std::vector<Key> heap_;
+  /// Live actions by id. Never iterated — probed with find()/erase()
+  /// only, so its hashing order cannot reach event order: pop order is
+  /// fully determined by the heap's strict total order on (time, id).
+  // NOLINT-DET(no-unordered-iteration): probe-only map, pop order comes from the heap
   std::unordered_map<EventId, Action> actions_;
   EventId next_id_ = 1;
 };

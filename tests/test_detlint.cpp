@@ -1,0 +1,516 @@
+// Unit tests for tools/detlint — the determinism & concurrency linter.
+//
+// The linter guards the repo's bit-determinism invariant, so it gets the
+// same treatment as any other subsystem: tokenizer edge cases, positive
+// and negative cases per rule, the suppression grammar, the JSON report
+// shape, and an end-to-end sweep over the seeded fixture files (one
+// deliberately-violating file plus a clean twin per rule).
+#include "detlint/detlint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using detlint::Finding;
+using detlint::Options;
+using detlint::Token;
+using detlint::TokenKind;
+
+std::vector<Finding> lint(const std::string& path, const std::string& code) {
+  return detlint::lint_text(path, code, Options{});
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule,
+               bool include_suppressed = false) {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule && (include_suppressed || !f.suppressed)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int unsuppressed(const std::vector<Finding>& findings) {
+  int count = 0;
+  for (const Finding& f : findings) {
+    count += f.suppressed ? 0 : 1;
+  }
+  return count;
+}
+
+// ============================================================ tokenizer ==
+
+TEST(DetlintTokenizer, RawStringContainingCommentMarkers) {
+  const auto tokens = detlint::tokenize(
+      "auto s = R\"(// not a comment /* nor this */)\"; int x;");
+  ASSERT_GE(tokens.size(), 4u);
+  bool saw_raw = false;
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.kind, TokenKind::kComment)
+        << "comment token leaked out of a raw string: " << t.text;
+    if (t.kind == TokenKind::kRawString) {
+      saw_raw = true;
+      EXPECT_EQ(t.text, "// not a comment /* nor this */");
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+}
+
+TEST(DetlintTokenizer, RawStringWithCustomDelimiter) {
+  const auto tokens =
+      detlint::tokenize("auto s = R\"xy(a )\" b)xy\"; // tail");
+  bool saw_raw = false;
+  bool saw_comment = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kRawString) {
+      saw_raw = true;
+      EXPECT_EQ(t.text, "a )\" b");
+    }
+    if (t.kind == TokenKind::kComment) {
+      saw_comment = true;
+      EXPECT_EQ(t.text, " tail");
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+  EXPECT_TRUE(saw_comment);
+}
+
+TEST(DetlintTokenizer, BlockCommentSpansLinesAndTracksLineNumbers) {
+  const auto tokens = detlint::tokenize("/* one\ntwo\nthree */\nint after;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].line, 1);
+  // `int` starts on line 4: the block comment swallowed lines 1-3.
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 4);
+}
+
+TEST(DetlintTokenizer, MacroLineContinuationsFoldIntoOneDirective) {
+  const std::string source =
+      "#define CHECK(cond, msg) \\\n"
+      "  do {                   \\\n"
+      "    if (!(cond)) fail(msg); \\\n"
+      "  } while (false)\n"
+      "int after;";
+  const auto tokens = detlint::tokenize(source);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPreprocessor);
+  // The folded directive contains the whole macro body...
+  EXPECT_NE(tokens[0].text.find("while"), std::string::npos);
+  // ...and the code after it starts on the right line.
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 5);
+}
+
+TEST(DetlintTokenizer, StringInsideDirectiveHidesCommentMarkers) {
+  const auto tokens =
+      detlint::tokenize("#define URL \"http://example.com\"\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(tokens[0].text.find("http://example.com"), std::string::npos);
+  EXPECT_EQ(tokens[1].text, "int");
+}
+
+TEST(DetlintTokenizer, LineCommentWithTrailingBackslashContinues) {
+  const auto tokens =
+      detlint::tokenize("// first \\\n   still the same comment\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_NE(tokens[0].text.find("still the same comment"),
+            std::string::npos);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(DetlintTokenizer, DigitSeparatorsAndScopeToken) {
+  const auto tokens = detlint::tokenize("std::size_t n = 1'000'000;");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "std");
+  EXPECT_EQ(tokens[1].text, "::");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPunct);
+  bool saw_number = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) {
+      saw_number = true;
+      EXPECT_EQ(t.text, "1'000'000");
+    }
+    EXPECT_NE(t.kind, TokenKind::kCharacter)
+        << "digit separator misread as char literal";
+  }
+  EXPECT_TRUE(saw_number);
+}
+
+TEST(DetlintTokenizer, EscapedQuoteInsideString) {
+  const auto tokens = detlint::tokenize("auto s = \"a \\\" // b\"; int x;");
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.kind, TokenKind::kComment);
+  }
+}
+
+// ========================================================= no-wallclock ==
+
+TEST(DetlintNoWallclock, FlagsClockNowAndEntropySources) {
+  const auto findings = lint("src/core/foo.cpp",
+                             "auto t = std::chrono::steady_clock::now();\n"
+                             "int r = std::rand();\n"
+                             "std::random_device dev;\n"
+                             "const char* e = std::getenv(\"X\");\n"
+                             "long s = time(nullptr);\n");
+  EXPECT_EQ(count_rule(findings, "no-wallclock"), 5);
+}
+
+TEST(DetlintNoWallclock, AllowsStopwatchEnvShimAndBenches) {
+  const std::string clocky = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(unsuppressed(lint("src/support/stopwatch.h", clocky)), 0);
+  EXPECT_EQ(unsuppressed(lint("bench/bench_foo.cpp", clocky)), 0);
+  EXPECT_EQ(unsuppressed(lint("src/support/env.cpp",
+                              "const char* v = std::getenv(\"A\");\n")),
+            0);
+}
+
+TEST(DetlintNoWallclock, IgnoresLookalikes) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "double when = job.time(slot);\n"       // member named time
+      "int r = mylib::rand(stream);\n"        // someone else's rand
+      "sim::Time time(Time base);\n"          // declaration, not time(0)
+      "// std::chrono::steady_clock::now in a comment\n"
+      "const char* s = \"std::random_device\";\n");
+  EXPECT_EQ(count_rule(findings, "no-wallclock"), 0);
+}
+
+// ============================================== no-unordered-iteration ==
+
+TEST(DetlintUnorderedIteration, FlagsRangeForOverUnorderedMember) {
+  const auto findings = lint(
+      "src/workloads/foo.cpp",
+      "std::unordered_map<int, double> weights_;\n"
+      "double sum() {\n"
+      "  double total = 0;\n"
+      "  for (const auto& [k, v] : weights_) { total += v; }\n"
+      "  return total;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 1);
+}
+
+TEST(DetlintUnorderedIteration, FlagsIteratorWalk) {
+  const auto findings = lint(
+      "src/workloads/foo.cpp",
+      "std::unordered_set<int> ready;\n"
+      "void drain() { for (auto it = ready.begin(); it != ready.end();"
+      " ++it) {} }\n");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 1);
+}
+
+TEST(DetlintUnorderedIteration, ProbeOnlyUseIsClean) {
+  const auto findings = lint(
+      "src/workloads/foo.cpp",
+      "std::unordered_map<int, double> cache_;\n"
+      "bool has(int k) { return cache_.find(k) != cache_.end(); }\n");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 0);
+}
+
+TEST(DetlintUnorderedIteration, DeclarationAloneFlaggedInSimVisibleDirs) {
+  const std::string decl = "std::unordered_map<int, int> table_;\n";
+  // src/sim is sim-visible: the declaration alone is a finding.
+  EXPECT_EQ(count_rule(lint("src/sim/foo.h", decl),
+                       "no-unordered-iteration"),
+            1);
+  // src/workloads is not: a never-iterated declaration is fine.
+  EXPECT_EQ(count_rule(lint("src/workloads/foo.h", decl),
+                       "no-unordered-iteration"),
+            0);
+}
+
+TEST(DetlintUnorderedIteration, OrderedContainersAreClean) {
+  const auto findings = lint(
+      "src/sim/foo.h",
+      "std::map<int, double> by_id_;\n"
+      "double sum() { double t = 0; for (auto& [k, v] : by_id_) t += v;"
+      " return t; }\n");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 0);
+}
+
+// ====================================================== no-pointer-order ==
+
+TEST(DetlintPointerOrder, FlagsPointerKeysAndLess) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::set<Job*> live_;\n"
+      "std::map<const Job*, double> eft_;\n"
+      "std::less<Job*> cmp;\n");
+  EXPECT_EQ(count_rule(findings, "no-pointer-order"), 3);
+}
+
+TEST(DetlintPointerOrder, FlagsComparatorOrderingRawPointers) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "void f(std::vector<Job*>& v) {\n"
+      "  std::sort(v.begin(), v.end(),\n"
+      "            [](const Job* a, const Job* b) { return a < b; });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "no-pointer-order"), 1);
+}
+
+TEST(DetlintPointerOrder, StableIdComparatorAndValueKeysAreClean) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::map<std::pair<int, int>, double> eft_;\n"
+      "void f(std::vector<Job*>& v) {\n"
+      "  std::sort(v.begin(), v.end(),\n"
+      "            [](const Job* a, const Job* b) {"
+      " return a->id < b->id; });\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "no-pointer-order"), 0);
+}
+
+TEST(DetlintPointerOrder, MapWithPointerValueTypeIsClean) {
+  // Only the KEY drives ordering; pointer mapped-to values are fine.
+  const auto findings =
+      lint("src/core/foo.cpp", "std::map<int, Job*> by_id_;\n");
+  EXPECT_EQ(count_rule(findings, "no-pointer-order"), 0);
+}
+
+// ====================================================== confined-threads ==
+
+TEST(DetlintConfinedThreads, FlagsRawPrimitivesOutsideSupport) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;\n"
+      "std::thread worker_;\n"
+      "std::atomic<int> count_{0};\n"
+      "std::condition_variable cv_;\n"
+      "std::atomic_bool done_{false};\n");
+  EXPECT_EQ(count_rule(findings, "confined-threads"), 5);
+}
+
+TEST(DetlintConfinedThreads, SupportAndRegistryAreAllowed) {
+  const std::string source = "std::mutex m_;\n";
+  EXPECT_EQ(unsuppressed(lint("src/support/thread_pool.h", source)), 0);
+
+  Options options;
+  options.concurrency_registry = {"src/core/strategy.cpp"};
+  EXPECT_EQ(unsuppressed(detlint::lint_text("src/core/strategy.cpp", source,
+                                            options)),
+            0);
+  // ...but the registry entry does not leak to siblings.
+  EXPECT_EQ(count_rule(detlint::lint_text("src/core/other.cpp", source,
+                                          options),
+                       "confined-threads"),
+            1);
+}
+
+TEST(DetlintConfinedThreads, RegistryParserSkipsCommentsAndBlanks) {
+  const auto entries = detlint::parse_registry(
+      "# audited modules\n"
+      "\n"
+      "src/core/strategy.cpp  # launch registry lock\n"
+      "  tests/test_support.cpp\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], "src/core/strategy.cpp");
+  EXPECT_EQ(entries[1], "tests/test_support.cpp");
+}
+
+// =================================================== require-has-message ==
+
+TEST(DetlintRequireHasMessage, FlagsMissingAndEmptyMessages) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "void f(int n) {\n"
+      "  AHEFT_REQUIRE(n > 0);\n"
+      "  AHEFT_ASSERT(n < 100, \"\");\n"
+      "  AHEFT_ASSERT(n != 13, \"n must not be 13\");\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "require-has-message"), 2);
+}
+
+TEST(DetlintRequireHasMessage, ConditionWithCommaAndComparisons) {
+  // `a < b` must not swallow the message comma; a message built from an
+  // expression counts as non-empty.
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "void f(int a, int b) {\n"
+      "  AHEFT_REQUIRE(a < b, \"a must precede b\");\n"
+      "  AHEFT_ASSERT(std::max(a, b) < 100,\n"
+      "               \"bound exceeded: \" + std::to_string(b));\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "require-has-message"), 0);
+}
+
+// ========================================================= suppressions ==
+
+TEST(DetlintSuppression, SameLineSuppressesWithReason) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(confined-threads): registry lock, "
+      "audited 2026-08\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_NE(findings[0].reason.find("registry lock"), std::string::npos);
+  EXPECT_EQ(unsuppressed(findings), 0);
+}
+
+TEST(DetlintSuppression, CommentOnlyLineShieldsTheNextLine) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "// NOLINT-DET(confined-threads): cache lock, never sim-visible\n"
+      "std::mutex m_;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(DetlintSuppression, WildcardCoversEveryRule) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(*): fixture needs raw primitives\n");
+  EXPECT_EQ(unsuppressed(findings), 0);
+}
+
+TEST(DetlintSuppression, WrongRuleDoesNotSuppress) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(no-wallclock): misdirected\n");
+  EXPECT_EQ(count_rule(findings, "confined-threads"), 1);
+}
+
+TEST(DetlintSuppression, MissingReasonIsItselfAFindingAndSuppressesNothing) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(confined-threads)\n");
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 1);
+  EXPECT_EQ(count_rule(findings, "confined-threads"), 1);
+}
+
+TEST(DetlintSuppression, EmptyReasonAndUnknownRuleAreFindings) {
+  EXPECT_EQ(count_rule(lint("a.cpp", "// NOLINT-DET(no-wallclock):   \n"),
+                       "bad-suppression"),
+            1);
+  EXPECT_EQ(count_rule(lint("a.cpp", "// NOLINT-DET(bogus): because\n"),
+                       "bad-suppression"),
+            1);
+  EXPECT_EQ(count_rule(lint("a.cpp", "// NOLINT-DET no parens\n"),
+                       "bad-suppression"),
+            1);
+}
+
+// ========================================================== JSON report ==
+
+TEST(DetlintJson, ReportCarriesEnvelopeRowsAndFindings) {
+  detlint::Report report;
+  report.files_scanned = 3;
+  report.findings = lint("src/core/foo.cpp",
+                         "std::mutex a_;\n"
+                         "std::mutex b_;  // NOLINT-DET(confined-threads): "
+                         "audited \"quoted\" lock\n");
+  const std::string json = detlint::to_json(report);
+  // BENCH_*.json envelope.
+  EXPECT_NE(json.find("\"bench\": \"detlint\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
+  // Per-rule counts: one open, one suppressed.
+  EXPECT_NE(json.find("{\"labels\": {\"rule\": \"confined-threads\"}, "
+                      "\"metrics\": {\"findings\": 1, \"suppressed\": 1}}"),
+            std::string::npos);
+  // Finding records with escaped reason text.
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+  EXPECT_NE(json.find("audited \\\"quoted\\\" lock"), std::string::npos);
+}
+
+TEST(DetlintJson, RuleListIsStableAndDocumented) {
+  const auto& rules = detlint::rules();
+  std::set<std::string> names;
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.summary.empty()) << rule.name;
+    names.insert(rule.name);
+  }
+  for (const char* expected :
+       {"no-wallclock", "no-unordered-iteration", "no-pointer-order",
+        "confined-threads", "require-has-message", "bad-suppression"}) {
+    EXPECT_TRUE(names.count(expected) == 1) << expected;
+  }
+}
+
+// ============================================================= fixtures ==
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Every rule ships a fixture pair: `<rule>.bad.cpp` must surface that
+/// exact rule (so a regressing rule fails loudly) and `<rule>.clean.cpp`
+/// must lint clean.
+TEST(DetlintFixtures, EveryRuleHasABadFixtureThatFiresExactlyThatRule) {
+  const fs::path dir = AHEFT_DETLINT_FIXTURE_DIR;
+  int pairs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t mark = name.find(".bad.cpp");
+    if (mark == std::string::npos) {
+      continue;
+    }
+    ++pairs;
+    const std::string rule = name.substr(0, mark);
+    const auto findings =
+        lint("tools/detlint/fixtures/" + name, slurp(entry.path()));
+    EXPECT_GE(count_rule(findings, rule), 1)
+        << name << " no longer triggers its own rule";
+    for (const Finding& f : findings) {
+      EXPECT_EQ(f.rule, rule)
+          << name << " leaks a foreign finding: " << f.rule << ": "
+          << f.message;
+    }
+
+    const fs::path clean = dir / (rule + ".clean.cpp");
+    ASSERT_TRUE(fs::exists(clean)) << "missing clean twin for " << name;
+    const auto clean_findings =
+        lint("tools/detlint/fixtures/" + rule + ".clean.cpp", slurp(clean));
+    EXPECT_EQ(unsuppressed(clean_findings), 0)
+        << rule << ".clean.cpp is not clean";
+  }
+  // One pair per rule (bad-suppression included).
+  EXPECT_EQ(pairs, static_cast<int>(detlint::rules().size()));
+}
+
+TEST(DetlintFixtures, BadFixturesSeedTheExpectedFindingCounts) {
+  const fs::path dir = AHEFT_DETLINT_FIXTURE_DIR;
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"no-wallclock", 5},          {"no-unordered-iteration", 2},
+      {"no-pointer-order", 4},      {"confined-threads", 3},
+      {"require-has-message", 2},   {"bad-suppression", 4},
+  };
+  for (const auto& [rule, count] : expected) {
+    const fs::path bad = dir / (rule + ".bad.cpp");
+    const auto findings =
+        lint("tools/detlint/fixtures/" + rule + ".bad.cpp", slurp(bad));
+    EXPECT_EQ(count_rule(findings, rule), count) << rule;
+  }
+}
+
+/// The committed registry must parse and keep covering the audited
+/// modules the tree actually relies on.
+TEST(DetlintFixtures, CommittedRegistryParsesAndCoversKnownModules) {
+  const fs::path registry =
+      fs::path(AHEFT_REPO_ROOT) / "tools/detlint/concurrency_registry.txt";
+  const auto entries = detlint::parse_registry(slurp(registry));
+  ASSERT_FALSE(entries.empty());
+  const std::set<std::string> set(entries.begin(), entries.end());
+  EXPECT_TRUE(set.count("src/core/strategy.cpp") == 1);
+  EXPECT_TRUE(set.count("src/core/contention_policy.cpp") == 1);
+}
+
+}  // namespace

@@ -1,0 +1,1068 @@
+#include "detlint/detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace detlint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+// ============================================================ tokenizer ==
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](std::size_t offset) -> char {
+    return i + offset < n ? source[i + offset] : '\0';
+  };
+  // True when a backslash-newline (or backslash-CR-LF) splice starts at
+  // `pos`; advances `pos` past it and bumps the line counter.
+  auto eat_splice = [&](std::size_t& pos) -> bool {
+    if (pos < n && source[pos] == '\\') {
+      std::size_t next = pos + 1;
+      if (next < n && source[next] == '\r') {
+        ++next;
+      }
+      if (next < n && source[next] == '\n') {
+        pos = next + 1;
+        ++line;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    // ---- whitespace -----------------------------------------------------
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (eat_splice(i)) {
+      at_line_start = true;
+      continue;
+    }
+
+    // ---- preprocessor line (with continuations) -------------------------
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (eat_splice(i)) {
+          text += ' ';
+          continue;
+        }
+        const char d = source[i];
+        if (d == '\n') {
+          break;  // the newline itself is handled by the main loop
+        }
+        if (d == '/' && peek(1) == '/') {
+          // A line comment inside a directive runs to the (possibly
+          // spliced) end of the logical line.
+          while (i < n && source[i] != '\n') {
+            if (eat_splice(i)) {
+              continue;
+            }
+            ++i;
+          }
+          break;
+        }
+        if (d == '/' && peek(1) == '*') {
+          i += 2;
+          while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+            if (source[i] == '\n') {
+              ++line;
+            }
+            ++i;
+          }
+          i = std::min(i + 2, n);
+          text += ' ';
+          continue;
+        }
+        if (d == '"') {
+          // Quoted region inside a directive: a // in a #define'd string
+          // must not be mistaken for a comment.
+          text += d;
+          ++i;
+          while (i < n && source[i] != '"' && source[i] != '\n') {
+            if (source[i] == '\\' && i + 1 < n) {
+              text += source[i];
+              ++i;
+            }
+            text += source[i];
+            ++i;
+          }
+          if (i < n && source[i] == '"') {
+            text += '"';
+            ++i;
+          }
+          continue;
+        }
+        text += d;
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kPreprocessor, start_line, text});
+      continue;
+    }
+    at_line_start = false;
+
+    // ---- comments -------------------------------------------------------
+    if (c == '/' && peek(1) == '/') {
+      const int start_line = line;
+      i += 2;
+      std::string text;
+      while (i < n && source[i] != '\n') {
+        if (eat_splice(i)) {  // a line comment ending in backslash continues
+          text += ' ';
+          continue;
+        }
+        text += source[i];
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kComment, start_line, text});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      i += 2;
+      std::string text;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        text += source[i];
+        ++i;
+      }
+      i = std::min(i + 2, n);
+      tokens.push_back(Token{TokenKind::kComment, start_line, text});
+      continue;
+    }
+
+    // ---- raw strings ----------------------------------------------------
+    {
+      std::size_t prefix_len = 0;
+      for (const std::string_view prefix : {"u8R", "uR", "UR", "LR", "R"}) {
+        if (source.substr(i, prefix.size()) == prefix &&
+            peek(prefix.size()) == '"') {
+          prefix_len = prefix.size();
+          break;
+        }
+      }
+      if (prefix_len > 0) {
+        const int start_line = line;
+        i += prefix_len + 1;  // past the opening quote
+        std::string delim;
+        while (i < n && source[i] != '(' && source[i] != '\n') {
+          delim += source[i];
+          ++i;
+        }
+        if (i < n && source[i] == '(') {
+          ++i;
+        }
+        const std::string closer = ")" + delim + "\"";
+        std::string text;
+        while (i < n && source.substr(i, closer.size()) != closer) {
+          if (source[i] == '\n') {
+            ++line;
+          }
+          text += source[i];
+          ++i;
+        }
+        i = std::min(i + closer.size(), n);
+        tokens.push_back(Token{TokenKind::kRawString, start_line, text});
+        continue;
+      }
+    }
+
+    // ---- ordinary strings (with encoding prefixes) ----------------------
+    {
+      std::size_t prefix_len = 0;
+      bool is_string = c == '"';
+      if (!is_string) {
+        for (const std::string_view prefix : {"u8", "u", "U", "L"}) {
+          if (source.substr(i, prefix.size()) == prefix &&
+              peek(prefix.size()) == '"') {
+            prefix_len = prefix.size();
+            is_string = true;
+            break;
+          }
+        }
+      }
+      if (is_string) {
+        const int start_line = line;
+        i += prefix_len + 1;
+        std::string text;
+        while (i < n && source[i] != '"' && source[i] != '\n') {
+          if (source[i] == '\\' && i + 1 < n) {
+            text += source[i];
+            ++i;
+          }
+          text += source[i];
+          ++i;
+        }
+        if (i < n && source[i] == '"') {
+          ++i;
+        }
+        tokens.push_back(Token{TokenKind::kString, start_line, text});
+        continue;
+      }
+    }
+
+    // ---- character literals ---------------------------------------------
+    if (c == '\'') {
+      const int start_line = line;
+      ++i;
+      std::string text;
+      while (i < n && source[i] != '\'' && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          ++i;
+        }
+        text += source[i];
+        ++i;
+      }
+      if (i < n && source[i] == '\'') {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kCharacter, start_line, text});
+      continue;
+    }
+
+    // ---- numbers (pp-number, digit separators folded in) ----------------
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        const char d = source[i];
+        if (is_ident_char(d) || d == '.') {
+          text += d;
+          ++i;
+          continue;
+        }
+        if (d == '\'' && !text.empty() && is_ident_char(peek(1))) {
+          text += d;  // digit separator
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char prev = text.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            text += d;
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back(Token{TokenKind::kNumber, start_line, text});
+      continue;
+    }
+
+    // ---- identifiers ----------------------------------------------------
+    if (is_ident_start(c)) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && is_ident_char(source[i])) {
+        text += source[i];
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kIdentifier, start_line, text});
+      continue;
+    }
+
+    // ---- punctuation ("::" kept as one token) ---------------------------
+    if (c == ':' && peek(1) == ':') {
+      tokens.push_back(Token{TokenKind::kPunct, line, "::"});
+      i += 2;
+      continue;
+    }
+    tokens.push_back(Token{TokenKind::kPunct, line, std::string(1, c)});
+    ++i;
+  }
+  return tokens;
+}
+
+// ============================================================== rules ==
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"no-wallclock",
+       "wall-clock and entropy reads (std::chrono::*_clock::now, time(), "
+       "rand(), std::random_device, getenv) are banned outside "
+       "support/stopwatch.h, support/env.*, and bench mains"},
+      {"no-unordered-iteration",
+       "iteration over unordered containers is banned everywhere; declaring "
+       "one at all is banned in sim-visible directories where iteration "
+       "order can reach event order"},
+      {"no-pointer-order",
+       "pointer keys in ordered containers, std::less over pointers, and "
+       "comparators ordering raw pointers are banned (address order varies "
+       "run-to-run)"},
+      {"confined-threads",
+       "raw std::thread/mutex/atomic primitives are only allowed in "
+       "src/support/ and the audited modules listed in "
+       "tools/detlint/concurrency_registry.txt; everything else routes "
+       "through support/thread_pool"},
+      {"require-has-message",
+       "every AHEFT_ASSERT/AHEFT_REQUIRE carries a non-empty message"},
+      {"bad-suppression",
+       "a NOLINT-DET comment that does not parse or has no reason"},
+  };
+  return kRules;
+}
+
+namespace {
+
+// One parsed `NOLINT-DET(rule[,rule...]): reason` suppression.
+struct Suppression {
+  std::set<std::string> rules;  // empty + wildcard=true means all rules
+  bool wildcard = false;
+  std::string reason;
+};
+
+struct SuppressionMap {
+  std::map<int, std::vector<Suppression>> by_line;
+
+  [[nodiscard]] const Suppression* covering(int line,
+                                            const std::string& rule) const {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) {
+      return nullptr;
+    }
+    for (const Suppression& s : it->second) {
+      if (s.wildcard || s.rules.count(rule) > 0) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+};
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool is_known_rule(const std::string& name) {
+  for (const RuleInfo& info : rules()) {
+    if (info.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses the suppressions out of the comment tokens. A suppression on a
+/// comment-only line applies to the next line instead of its own; a
+/// malformed or reason-less suppression is reported and suppresses
+/// nothing.
+SuppressionMap collect_suppressions(const std::vector<Token>& tokens,
+                                    const std::string& file,
+                                    std::vector<Finding>& findings) {
+  std::set<int> code_lines;
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment &&
+        token.kind != TokenKind::kPreprocessor) {
+      code_lines.insert(token.line);
+    }
+  }
+
+  SuppressionMap map;
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) {
+      continue;
+    }
+    std::size_t pos = 0;
+    while ((pos = token.text.find("NOLINT-DET", pos)) != std::string::npos) {
+      const std::size_t tag_end = pos + std::string("NOLINT-DET").size();
+      pos = tag_end;
+      auto bad = [&](const std::string& why) {
+        findings.push_back(Finding{file, token.line, "bad-suppression", why,
+                                   false, ""});
+      };
+      if (tag_end >= token.text.size() || token.text[tag_end] != '(') {
+        bad("NOLINT-DET must name its rules: NOLINT-DET(rule): reason");
+        continue;
+      }
+      const std::size_t close = token.text.find(')', tag_end);
+      if (close == std::string::npos) {
+        bad("unterminated NOLINT-DET rule list");
+        continue;
+      }
+      Suppression suppression;
+      bool rules_ok = true;
+      std::stringstream list(
+          token.text.substr(tag_end + 1, close - tag_end - 1));
+      std::string rule;
+      while (std::getline(list, rule, ',')) {
+        rule = trim(rule);
+        if (rule == "*") {
+          suppression.wildcard = true;
+        } else if (is_known_rule(rule)) {
+          suppression.rules.insert(rule);
+        } else {
+          bad("unknown rule '" + rule + "' in NOLINT-DET");
+          rules_ok = false;
+        }
+      }
+      if (!rules_ok) {
+        continue;
+      }
+      if (suppression.rules.empty() && !suppression.wildcard) {
+        bad("empty rule list in NOLINT-DET");
+        continue;
+      }
+      std::size_t after = close + 1;
+      if (after >= token.text.size() || token.text[after] != ':') {
+        bad("NOLINT-DET(" + trim(token.text.substr(tag_end + 1,
+                                                   close - tag_end - 1)) +
+            ") has no reason; a suppression must justify itself");
+        continue;
+      }
+      suppression.reason = trim(token.text.substr(after + 1));
+      if (suppression.reason.empty()) {
+        bad("NOLINT-DET reason is empty; a suppression must justify itself");
+        continue;
+      }
+      // A comment-only line shields the line below it; an end-of-line
+      // comment shields its own line.
+      const int target = code_lines.count(token.line) > 0 ? token.line
+                                                          : token.line + 1;
+      map.by_line[target].push_back(std::move(suppression));
+    }
+  }
+  return map;
+}
+
+/// Path helpers — all paths are '/'-separated and repo-relative.
+bool path_within(const std::string& path, const std::string& entry) {
+  if (entry.empty()) {
+    return false;
+  }
+  if (path == entry) {
+    return true;
+  }
+  return path.size() > entry.size() && path.compare(0, entry.size(), entry) == 0 &&
+         path[entry.size()] == '/';
+}
+
+bool path_in_any(const std::string& path,
+                 const std::vector<std::string>& entries) {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const std::string& e) { return path_within(path, e); });
+}
+
+/// Code-token cursor: the rules only look at identifier/number/literal/
+/// punct tokens; comments and preprocessor lines are stripped first.
+class Code {
+ public:
+  explicit Code(const std::vector<Token>& tokens) {
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kComment &&
+          token.kind != TokenKind::kPreprocessor) {
+        tokens_.push_back(&token);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+  [[nodiscard]] const Token& at(std::size_t i) const { return *tokens_[i]; }
+
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const {
+    return i < size() && tokens_[i]->text == text;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i) const {
+    return i < size() && tokens_[i]->kind == TokenKind::kIdentifier;
+  }
+  /// Text of token i, or "" past either end (i is signed to allow i-1 at 0).
+  [[nodiscard]] std::string text(std::ptrdiff_t i) const {
+    if (i < 0 || static_cast<std::size_t>(i) >= size()) {
+      return "";
+    }
+    return tokens_[static_cast<std::size_t>(i)]->text;
+  }
+
+  /// Index just past the bracket matching the opener at `open` (whose text
+  /// must be one of ( [ { <). Returns size() when unmatched.
+  [[nodiscard]] std::size_t match(std::size_t open) const {
+    const std::string& opener = tokens_[open]->text;
+    std::string closer;
+    if (opener == "(") {
+      closer = ")";
+    } else if (opener == "[") {
+      closer = "]";
+    } else if (opener == "{") {
+      closer = "}";
+    } else if (opener == "<") {
+      closer = ">";
+    }
+    int depth = 0;
+    for (std::size_t i = open; i < size(); ++i) {
+      if (tokens_[i]->text == opener) {
+        ++depth;
+      } else if (tokens_[i]->text == closer) {
+        if (--depth == 0) {
+          return i + 1;
+        }
+      }
+    }
+    return size();
+  }
+
+ private:
+  std::vector<const Token*> tokens_;
+};
+
+class Linter {
+ public:
+  Linter(std::string file, const Code& code, const Options& options,
+         std::vector<Finding>& findings)
+      : file_(std::move(file)), code_(code), options_(options),
+        findings_(findings) {}
+
+  void run() {
+    collect_unordered_vars();
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      rule_no_wallclock(i);
+      rule_no_unordered_iteration(i);
+      rule_no_pointer_order(i);
+      rule_confined_threads(i);
+      rule_require_has_message(i);
+    }
+  }
+
+ private:
+  void emit(std::size_t token_index, const std::string& rule,
+            std::string message) {
+    const int line = code_.at(token_index).line;
+    // Dedupe: `m.begin(), m.end()` is one finding, not two.
+    for (const Finding& f : findings_) {
+      if (f.line == line && f.rule == rule && f.message == message) {
+        return;
+      }
+    }
+    findings_.push_back(
+        Finding{file_, line, rule, std::move(message), false, ""});
+  }
+
+  [[nodiscard]] bool std_qualified(std::size_t i) const {
+    return code_.text(static_cast<std::ptrdiff_t>(i) - 1) == "::" &&
+           code_.text(static_cast<std::ptrdiff_t>(i) - 2) == "std";
+  }
+  [[nodiscard]] bool member_access(std::size_t i) const {
+    const std::string prev = code_.text(static_cast<std::ptrdiff_t>(i) - 1);
+    if (prev == ".") {
+      return true;
+    }
+    return prev == ">" &&
+           code_.text(static_cast<std::ptrdiff_t>(i) - 2) == "-";
+  }
+
+  // ---- no-wallclock ----------------------------------------------------
+  void rule_no_wallclock(std::size_t i) {
+    if (path_in_any(file_, options_.wallclock_allowlist)) {
+      return;
+    }
+    if (!code_.is_ident(i)) {
+      return;
+    }
+    const std::string& name = code_.at(i).text;
+    static const std::set<std::string> kClocks = {
+        "steady_clock", "system_clock", "high_resolution_clock"};
+    if (kClocks.count(name) > 0 && code_.is(i + 1, "::") &&
+        code_.is(i + 2, "now")) {
+      emit(i, "no-wallclock",
+           "std::chrono::" + name + "::now reads the wall clock; use "
+           "support/stopwatch.h (bench timing) or simulation time");
+      return;
+    }
+    if (name == "random_device" && !member_access(i)) {
+      emit(i, "no-wallclock",
+           "std::random_device is nondeterministic entropy; seed a "
+           "support/rng RngStream instead");
+      return;
+    }
+    if (name == "getenv" && code_.is(i + 1, "(")) {
+      emit(i, "no-wallclock",
+           "getenv reads ambient process state; route through support/env");
+      return;
+    }
+    if ((name == "rand" || name == "srand") && code_.is(i + 1, "(") &&
+        !member_access(i)) {
+      // some_ns::rand(...) is someone else's function; std::rand, ::rand,
+      // and bare rand are the libc generator.
+      const std::string prev = code_.text(static_cast<std::ptrdiff_t>(i) - 1);
+      if (prev == "::" && !std_qualified(i) && i >= 2 &&
+          code_.at(i - 2).kind == TokenKind::kIdentifier) {
+        return;
+      }
+      emit(i, "no-wallclock",
+           name + "() uses hidden global state; use support/rng");
+      return;
+    }
+    if (name == "time" && code_.is(i + 1, "(") && !member_access(i)) {
+      // Only the libc call shapes: time(nullptr) / time(NULL) / time(0).
+      const std::string arg = code_.text(static_cast<std::ptrdiff_t>(i) + 2);
+      if ((arg == "nullptr" || arg == "NULL" || arg == "0") &&
+          code_.is(i + 3, ")")) {
+        emit(i, "no-wallclock",
+             "time() reads the wall clock; use simulation time");
+      }
+      return;
+    }
+    // Only the qualified forms: a bare `clock()` is far more often a
+    // member/accessor named clock (e.g. ExecutionSnapshot::clock) than
+    // the libc timer.
+    if (name == "clock" && code_.is(i + 1, "(") && code_.is(i + 2, ")") &&
+        code_.text(static_cast<std::ptrdiff_t>(i) - 1) == "::" &&
+        (std_qualified(i) || i < 2 ||
+         code_.at(i - 2).kind != TokenKind::kIdentifier)) {
+      emit(i, "no-wallclock",
+           "std::clock() reads process time; use support/stopwatch.h");
+    }
+  }
+
+  // ---- no-unordered-iteration ------------------------------------------
+  static bool is_unordered_type(const std::string& name) {
+    return name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" || name == "unordered_multiset";
+  }
+
+  /// Records every variable declared in this file with an unordered
+  /// container type, so iteration over it can be flagged by name.
+  void collect_unordered_vars() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!code_.is_ident(i) || !is_unordered_type(code_.at(i).text) ||
+          !code_.is(i + 1, "<")) {
+        continue;
+      }
+      std::size_t j = code_.match(i + 1);
+      while (j < code_.size() &&
+             (code_.is(j, "&") || code_.is(j, "*") || code_.is(j, "const"))) {
+        ++j;
+      }
+      if (j < code_.size() && code_.is_ident(j) && !code_.is(j + 1, "(")) {
+        unordered_vars_.insert(code_.at(j).text);
+      }
+    }
+  }
+
+  void rule_no_unordered_iteration(std::size_t i) {
+    if (code_.is_ident(i) && is_unordered_type(code_.at(i).text) &&
+        path_in_any(file_, options_.sim_visible_dirs)) {
+      emit(i, "no-unordered-iteration",
+           "std::" + code_.at(i).text + " in sim-visible code: iteration "
+           "order could reach event order; use an ordered container or "
+           "justify with NOLINT-DET");
+    }
+    // Range-for whose range names an unordered variable.
+    if (code_.is(i, "for") && code_.is(i + 1, "(")) {
+      const std::size_t end = code_.match(i + 1);
+      std::size_t colon = code_.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (code_.is(j, "(") || code_.is(j, "[") || code_.is(j, "{")) {
+          ++depth;
+        } else if (code_.is(j, ")") || code_.is(j, "]") || code_.is(j, "}")) {
+          --depth;
+        } else if (depth == 1 && code_.is(j, ":")) {
+          colon = j;
+          break;
+        }
+      }
+      for (std::size_t j = colon; j < end; ++j) {
+        if (code_.is_ident(j) && unordered_vars_.count(code_.at(j).text) > 0) {
+          emit(i, "no-unordered-iteration",
+               "range-for over unordered container '" + code_.at(j).text +
+               "': iteration order is unspecified and varies across "
+               "implementations; iterate a sorted copy or an ordered "
+               "container");
+          break;
+        }
+      }
+    }
+    // Explicit iterator loops: var.begin() / var.cbegin() / var.rbegin().
+    if (code_.is_ident(i) && unordered_vars_.count(code_.at(i).text) > 0 &&
+        code_.is(i + 1, ".")) {
+      // Only the loop-starting begin() family: a bare .end() is almost
+      // always the `find(x) != end()` probe idiom, which never observes
+      // iteration order.
+      const std::string next = code_.text(static_cast<std::ptrdiff_t>(i) + 2);
+      if (next == "begin" || next == "cbegin" || next == "rbegin") {
+        emit(i, "no-unordered-iteration",
+             "iterator walk over unordered container '" + code_.at(i).text +
+             "': iteration order is unspecified; iterate a sorted copy or "
+             "an ordered container");
+      }
+    }
+  }
+
+  // ---- no-pointer-order ------------------------------------------------
+  void rule_no_pointer_order(std::size_t i) {
+    if (code_.is_ident(i) && std_qualified(i) && code_.is(i + 1, "<")) {
+      const std::string& name = code_.at(i).text;
+      const bool ordered_assoc = name == "map" || name == "set" ||
+                                 name == "multimap" || name == "multiset";
+      if (ordered_assoc) {
+        // Pointer anywhere in the KEY type (first top-level template arg).
+        const std::size_t end = code_.match(i + 1);
+        int depth = 0;
+        for (std::size_t j = i + 1; j < end; ++j) {
+          if (code_.is(j, "<") || code_.is(j, "(")) {
+            ++depth;
+          } else if (code_.is(j, ">") || code_.is(j, ")")) {
+            --depth;
+          } else if (depth == 1 && code_.is(j, ",")) {
+            break;  // key type ends at the first top-level comma
+          } else if (code_.is(j, "*")) {
+            emit(i, "no-pointer-order",
+                 "std::" + name + " keyed by a raw pointer orders by "
+                 "address, which varies run-to-run; key by a stable id");
+            break;
+          }
+        }
+      } else if (name == "less" || name == "greater") {
+        const std::size_t end = code_.match(i + 1);
+        for (std::size_t j = i + 1; j < end; ++j) {
+          if (code_.is(j, "*")) {
+            emit(i, "no-pointer-order",
+                 "std::" + name + " over a raw pointer orders by address, "
+                 "which varies run-to-run; compare stable ids");
+            break;
+          }
+        }
+      }
+      return;
+    }
+    // Comparator lambdas ordering raw pointers:
+    //   [](const T* a, const T* b) { return a < b; }
+    if (code_.is(i, "[")) {
+      const std::string prev = code_.text(static_cast<std::ptrdiff_t>(i) - 1);
+      const Token* prev_token =
+          i > 0 ? &code_.at(i - 1) : nullptr;
+      const bool subscript =
+          prev_token != nullptr &&
+          (prev_token->kind == TokenKind::kIdentifier || prev == ")" ||
+           prev == "]");
+      if (subscript) {
+        return;
+      }
+      const std::size_t captures_end = code_.match(i);
+      if (captures_end >= code_.size() || !code_.is(captures_end, "(")) {
+        return;
+      }
+      const std::size_t params_end = code_.match(captures_end);
+      // Parameters that are raw pointers: remember the parameter name
+      // (the last identifier before the top-level , or )).
+      std::set<std::string> pointer_params;
+      {
+        bool has_star = false;
+        std::string last_ident;
+        int depth = 0;
+        for (std::size_t j = captures_end + 1; j < params_end; ++j) {
+          if (code_.is(j, "<") || code_.is(j, "(") || code_.is(j, "[")) {
+            ++depth;
+          } else if (code_.is(j, ">") || code_.is(j, ")") ||
+                     code_.is(j, "]")) {
+            --depth;
+          } else if (depth == 0 && code_.is(j, ",")) {
+            if (has_star && !last_ident.empty()) {
+              pointer_params.insert(last_ident);
+            }
+            has_star = false;
+            last_ident.clear();
+          } else if (code_.is(j, "*")) {
+            has_star = true;
+          } else if (code_.is_ident(j)) {
+            last_ident = code_.at(j).text;
+          }
+        }
+        if (has_star && !last_ident.empty()) {
+          pointer_params.insert(last_ident);
+        }
+      }
+      if (pointer_params.size() < 2) {
+        return;
+      }
+      // Body: the next { ... } before a ; ends the candidate.
+      std::size_t body = params_end;
+      while (body < code_.size() && !code_.is(body, "{") &&
+             !code_.is(body, ";")) {
+        ++body;
+      }
+      if (body >= code_.size() || !code_.is(body, "{")) {
+        return;
+      }
+      const std::size_t body_end = code_.match(body);
+      for (std::size_t j = body + 1; j + 2 < body_end; ++j) {
+        if (code_.is_ident(j) &&
+            pointer_params.count(code_.at(j).text) > 0 &&
+            (code_.is(j + 1, "<") || code_.is(j + 1, ">")) &&
+            code_.is_ident(j + 2) &&
+            pointer_params.count(code_.at(j + 2).text) > 0) {
+          emit(j, "no-pointer-order",
+               "comparator orders raw pointers '" + code_.at(j).text +
+               "' and '" + code_.at(j + 2).text + "' by address, which "
+               "varies run-to-run; compare stable ids");
+        }
+      }
+    }
+  }
+
+  // ---- confined-threads ------------------------------------------------
+  void rule_confined_threads(std::size_t i) {
+    if (path_within(file_, "src/support") ||
+        path_in_any(file_, options_.concurrency_registry)) {
+      return;
+    }
+    if (!code_.is_ident(i) || !std_qualified(i)) {
+      return;
+    }
+    static const std::set<std::string> kPrimitives = {
+        "thread", "jthread", "this_thread",
+        "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+        "shared_mutex", "shared_timed_mutex",
+        "condition_variable", "condition_variable_any",
+        "atomic", "atomic_flag", "atomic_ref",
+        "once_flag", "call_once",
+        "counting_semaphore", "binary_semaphore", "barrier", "latch",
+        "future", "promise", "async", "packaged_task"};
+    const std::string& name = code_.at(i).text;
+    const bool atomic_alias =
+        name.rfind("atomic_", 0) == 0;  // atomic_bool, atomic_int, ...
+    if (kPrimitives.count(name) > 0 || atomic_alias) {
+      emit(i, "confined-threads",
+           "std::" + name + " outside src/support/ and the audited "
+           "concurrency registry; route work through support/thread_pool "
+           "or add this file to tools/detlint/concurrency_registry.txt "
+           "with an audit note");
+    }
+  }
+
+  // ---- require-has-message ---------------------------------------------
+  void rule_require_has_message(std::size_t i) {
+    if (!code_.is_ident(i)) {
+      return;
+    }
+    const std::string& name = code_.at(i).text;
+    if ((name != "AHEFT_ASSERT" && name != "AHEFT_REQUIRE") ||
+        !code_.is(i + 1, "(")) {
+      return;
+    }
+    const std::size_t end = code_.match(i + 1);
+    // Count top-level arguments and remember the last one. Angle brackets
+    // are deliberately NOT bracket-matched here: `a < b` is a common
+    // condition and must not swallow the message comma. (A template comma
+    // inside an argument then over-counts args, which is harmless for
+    // this rule.)
+    int depth = 0;
+    int args = 0;
+    std::vector<std::size_t> last_arg;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (code_.is(j, "(") || code_.is(j, "[") || code_.is(j, "{")) {
+        ++depth;
+      } else if (code_.is(j, ")") || code_.is(j, "]") || code_.is(j, "}")) {
+        --depth;
+      } else if (depth == 0 && code_.is(j, ",")) {
+        ++args;
+        last_arg.clear();
+        continue;
+      }
+      last_arg.push_back(j);
+    }
+    if (end >= i + 4) {
+      ++args;  // the final (or only) argument — the parens were non-empty
+    }
+    if (args < 2) {
+      emit(i, "require-has-message",
+           name + " carries no message; state what invariant failed");
+      return;
+    }
+    bool empty_message = true;
+    for (const std::size_t j : last_arg) {
+      const Token& token = code_.at(j);
+      if (token.kind == TokenKind::kString ||
+          token.kind == TokenKind::kRawString) {
+        if (!token.text.empty()) {
+          empty_message = false;
+        }
+      } else {
+        empty_message = false;  // an expression; assume it says something
+      }
+    }
+    if (empty_message) {
+      emit(i, "require-has-message",
+           name + " message is empty; state what invariant failed");
+    }
+  }
+
+  std::string file_;
+  const Code& code_;
+  const Options& options_;
+  std::vector<Finding>& findings_;
+  std::set<std::string> unordered_vars_;
+};
+
+}  // namespace
+
+// ============================================================= driver ==
+
+std::vector<std::string> parse_registry(std::string_view text) {
+  std::vector<std::string> entries;
+  std::stringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (!line.empty()) {
+      entries.push_back(line);
+    }
+  }
+  return entries;
+}
+
+std::vector<Finding> lint_text(const std::string& path_label,
+                               std::string_view source,
+                               const Options& options) {
+  const std::vector<Token> tokens = tokenize(source);
+  std::vector<Finding> findings;
+  const SuppressionMap suppressions =
+      collect_suppressions(tokens, path_label, findings);
+  const Code code(tokens);
+  Linter(path_label, code, options, findings).run();
+  for (Finding& finding : findings) {
+    if (finding.rule == "bad-suppression") {
+      continue;  // a broken suppression cannot suppress itself
+    }
+    if (const Suppression* s =
+            suppressions.covering(finding.line, finding.rule)) {
+      finding.suppressed = true;
+      finding.reason = s->reason;
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+int Report::unsuppressed_count() const {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return !f.suppressed; }));
+}
+
+int Report::suppressed_count() const {
+  return static_cast<int>(findings.size()) - unsuppressed_count();
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"detlint\",\n  \"scale\": \"tree\",\n"
+      << "  \"seed\": 0,\n  \"files_scanned\": " << report.files_scanned
+      << ",\n  \"rows\": [";
+  bool first = true;
+  for (const RuleInfo& rule : rules()) {
+    int open = 0;
+    int suppressed = 0;
+    for (const Finding& f : report.findings) {
+      if (f.rule != rule.name) {
+        continue;
+      }
+      (f.suppressed ? suppressed : open) += 1;
+    }
+    out << (first ? "\n" : ",\n") << "    {\"labels\": {\"rule\": "
+        << json_escape(rule.name) << "}, \"metrics\": {\"findings\": " << open
+        << ", \"suppressed\": " << suppressed << "}}";
+    first = false;
+  }
+  out << "\n  ],\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : report.findings) {
+    out << (first ? "\n" : ",\n") << "    {\"file\": " << json_escape(f.file)
+        << ", \"line\": " << f.line << ", \"rule\": " << json_escape(f.rule)
+        << ", \"message\": " << json_escape(f.message)
+        << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"reason\": " << json_escape(f.reason) << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace detlint

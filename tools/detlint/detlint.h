@@ -1,0 +1,138 @@
+// detlint — the repo's determinism & concurrency linter.
+//
+// Every headline claim in this reproduction rests on bit-determinism: the
+// sharded simulator's tick barriers, the resilience subsystem's "inactive
+// configs stay bit-identical" guarantee, and the record/replay fidelity
+// proofs all diff output byte-for-byte. The twin-rerun and sanitizer jobs
+// check that invariant dynamically, after a violation shipped; detlint
+// checks it statically, at review time, by banning the code shapes that
+// break it:
+//
+//   no-wallclock            wall-clock/entropy reads outside the audited
+//                           support shims and bench mains
+//   no-unordered-iteration  iteration over unordered containers (order can
+//                           leak into event order), and any unordered
+//                           container at all in sim-visible directories
+//   no-pointer-order        pointer keys in ordered containers, std::less
+//                           over pointers, and comparator lambdas ordering
+//                           raw pointers (address order varies run-to-run)
+//   confined-threads        raw std::thread/mutex/atomic outside support/
+//                           and the audited concurrency registry
+//   require-has-message     AHEFT_ASSERT/AHEFT_REQUIRE without a non-empty
+//                           message
+//   bad-suppression         a NOLINT-DET comment that does not parse or
+//                           carries no reason (a suppression without a
+//                           justification is itself a finding)
+//
+// Findings print `file:line: rule: message`. A finding is suppressed by a
+// `// NOLINT-DET(rule[,rule...]): reason` comment on the same line, or on
+// a comment-only line immediately above. `NOLINT-DET(*): reason`
+// suppresses every rule on that line. A suppression without a reason does
+// NOT suppress and is reported as `bad-suppression`.
+//
+// The linter is deliberately libclang-free: a small token scanner that
+// understands comments, string/char literals, raw strings, preprocessor
+// lines (with continuations), and digit separators. It is built and
+// unit-tested like any other target (tests/test_detlint.cpp).
+#ifndef AHEFT_TOOLS_DETLINT_H_
+#define AHEFT_TOOLS_DETLINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+// ------------------------------------------------------------- tokens --
+
+enum class TokenKind {
+  kIdentifier,    // names and keywords
+  kNumber,        // numeric literals (digit separators folded in)
+  kString,        // "..." (prefix folded in; text excludes quotes)
+  kRawString,     // R"delim(...)delim" (text excludes delimiters)
+  kCharacter,     // '...'
+  kPunct,         // single punctuation char, except "::" which is one token
+  kComment,       // // or /* */; text excludes the comment markers
+  kPreprocessor,  // a whole logical #-line, continuations folded in
+};
+
+struct Token {
+  TokenKind kind;
+  int line;  // 1-based line where the token starts
+  std::string text;
+};
+
+/// Tokenizes C++ source. Never fails: unterminated constructs consume the
+/// rest of the input as the current token.
+std::vector<Token> tokenize(std::string_view source);
+
+// ------------------------------------------------------------ findings --
+
+struct Finding {
+  std::string file;  // path label as given to lint_text / relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  // the NOLINT-DET reason when suppressed
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The rules detlint enforces, in report order (includes bad-suppression).
+const std::vector<RuleInfo>& rules();
+
+// ------------------------------------------------------------- options --
+
+struct Options {
+  /// Directories (relative, '/'-separated, no trailing slash) where
+  /// iteration order can reach event order: declaring an unordered
+  /// container there is a finding even without iteration.
+  std::vector<std::string> sim_visible_dirs = {
+      "src/sim", "src/core", "src/grid", "src/resilience", "src/dag"};
+
+  /// Files/directories where wall-clock and entropy reads are expected:
+  /// the stopwatch shim, the env shim, and bench mains (which time their
+  /// own runs).
+  std::vector<std::string> wallclock_allowlist = {
+      "src/support/stopwatch.h", "src/support/env.h", "src/support/env.cpp",
+      "bench"};
+
+  /// Audited concurrency modules (beyond src/support/, which is always
+  /// allowed): loaded from tools/detlint/concurrency_registry.txt.
+  std::vector<std::string> concurrency_registry;
+};
+
+/// Parses a registry file: one path per line, '#' comments, blank lines
+/// ignored. Returns the entries; does not touch `options`.
+std::vector<std::string> parse_registry(std::string_view text);
+
+// -------------------------------------------------------------- driver --
+
+/// Lints one translation unit given as text. `path_label` is the
+/// '/'-separated repo-relative path; it drives the directory-scoped rules
+/// and appears verbatim in findings.
+std::vector<Finding> lint_text(const std::string& path_label,
+                               std::string_view source,
+                               const Options& options);
+
+/// Report of a full run.
+struct Report {
+  std::vector<Finding> findings;  // suppressed and unsuppressed, in order
+  int files_scanned = 0;
+
+  [[nodiscard]] int unsuppressed_count() const;
+  [[nodiscard]] int suppressed_count() const;
+};
+
+/// Serializes a report in the BENCH_*.json envelope
+/// ({"bench": "detlint", ..., "rows": [per-rule counts], "findings":
+/// [...]}) so it folds into the same artifact flow as the bench dumps.
+std::string to_json(const Report& report);
+
+}  // namespace detlint
+
+#endif  // AHEFT_TOOLS_DETLINT_H_

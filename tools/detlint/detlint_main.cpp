@@ -1,0 +1,159 @@
+// detlint command-line driver.
+//
+//   detlint [--root=DIR] [--registry=FILE] [--json=FILE] [--list-rules]
+//           [paths...]
+//
+// With no paths, scans src/, bench/, and tests/ under --root (default:
+// the current directory). Paths may be files or directories and are
+// interpreted relative to --root. Prints one `file:line: rule: message`
+// per unsuppressed finding and exits 1 when any exist, 0 on a clean
+// tree, 2 on usage errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) {
+    std::cerr << "detlint: " << error << "\n";
+  }
+  std::cerr << "usage: detlint [--root=DIR] [--registry=FILE] [--json=FILE]"
+               " [--list-rules] [paths...]\n";
+  std::exit(2);
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    usage("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `path` relative to `root` with '/' separators — the label the
+/// directory-scoped rules and the report use.
+std::string label_for(const fs::path& path, const fs::path& root) {
+  const fs::path rel = path.lexically_relative(root);
+  const fs::path& use = rel.empty() || *rel.begin() == ".." ? path : rel;
+  return use.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string registry_path;
+  std::string json_path;
+  bool list_rules = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value_of("--root=");
+    } else if (arg.rfind("--registry=", 0) == 0) {
+      registry_path = value_of("--registry=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = value_of("--json=");
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage("");
+    } else if (arg.rfind("--", 0) == 0) {
+      usage("unknown flag " + arg);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const detlint::RuleInfo& rule : detlint::rules()) {
+      std::cout << rule.name << "\n    " << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  detlint::Options options;
+  if (registry_path.empty()) {
+    const fs::path standard = root / "tools/detlint/concurrency_registry.txt";
+    if (fs::exists(standard)) {
+      registry_path = standard.string();
+    }
+  }
+  if (!registry_path.empty()) {
+    options.concurrency_registry =
+        detlint::parse_registry(read_file(registry_path));
+  }
+
+  if (inputs.empty()) {
+    inputs = {"src", "bench", "tests"};
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path path = input;
+    if (path.is_relative() && !fs::exists(path)) {
+      path = root / input;
+    }
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      files.push_back(path);
+    } else {
+      usage("no such file or directory: " + input);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  detlint::Report report;
+  for (const fs::path& file : files) {
+    const std::string label = label_for(file, root);
+    std::vector<detlint::Finding> findings =
+        detlint::lint_text(label, read_file(file), options);
+    report.findings.insert(report.findings.end(), findings.begin(),
+                           findings.end());
+    ++report.files_scanned;
+  }
+
+  for (const detlint::Finding& finding : report.findings) {
+    if (!finding.suppressed) {
+      std::cout << finding.file << ":" << finding.line << ": "
+                << finding.rule << ": " << finding.message << "\n";
+    }
+  }
+  std::cerr << "detlint: " << report.files_scanned << " files, "
+            << report.unsuppressed_count() << " findings ("
+            << report.suppressed_count() << " suppressed)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      usage("cannot write " + json_path);
+    }
+    out << detlint::to_json(report);
+  }
+  return report.unsuppressed_count() > 0 ? 1 : 0;
+}

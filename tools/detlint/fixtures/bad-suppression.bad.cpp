@@ -1,0 +1,12 @@
+// detlint fixture — suppressions that do not justify themselves. A
+// suppression comment that is malformed or carries no reason is itself
+// a finding (`bad-suppression`) and suppresses nothing. (This header
+// deliberately avoids the tag itself so only the seeded lines count.)
+
+int no_reason = 0;  // NOLINT-DET(no-wallclock)
+
+int empty_reason = 0;  // NOLINT-DET(no-wallclock):
+
+int unknown_rule = 0;  // NOLINT-DET(made-up-rule): not a real rule
+
+int bare_tag = 0;  // NOLINT-DET without even a rule list

@@ -1,0 +1,14 @@
+// detlint fixture — well-formed suppressions: rule named, reason given.
+// The mutex findings below are suppressed and justified, so this file
+// must produce zero unsuppressed findings.
+#include <mutex>
+
+// NOLINT-DET(confined-threads): guards a process-wide memo cache, never sim-visible
+std::mutex cache_mutex;
+
+std::mutex registry_mutex;  // NOLINT-DET(confined-threads): registry lock, init-order safe
+
+// A suppression on a comment-only line shields the line directly below
+// it; the wildcard form covers every rule with one justification.
+// NOLINT-DET(*): fixture exercising the wildcard suppression form
+std::mutex wildcard_mutex;

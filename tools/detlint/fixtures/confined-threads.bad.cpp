@@ -1,0 +1,22 @@
+// detlint fixture — raw threading primitives outside src/support/ and
+// the audited concurrency registry. Each use below must be reported
+// under `confined-threads`: ad-hoc threads bypass the thread pool whose
+// parallel_for join is the sharded core's tick barrier.
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+std::mutex results_mutex;  // finding: raw mutex
+
+std::atomic<int> completed{0};  // finding: raw atomic
+
+void run_workers(const std::vector<int>& work) {
+  std::vector<std::thread> workers;  // finding: raw thread
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    workers.emplace_back([&] { completed.fetch_add(1); });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}

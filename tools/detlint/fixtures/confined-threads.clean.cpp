@@ -1,0 +1,18 @@
+// detlint fixture — the clean twin of confined-threads.bad.cpp: the same
+// fan-out routed through support/thread_pool, whose parallel_for join is
+// the deterministic tick barrier. Zero findings.
+#include <cstddef>
+#include <vector>
+
+namespace aheft {
+class ThreadPool {  // stand-in for support/thread_pool.h
+ public:
+  template <typename Fn>
+  void parallel_for(std::size_t count, std::size_t chunk, Fn&& fn);
+};
+}  // namespace aheft
+
+void run_workers(aheft::ThreadPool& pool, std::vector<int>& results) {
+  pool.parallel_for(results.size(), 1,
+                    [&](std::size_t i) { results[i] += 1; });
+}

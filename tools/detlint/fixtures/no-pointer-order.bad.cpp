@@ -1,0 +1,26 @@
+// detlint fixture — address-ordered data structures and comparators.
+// Pointer values differ run to run (ASLR, allocation order), so anything
+// ordered by them is nondeterministic. Each shape below must be reported
+// under `no-pointer-order`.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Job {
+  int id;
+};
+
+std::set<Job*> pending_jobs;  // finding: pointer key in ordered set
+
+std::map<const Job*, double> finish_times;  // finding: pointer key in map
+
+void sort_by_address(std::vector<Job*>& jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job* a, const Job* b) {
+              return a < b;  // finding: comparator orders raw pointers
+            });
+}
+
+template <typename T>
+using AddressOrdered = std::less<T*>;  // finding: std::less over pointers

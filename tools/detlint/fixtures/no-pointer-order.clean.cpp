@@ -1,0 +1,22 @@
+// detlint fixture — the clean twin of no-pointer-order.bad.cpp: the same
+// structures keyed by stable ids, so order is identical on every run.
+// Zero findings.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Job {
+  int id;
+};
+
+std::set<int> pending_jobs;  // keyed by the job id, not the address
+
+std::map<int, double> finish_times;
+
+void sort_by_id(std::vector<Job*>& jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job* a, const Job* b) {
+              return a->id < b->id;  // stable id order
+            });
+}

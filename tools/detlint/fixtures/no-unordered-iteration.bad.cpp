@@ -1,0 +1,24 @@
+// detlint fixture — iteration over unordered containers, whose order is
+// unspecified and can leak into event order. Each loop below must be
+// reported under `no-unordered-iteration`.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> job_names(
+    const std::unordered_map<int, std::string>& jobs) {
+  std::vector<std::string> names;
+  for (const auto& [id, name] : jobs) {  // finding: range-for
+    names.push_back(name);
+  }
+  return names;
+}
+
+double total_weight(const std::unordered_set<int>& ready) {
+  double total = 0.0;
+  for (auto it = ready.begin(); it != ready.end(); ++it) {  // finding: begin()
+    total += static_cast<double>(*it);
+  }
+  return total;
+}

@@ -1,0 +1,28 @@
+// detlint fixture — the clean twin of no-unordered-iteration.bad.cpp:
+// unordered containers used only for O(1) probes (never iterated), with
+// ordered traversal done over a vector or std::map. Zero findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> job_names(
+    const std::map<int, std::string>& jobs) {
+  std::vector<std::string> names;
+  for (const auto& [id, name] : jobs) {  // std::map: deterministic order
+    names.push_back(name);
+  }
+  return names;
+}
+
+double total_weight(const std::vector<int>& ready_in_arrival_order) {
+  double total = 0.0;
+  for (const int id : ready_in_arrival_order) {
+    total += static_cast<double>(id);
+  }
+  return total;
+}
+
+bool is_cached(const std::unordered_map<int, double>& cache, int key) {
+  return cache.find(key) != cache.end();  // probe only — order never read
+}

@@ -1,0 +1,30 @@
+// detlint fixture — every line here that reads the wall clock or ambient
+// entropy must be reported under `no-wallclock`. Never compiled; linted
+// by tests/test_detlint.cpp and the CI lint job.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double elapsed_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - start)  // finding: now()
+      .count();
+}
+
+long stamp_run() {
+  return static_cast<long>(time(nullptr));  // finding: time()
+}
+
+int roll_dice() {
+  return std::rand() % 6;  // finding: rand()
+}
+
+unsigned fresh_seed() {
+  std::random_device device;  // finding: random_device
+  return device();
+}
+
+const char* pick_backend() {
+  return std::getenv("AHEFT_BACKEND");  // finding: getenv
+}

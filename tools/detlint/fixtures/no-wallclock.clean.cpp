@@ -1,0 +1,37 @@
+// detlint fixture — the clean twin of no-wallclock.bad.cpp: the same
+// jobs done through the audited shims and simulation time. Must produce
+// zero findings.
+#include <cstdint>
+#include <string>
+
+namespace aheft {
+struct Stopwatch {  // stand-in for support/stopwatch.h
+  double seconds() const { return 0.0; }
+};
+struct RngStream {  // stand-in for support/rng.h
+  explicit RngStream(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+  int uniform_int(int lo, int hi);
+};
+std::string env_or(const std::string& name, const std::string& fallback);
+}  // namespace aheft
+
+double elapsed_since(const aheft::Stopwatch& watch) {
+  return watch.seconds();  // bench timing goes through the stopwatch shim
+}
+
+double stamp_run(double sim_now) {
+  return sim_now;  // runs are stamped with simulation time, not time()
+}
+
+int roll_dice(aheft::RngStream& rng) {
+  return rng.uniform_int(1, 6);  // seeded stream, replayable bit-for-bit
+}
+
+std::uint64_t fresh_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+  return campaign_seed * 0x9e3779b97f4a7c15ull + index;  // derived, not drawn
+}
+
+std::string pick_backend() {
+  return aheft::env_or("AHEFT_BACKEND", "synthetic");  // support/env shim
+}

@@ -1,0 +1,18 @@
+// detlint fixture — assertions without a message. A bare condition tells
+// the operator nothing when it fires at tick 1e9 of a replay; each
+// shape below must be reported under `require-has-message`.
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* message);
+
+#define AHEFT_ASSERT(...) static_cast<void>(0)
+#define AHEFT_REQUIRE(...) static_cast<void>(0)
+
+void admit(int jobs, int machines) {
+  AHEFT_REQUIRE(jobs > 0);  // finding: no message
+
+  AHEFT_ASSERT(machines > 0, "");  // finding: empty message
+
+  AHEFT_ASSERT(jobs < machines * 1024,
+               "admission would oversubscribe the pool");  // ok
+}

@@ -1,0 +1,14 @@
+// detlint fixture — the clean twin of require-has-message.bad.cpp:
+// every assertion states the invariant it guards. Zero findings.
+
+#define AHEFT_ASSERT(...) static_cast<void>(0)
+#define AHEFT_REQUIRE(...) static_cast<void>(0)
+
+void admit(int jobs, int machines) {
+  AHEFT_REQUIRE(jobs > 0, "a workflow must carry at least one job");
+
+  AHEFT_ASSERT(machines > 0, "admission ran against an empty pool");
+
+  AHEFT_ASSERT(jobs < machines * 1024,
+               "admission would oversubscribe the pool");
+}
