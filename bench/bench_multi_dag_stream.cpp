@@ -17,6 +17,10 @@
 // --streams=a,b,c to override the concurrency axis,
 // --contention-policy=fcfs|priority|fair-share to swap the session's
 // machine arbitration (CI smoke-runs every built-in policy), --backfill,
+// --shards=N to run every stream session on N parallel event-loop
+// shards, --history to feed each strategy a performance-history
+// repository (its merged fingerprint joins the determinism probe — the
+// sharded-AHEFT bit-determinism gate CI runs with --shards=2 --history),
 // and --json=path (per-strategy makespan/wait/jain rows at full
 // precision, uploaded by CI as the BENCH_stream.json artifact).
 #include <cstdlib>
@@ -90,21 +94,40 @@ int main(int argc, char** argv) {
 
   const std::vector<std::size_t> streams =
       bench::parse_streams(args, {1, 4, 16});
+  const std::vector<std::size_t> shard_axis = bench::parse_shards(args, {1});
+  if (shard_axis.size() != 1) {
+    std::cerr << "bench_multi_dag_stream takes a single --shards value "
+                 "(applied to every stream session)\n";
+    return 2;
+  }
+  const std::size_t shards = shard_axis.front();
+  const bool use_history = args.has("history");
 
   const std::string& policy = options.contention_policy;
   bench::print_header(
       "Multi-DAG workflow streams: HEFT vs Min-Min vs AHEFT (policy: " +
-          (policy.empty() ? std::string("fcfs") : policy) + ")",
+          (policy.empty() ? std::string("fcfs") : policy) +
+          ", shards: " + std::to_string(shards) +
+          (use_history ? ", history on" : "") + ")",
       options, streams.size());
   bench::JsonReport json("bench_multi_dag_stream", options);
+
+  const auto make_spec = [&](std::size_t stream_jobs) {
+    exp::CaseSpec spec = bench::with_cli_environment(
+        stream_spec(options.scale, options.seed, stream_jobs, policy,
+                    options.backfill, options.contention_aware),
+        options);
+    // Applied after seeding so the generated workload and scenario stay
+    // those of the serial, history-free configuration.
+    spec.shards = shards;
+    spec.use_history = use_history;
+    return spec;
+  };
 
   std::vector<exp::StreamCaseResult> results;
   results.reserve(streams.size());
   for (const std::size_t n : streams) {
-    results.push_back(exp::run_stream_case(bench::with_cli_environment(
-        stream_spec(options.scale, options.seed, n, policy, options.backfill,
-                    options.contention_aware),
-        options)));
+    results.push_back(exp::run_stream_case(make_spec(n)));
     report(n, results.back());
     const exp::StreamCaseResult& r = results.back();
     const std::string policy_label =
@@ -116,32 +139,47 @@ int main(int argc, char** argv) {
           {"aheft", &r.aheft}}) {
       json.add_stream_row({{"strategy", strategy},
                            {"policy", policy_label},
-                           {"streams", std::to_string(n)}},
+                           {"streams", std::to_string(n)},
+                           {"shards", std::to_string(shards)},
+                           {"history", use_history ? "on" : "off"}},
                           *summary);
     }
   }
   json.write_if_requested(options);
 
   // Determinism probe: the acceptance bar for stream experiments is
-  // bit-identical per-workflow makespans under a fixed seed. Reuse the
-  // main loop's result as the first run.
+  // bit-identical per-workflow makespans under a fixed seed — and, with
+  // --history, a byte-identical merged history fingerprint (at shards>1
+  // this exercises the per-shard delta sinks and their barrier merge).
+  // Reuse the main loop's result as the first run.
   const std::size_t probe_index = streams.size() > 1 ? 1 : 0;
   const std::size_t probe = streams[probe_index];
   const exp::StreamCaseResult& a = results[probe_index];
-  const exp::StreamCaseResult b = exp::run_stream_case(
-      bench::with_cli_environment(
-          stream_spec(options.scale, options.seed, probe, policy,
-                      options.backfill, options.contention_aware),
-          options));
+  const exp::StreamCaseResult b = exp::run_stream_case(make_spec(probe));
+  const auto history_identical = [](const exp::StreamStrategySummary& x,
+                                    const exp::StreamStrategySummary& y) {
+    return x.history_observations == y.history_observations &&
+           x.history_estimates == y.history_estimates;
+  };
   const bool deterministic = a.heft.makespans == b.heft.makespans &&
                              a.aheft.makespans == b.aheft.makespans &&
                              a.minmin.makespans == b.minmin.makespans &&
                              a.heft.waits == b.heft.waits &&
                              a.aheft.waits == b.aheft.waits &&
-                             a.minmin.waits == b.minmin.waits;
+                             a.minmin.waits == b.minmin.waits &&
+                             history_identical(a.heft, b.heft) &&
+                             history_identical(a.aheft, b.aheft) &&
+                             history_identical(a.minmin, b.minmin);
   std::cout << "determinism probe (" << probe << " workflows, re-run): "
             << (deterministic ? "bit-identical per-workflow makespans"
-                              : "MISMATCH")
-            << "\n";
+                              : "MISMATCH");
+  if (use_history) {
+    std::cout << " (history fingerprint "
+              << (history_identical(a.aheft, b.aheft) ? "identical"
+                                                      : "MISMATCH")
+              << ", " << a.aheft.history_observations
+              << " AHEFT observations)";
+  }
+  std::cout << "\n";
   return deterministic ? 0 : 1;
 }

@@ -14,19 +14,30 @@
 // kMaxRatio x the smallest per event.
 //
 // Phase 2 (sharded throughput): the same dedicated-machine chains at
-// 256/1k/4k workflows, swept over SessionEnvironment::shards. Every
-// workflow's jobs run at integer times, so each lock-step epoch carries
-// one job per machine — the per-resource-partition event loops drain W/N
-// machines each in parallel between tick barriers. Rows report events,
-// wall seconds, and events/sec per (workflows, shards) configuration; on
-// a machine with >= 8 cores and an axis containing shards=1 and
-// shards=8, the self-check fails when 8 shards deliver less than
-// kMinSpeedup x the serial throughput at the largest workflow count.
+// 256/1k/4k workflows, swept over SessionEnvironment::shards, the fixed
+// --epoch-width axis, and a sinks arm (trace recorder + performance
+// history fed through the per-shard stamped sinks, with a completion
+// hook recording every job — sharded AHEFT's write path). Rows report
+// events, wall seconds, events/sec, plus the barrier-count metrics
+// (epochs, staged_messages, staging_high_water). On a machine with
+// >= 8 cores and an axis containing shards=1 and shards=8, self-checks
+// fail when 8 shards deliver less than kMinSpeedup x the serial
+// throughput at the largest workflow count — once with sinks off and
+// once with the history arm on.
+//
+// Phase 3 (sparse stream, adaptive epoch width): each shard's workflows
+// are staggered into a disjoint time window, so a width=0 run pays one
+// barrier per distinct event time while the adaptive lookahead (widen
+// toward the second-smallest next-event time across shards) drains a
+// whole window per epoch. The self-check fails unless adaptive runs
+// strictly fewer epochs than width=0 AND the merged trace/history sinks
+// are byte-identical between the two runs.
 //
 // The engines are driven directly with precomputed schedules (no HEFT
 // pass), so the measurement isolates the executor/session hot path.
 //
-// Extra knobs: --smoke (quarter-size), --shards=a,b,c, --json=path.
+// Extra knobs: --smoke (quarter-size), --shards=a,b,c,
+// --epoch-width=a,b,c, --json=path.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -38,8 +49,10 @@
 #include "core/schedule.h"
 #include "core/session.h"
 #include "dag/dag.h"
+#include "grid/history.h"
 #include "grid/machine_model.h"
 #include "grid/resource_pool.h"
+#include "sim/trace.h"
 #include "support/thread_pool.h"
 
 using namespace aheft;
@@ -50,7 +63,12 @@ struct ScalingPoint {
   std::size_t workflows = 0;
   std::size_t jobs_per_workflow = 0;
   std::size_t shards = 1;
+  double epoch_width = 0.0;
+  bool sinks = false;
   std::uint64_t events = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t staged_messages = 0;
+  std::size_t staging_high_water = 0;
   double seconds = 0.0;
   [[nodiscard]] double micros_per_event() const {
     return events == 0 ? 0.0 : seconds * 1e6 / static_cast<double>(events);
@@ -59,6 +77,36 @@ struct ScalingPoint {
     return seconds <= 0.0 ? 0.0 : static_cast<double>(events) / seconds;
   }
 };
+
+/// The merged sink contents of a sinks-on run, for byte-identity checks.
+struct SinkCapture {
+  std::vector<sim::TraceInterval> trace;
+  std::vector<grid::PerformanceHistoryRepository::Observation> history;
+};
+
+bool captures_equal(const SinkCapture& a, const SinkCapture& b) {
+  if (a.trace.size() != b.trace.size() ||
+      a.history.size() != b.history.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const sim::TraceInterval& x = a.trace[i];
+    const sim::TraceInterval& y = b.trace[i];
+    if (x.kind != y.kind || x.job != y.job || x.consumer != y.consumer ||
+        x.resource != y.resource || x.start != y.start || x.end != y.end) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const auto& x = a.history[i];
+    const auto& y = b.history[i];
+    if (x.operation != y.operation || x.resource != y.resource ||
+        x.smoothed != y.smoothed || x.count != y.count) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// One measured configuration: W chains of K jobs, machine w dedicated to
 /// workflow w (its costs are 1 there and 100 elsewhere, so every plan
@@ -134,10 +182,22 @@ ScalingPoint run_point(std::size_t workflows, std::size_t jobs) {
 /// dense per-workflow model at 4096 machines would cost gigabytes);
 /// both are const, so shard threads read them race-free. Each engine is
 /// built and submitted under its machine's home-shard binding —
-/// construction captures the shard's simulator and masked pool, and
-/// submit()'s synchronous first pump acquires on the shard's ledger.
+/// construction captures the shard's simulator, masked pool, and
+/// (with `sinks` on) the shard's private stamped trace sink; submit()'s
+/// synchronous first pump acquires on the shard's ledger.
+///
+/// `stagger` > 0 gives every workflow's *first* job a compute cost of
+/// stagger x (its machine's shard index + 1), so each shard's chain
+/// activity lands in a disjoint time window — the sparse-stream shape
+/// where the adaptive epoch width wins (the engine is work-conserving,
+/// so staggering must come from simulated work, not plan times). With
+/// `sinks` on, a completion hook records every job into the session's
+/// per-shard history delta (the sharded AHEFT write path) and `capture`
+/// (when non-null) receives the merged trace/history contents.
 ScalingPoint run_wide_point(std::size_t workflows, std::size_t jobs,
-                            std::size_t shards, ThreadPool* workers) {
+                            std::size_t shards, ThreadPool* workers,
+                            bool sinks, const sim::EpochConfig& epoch,
+                            sim::Time stagger, SinkCapture* capture) {
   grid::ResourcePool pool;
   for (std::size_t w = 0; w < workflows; ++w) {
     pool.add(grid::Resource{.name = "m" + std::to_string(w)});
@@ -152,31 +212,59 @@ ScalingPoint run_wide_point(std::size_t workflows, std::size_t jobs,
     }
   }
   chain.finalize();
-  grid::MachineModel model(jobs, workflows);
-  for (dag::JobId i = 0; i < jobs; ++i) {
-    for (grid::ResourceId r = 0;
-         r < static_cast<grid::ResourceId>(workflows); ++r) {
-      model.set_compute_cost(i, r, 1.0);
-    }
-  }
 
+  sim::TraceRecorder trace;
+  grid::PerformanceHistoryRepository history;
   core::SessionEnvironment env;
   env.pool = &pool;
   env.shards = shards;
   env.shard_workers = shards > 1 ? workers : nullptr;
+  env.epoch = epoch;
+  if (sinks) {
+    env.trace = &trace;
+    env.history = &history;
+  }
   core::SimulationSession session(env);
+
+  grid::MachineModel model(jobs, workflows);
+  for (dag::JobId i = 0; i < jobs; ++i) {
+    for (grid::ResourceId r = 0;
+         r < static_cast<grid::ResourceId>(workflows); ++r) {
+      const sim::Time lead =
+          stagger > 0.0
+              ? stagger * static_cast<sim::Time>(session.shard_of(r) + 1)
+              : 1.0;
+      model.set_compute_cost(i, r, i == 0 ? lead : 1.0);
+    }
+  }
+
   std::vector<std::unique_ptr<core::ExecutionEngine>> engines;
   engines.reserve(workflows);
   Stopwatch watch;
   for (std::size_t w = 0; w < workflows; ++w) {
     const auto machine = static_cast<grid::ResourceId>(w);
-    const auto binding = session.bind_shard(session.shard_of(machine));
+    const std::size_t home = session.shard_of(machine);
+    const auto binding = session.bind_shard(home);
     engines.push_back(
         std::make_unique<core::ExecutionEngine>(session, chain, model));
+    if (sinks) {
+      // The hook fires on the shard's drain thread; session.history()
+      // resolves to that shard's private delta there.
+      engines.back()->set_completion_hook(
+          [&session, &chain](dag::JobId job, grid::ResourceId resource,
+                             sim::Time start, sim::Time end) {
+            session.history()->record(chain.job(job).operation, resource,
+                                     end - start);
+          });
+    }
+    const sim::Time lead =
+        stagger > 0.0 ? stagger * static_cast<sim::Time>(home + 1) : 1.0;
     core::Schedule plan(jobs);
     for (dag::JobId i = 0; i < jobs; ++i) {
-      plan.assign(core::Assignment{i, machine, static_cast<sim::Time>(i),
-                                   static_cast<sim::Time>(i + 1)});
+      const sim::Time start =
+          i == 0 ? 0.0 : lead + static_cast<sim::Time>(i - 1);
+      const sim::Time end = lead + static_cast<sim::Time>(i);
+      plan.assign(core::Assignment{i, machine, start, end});
     }
     engines.back()->submit(plan);
   }
@@ -186,13 +274,22 @@ ScalingPoint run_wide_point(std::size_t workflows, std::size_t jobs,
   point.workflows = workflows;
   point.jobs_per_workflow = jobs;
   point.shards = session.shard_count();
+  point.epoch_width = epoch.width;
+  point.sinks = sinks;
   point.seconds = watch.seconds();
   point.events = session.executed_events();
+  point.epochs = session.sharded().epochs();
+  point.staged_messages = session.sharded().staged_messages();
+  point.staging_high_water = session.sharded().staging_high_water();
   for (const auto& engine : engines) {
     if (!engine->finished()) {
       std::cerr << "pump-scaling sharded workflow did not finish\n";
       std::exit(1);
     }
+  }
+  if (capture != nullptr) {
+    capture->trace = trace.intervals();
+    capture->history = history.snapshot();
   }
   return point;
 }
@@ -222,18 +319,22 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> workflow_counts = {4, 16, 64};
   constexpr double kMaxRatio = 3.0;
   // Sharded phase axes: stream widths from the ROADMAP's
-  // thousands-of-streams target, shard counts from the CLI.
+  // thousands-of-streams target, shard counts and fixed epoch widths
+  // from the CLI.
   const std::vector<std::size_t> wide_counts =
       smoke ? std::vector<std::size_t>{256, 1024}
             : std::vector<std::size_t>{256, 1024, 4096};
   const std::size_t wide_jobs = smoke ? 4 : 16;
   const std::vector<std::size_t> shard_counts =
       bench::parse_shards(args, {1, 8});
+  const std::vector<double> width_axis =
+      bench::parse_epoch_widths(args, {0.0});
   constexpr double kMinSpeedup = 2.0;
 
   bench::print_header(
       "Pump scaling: per-machine-event work vs workflow count", options,
-      workflow_counts.size() + wide_counts.size() * shard_counts.size());
+      workflow_counts.size() +
+          wide_counts.size() * shard_counts.size() * width_axis.size() * 2);
   bench::JsonReport report("bench_pump_scaling", options);
 
   std::vector<ScalingPoint> points;
@@ -259,36 +360,85 @@ int main(int argc, char** argv) {
   }
   std::cout << table.to_string() << "\n";
 
-  // Phase 2: sharded throughput at stream scale.
+  // Phase 2: sharded throughput at stream scale, with and without the
+  // per-shard sink machinery (trace + history through the barrier merge).
   ThreadPool workers(options.threads);
   std::vector<ScalingPoint> wide_points;
   for (const std::size_t w : wide_counts) {
     for (const std::size_t shards : shard_counts) {
-      const ScalingPoint best = best_of_two(
-          [&] { return run_wide_point(w, wide_jobs, shards, &workers); });
-      wide_points.push_back(best);
-      report.add_row(
-          {{"workflows", std::to_string(w)},
-           {"shards", std::to_string(best.shards)}},
-          {{"events", static_cast<double>(best.events)},
-           {"seconds", best.seconds},
-           {"events_per_sec", best.events_per_sec()},
-           {"micros_per_event", best.micros_per_event()}});
+      for (const double width : width_axis) {
+        for (const bool sinks : {false, true}) {
+          const sim::EpochConfig epoch{width, false, sim::kTimeInfinity};
+          const ScalingPoint best = best_of_two([&] {
+            return run_wide_point(w, wide_jobs, shards, &workers, sinks,
+                                  epoch, 0.0, nullptr);
+          });
+          wide_points.push_back(best);
+          report.add_row(
+              {{"workflows", std::to_string(w)},
+               {"shards", std::to_string(best.shards)},
+               {"epoch_width", format_double(width, 3)},
+               {"sinks", sinks ? "on" : "off"}},
+              {{"events", static_cast<double>(best.events)},
+               {"seconds", best.seconds},
+               {"events_per_sec", best.events_per_sec()},
+               {"micros_per_event", best.micros_per_event()},
+               {"epochs", static_cast<double>(best.epochs)},
+               {"staged_messages",
+                static_cast<double>(best.staged_messages)},
+               {"staging_high_water",
+                static_cast<double>(best.staging_high_water)}});
+        }
+      }
     }
   }
 
-  AsciiTable wide_table(
-      {"workflows", "shards", "events", "seconds", "events/sec"});
+  AsciiTable wide_table({"workflows", "shards", "width", "sinks", "events",
+                         "epochs", "seconds", "events/sec"});
   for (const ScalingPoint& p : wide_points) {
     wide_table.add_row({std::to_string(p.workflows),
                         std::to_string(p.shards),
+                        format_double(p.epoch_width, 1),
+                        p.sinks ? "on" : "off",
                         std::to_string(p.events),
+                        std::to_string(p.epochs),
                         format_double(p.seconds, 3),
                         format_double(p.events_per_sec(), 0)});
   }
   std::cout << "sharded throughput (lock-step epochs on "
             << workers.thread_count() << " pool threads):\n"
             << wide_table.to_string() << "\n";
+
+  // Phase 3: sparse stream — each shard's workflows staggered into a
+  // disjoint window. Adaptive width must collapse the barrier count
+  // without changing one byte of the merged sinks.
+  const std::size_t sparse_workflows = 64;
+  const std::size_t sparse_jobs = 32;
+  const std::size_t sparse_shards = 4;
+  const sim::Time kStagger = 1000.0;
+  SinkCapture fixed_capture;
+  SinkCapture adaptive_capture;
+  const ScalingPoint fixed_point = run_wide_point(
+      sparse_workflows, sparse_jobs, sparse_shards, &workers, true,
+      sim::EpochConfig{0.0, false, sim::kTimeInfinity}, kStagger,
+      &fixed_capture);
+  const ScalingPoint adaptive_point = run_wide_point(
+      sparse_workflows, sparse_jobs, sparse_shards, &workers, true,
+      sim::EpochConfig{0.0, true, sim::kTimeInfinity}, kStagger,
+      &adaptive_capture);
+  for (const ScalingPoint* p : {&fixed_point, &adaptive_point}) {
+    report.add_row(
+        {{"phase", "sparse"},
+         {"mode", p == &fixed_point ? "fixed" : "adaptive"},
+         {"workflows", std::to_string(p->workflows)},
+         {"shards", std::to_string(p->shards)}},
+        {{"events", static_cast<double>(p->events)},
+         {"seconds", p->seconds},
+         {"epochs", static_cast<double>(p->epochs)},
+         {"staged_messages", static_cast<double>(p->staged_messages)},
+         {"staging_high_water",
+          static_cast<double>(p->staging_high_water)}});
+  }
   report.write_if_requested(options);
 
   const double first = points.front().micros_per_event();
@@ -303,9 +453,10 @@ int main(int argc, char** argv) {
             << points.back().workflows / points.front().workflows
             << "x) -> " << (flat ? "PASS" : "FAIL") << "\n";
 
-  // Shard speedup self-check at the largest workflow count: enforced
-  // only where it can physically hold — the axis must compare 1 and 8
-  // shards and the machine must have >= 8 cores for 8 shards to run
+  // Shard speedup self-checks at the largest workflow count and the first
+  // epoch width, sinks off and sinks on (the history arm): enforced only
+  // where they can physically hold — the axis must compare 1 and 8 shards
+  // and the machine must have >= 8 cores for 8 shards to run
   // concurrently.
   bool sharded_ok = true;
   const bool axis_has_pair =
@@ -314,32 +465,52 @@ int main(int argc, char** argv) {
       std::find(shard_counts.begin(), shard_counts.end(),
                 std::size_t{8}) != shard_counts.end();
   const unsigned cores = std::thread::hardware_concurrency();
-  double serial_eps = 0.0;
-  double sharded_eps = 0.0;
-  for (const ScalingPoint& p : wide_points) {
-    if (p.workflows != wide_counts.back()) {
-      continue;
+  for (const bool sinks : {false, true}) {
+    double serial_eps = 0.0;
+    double sharded_eps = 0.0;
+    for (const ScalingPoint& p : wide_points) {
+      if (p.workflows != wide_counts.back() || p.sinks != sinks ||
+          p.epoch_width != width_axis.front()) {
+        continue;
+      }
+      if (p.shards == 1) {
+        serial_eps = p.events_per_sec();
+      } else if (p.shards == 8) {
+        sharded_eps = p.events_per_sec();
+      }
     }
-    if (p.shards == 1) {
-      serial_eps = p.events_per_sec();
-    } else if (p.shards == 8) {
-      sharded_eps = p.events_per_sec();
+    const char* arm = sinks ? "history arm" : "sinks off";
+    if (axis_has_pair && cores >= 8) {
+      const double speedup =
+          serial_eps > 0.0 ? sharded_eps / serial_eps : 0.0;
+      const bool ok = speedup >= kMinSpeedup;
+      sharded_ok = sharded_ok && ok;
+      std::cout << "shard-speedup self-check (" << arm
+                << "): 8 shards deliver " << format_double(speedup, 2)
+                << "x the serial events/sec at " << wide_counts.back()
+                << " workflows (bound " << format_double(kMinSpeedup, 1)
+                << "x on " << cores << " cores) -> "
+                << (ok ? "PASS" : "FAIL") << "\n";
+    } else {
+      std::cout << "shard-speedup self-check (" << arm
+                << "): SKIP (needs --shards covering 1 and 8, and >= 8 "
+                   "cores; axis pair="
+                << (axis_has_pair ? "yes" : "no") << ", cores=" << cores
+                << ")\n";
     }
   }
-  if (axis_has_pair && cores >= 8) {
-    const double speedup =
-        serial_eps > 0.0 ? sharded_eps / serial_eps : 0.0;
-    sharded_ok = speedup >= kMinSpeedup;
-    std::cout << "shard-speedup self-check: 8 shards deliver "
-              << format_double(speedup, 2) << "x the serial events/sec at "
-              << wide_counts.back() << " workflows (bound "
-              << format_double(kMinSpeedup, 1) << "x on " << cores
-              << " cores) -> " << (sharded_ok ? "PASS" : "FAIL") << "\n";
-  } else {
-    std::cout << "shard-speedup self-check: SKIP (needs --shards covering "
-                 "1 and 8, and >= 8 cores; axis pair="
-              << (axis_has_pair ? "yes" : "no") << ", cores=" << cores
-              << ")\n";
-  }
-  return flat && sharded_ok ? 0 : 1;
+
+  // Adaptive-width self-check: logical, so no core-count gate — a null
+  // or undersized pool drains epochs inline with identical semantics.
+  const bool fewer_epochs = adaptive_point.epochs < fixed_point.epochs;
+  const bool identical = captures_equal(fixed_capture, adaptive_capture) &&
+                         fixed_point.events == adaptive_point.events;
+  const bool adaptive_ok = fewer_epochs && identical;
+  std::cout << "adaptive-width self-check: sparse stream ran "
+            << adaptive_point.epochs << " epochs adaptive vs "
+            << fixed_point.epochs << " at width=0 (want strictly fewer), "
+            << "merged sinks " << (identical ? "byte-identical" : "DIFFER")
+            << " -> " << (adaptive_ok ? "PASS" : "FAIL") << "\n";
+
+  return flat && sharded_ok && adaptive_ok ? 0 : 1;
 }

@@ -21,12 +21,8 @@ std::size_t effective_shards(const SessionEnvironment& env) {
 }  // namespace
 
 SimulationSession::SimulationSession(const SessionEnvironment& env)
-    : env_(env), sharded_(effective_shards(env)) {
+    : env_(env), sharded_(effective_shards(env), env.epoch) {
   const std::size_t shards = sharded_.shard_count();
-  AHEFT_REQUIRE(shards == 1 || env.trace == nullptr,
-                "trace recording requires shards=1 (shared mutable sink)");
-  AHEFT_REQUIRE(shards == 1 || env.history == nullptr,
-                "performance history requires shards=1 (shared mutable sink)");
   // Backfill proves a hole fits from the request's nominal duration; a
   // load profile stretches realized run times past that proof, so the
   // combination is refused rather than silently overlapping.
@@ -53,8 +49,23 @@ SimulationSession::SimulationSession(const SessionEnvironment& env)
         }
         state->masked_pool.add(std::move(copy));
       }
+      // Shard-private stamped sinks: written only by the shard's drain
+      // thread, merged into the shared environment sinks at every tick
+      // barrier by merge_shard_sinks().
+      sim::Simulator* clock = &sharded_.shard(s);
+      if (env.trace != nullptr) {
+        state->trace_sink = std::make_unique<sim::StampedTraceSink>(
+            [clock]() { return clock->now(); });
+      }
+      if (env.history != nullptr) {
+        state->history_delta = std::make_unique<grid::HistoryDelta>(
+            *env.history, [clock]() { return clock->now(); });
+      }
     }
     states_.push_back(std::move(state));
+  }
+  if (shards > 1 && (env.trace != nullptr || env.history != nullptr)) {
+    sharded_.set_barrier_hook([this]() { merge_shard_sinks(); });
   }
 }
 
@@ -71,6 +82,86 @@ bool SessionParticipant::revoke_committed(grid::ResourceId /*resource*/,
 
 const grid::ResourcePool& SimulationSession::pool() const noexcept {
   return sharded_.shard_count() == 1 ? *env_.pool : state().masked_pool;
+}
+
+sim::TraceRecorder* SimulationSession::trace() const noexcept {
+  const ShardState& shard = state();
+  return shard.trace_sink != nullptr ? shard.trace_sink.get() : env_.trace;
+}
+
+grid::PerformanceHistoryRepository* SimulationSession::history()
+    const noexcept {
+  const ShardState& shard = state();
+  return shard.history_delta != nullptr ? shard.history_delta.get()
+                                        : env_.history;
+}
+
+void SimulationSession::merge_shard_sinks() {
+  // (stamp, origin shard, seq) is the same strict total order the staged
+  // cross-shard message path applies at barriers: independent of worker
+  // scheduling, so the merged sinks replay byte-identically run to run.
+  if (env_.trace != nullptr) {
+    struct TaggedTrace {
+      sim::StampedTraceRecord record;
+      std::size_t shard = 0;
+    };
+    std::vector<TaggedTrace> merged;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      for (sim::StampedTraceRecord& record :
+           states_[s]->trace_sink->take_pending()) {
+        merged.push_back(TaggedTrace{std::move(record), s});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TaggedTrace& a, const TaggedTrace& b) {
+                if (a.record.stamp != b.record.stamp) {
+                  return a.record.stamp < b.record.stamp;
+                }
+                if (a.shard != b.shard) {
+                  return a.shard < b.shard;
+                }
+                return a.record.seq < b.record.seq;
+              });
+    for (const TaggedTrace& tagged : merged) {
+      const sim::TraceInterval& interval = tagged.record.interval;
+      if (interval.kind == sim::IntervalKind::kCompute) {
+        env_.trace->record_compute(interval.job, interval.resource,
+                                   interval.start, interval.end);
+      } else {
+        env_.trace->record_transfer(interval.job, interval.consumer,
+                                    interval.resource, interval.start,
+                                    interval.end);
+      }
+    }
+  }
+  if (env_.history != nullptr) {
+    struct TaggedObservation {
+      grid::PendingObservation observation;
+      std::size_t shard = 0;
+    };
+    std::vector<TaggedObservation> merged;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      for (grid::PendingObservation& observation :
+           states_[s]->history_delta->take_pending()) {
+        merged.push_back(TaggedObservation{std::move(observation), s});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TaggedObservation& a, const TaggedObservation& b) {
+                if (a.observation.stamp != b.observation.stamp) {
+                  return a.observation.stamp < b.observation.stamp;
+                }
+                if (a.shard != b.shard) {
+                  return a.shard < b.shard;
+                }
+                return a.observation.seq < b.observation.seq;
+              });
+    for (const TaggedObservation& tagged : merged) {
+      env_.history->record(tagged.observation.operation,
+                           tagged.observation.resource,
+                           tagged.observation.duration);
+    }
+  }
 }
 
 const ContentionPolicy& SimulationSession::policy() const noexcept {

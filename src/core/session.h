@@ -94,13 +94,21 @@ struct SessionEnvironment {
   /// Parallel shards for the event loop (clamped to the universe size so
   /// every shard owns at least one machine). 1 — the default — is the
   /// serial session, bit-identical to every prior PR. More than one
-  /// requires trace and history to be null: both are shared mutable
-  /// sinks the shards would race on.
+  /// composes with trace and history: each shard writes a private
+  /// stamped sink (lock-free, drain-thread-only) that the session merges
+  /// into the shared recorder/repository at every tick barrier in
+  /// deterministic (time, origin shard, origin seq) order, so the merged
+  /// sinks are byte-identical run to run at a fixed shard count — and
+  /// byte-identical to the serial session at shards=1.
   std::size_t shards = 1;
   ShardAssignment shard_assignment = ShardAssignment::kContiguousBlocks;
   /// Workers the epoch barriers fan out on; null drains shards inline on
   /// the calling thread (deterministic either way). Must outlive run().
   ThreadPool* shard_workers = nullptr;
+  /// Epoch-width policy for the tick barriers (fixed floor + optional
+  /// adaptive lookahead); the default is the historical width=0 behavior.
+  /// Ignored at shards=1 (the serial fast path has no epochs).
+  sim::EpochConfig epoch;
   /// Resilience: checkpoint/restart model, the departure action, and
   /// fair-share preemption (see resilience/checkpoint_model.h). The
   /// default config is inactive and leaves every simulated event
@@ -170,12 +178,16 @@ class SimulationSession {
   [[nodiscard]] const grid::LoadProfile* load() const noexcept {
     return env_.load;
   }
-  [[nodiscard]] sim::TraceRecorder* trace() const noexcept {
-    return env_.trace;
-  }
-  [[nodiscard]] grid::PerformanceHistoryRepository* history() const noexcept {
-    return env_.history;
-  }
+  /// The calling shard's trace sink. Serial sessions hand out the
+  /// environment recorder itself; sharded sessions hand out the shard's
+  /// private stamped sink, merged into the environment recorder at tick
+  /// barriers. Engines capture this on their home shard, so per-shard
+  /// resolution is transparent to every call site.
+  [[nodiscard]] sim::TraceRecorder* trace() const noexcept;
+  /// The calling shard's history repository (the shard's private delta in
+  /// a sharded session; reads fall through to the environment repository,
+  /// writes merge at barriers). Same capture discipline as trace().
+  [[nodiscard]] grid::PerformanceHistoryRepository* history() const noexcept;
   [[nodiscard]] const SessionEnvironment& environment() const noexcept {
     return env_;
   }
@@ -347,6 +359,12 @@ class SimulationSession {
     /// only when the environment's resilience config is active, so an
     /// inactive session carries no resilience state at all.
     std::unique_ptr<resilience::RevocationManager> revocation;
+    /// Shard-private stamped sinks, built only in sharded sessions whose
+    /// environment carries the matching shared sink. Written exclusively
+    /// by the shard's drain thread; drained by merge_shard_sinks() on the
+    /// coordinator at every tick barrier.
+    std::unique_ptr<sim::StampedTraceSink> trace_sink;
+    std::unique_ptr<grid::HistoryDelta> history_delta;
   };
 
   /// The calling thread's shard state.
@@ -388,6 +406,12 @@ class SimulationSession {
   [[nodiscard]] bool wakeups_enabled(const ShardState& state) const {
     return state.policy->needs_change_notifications() || backfill_;
   }
+
+  /// Barrier merge: drains every shard's stamped trace/history sink and
+  /// replays the records into the environment sinks in (stamp, origin
+  /// shard, origin seq) order — the staged-message order. Runs on the
+  /// coordinator thread with every drain worker parked.
+  void merge_shard_sinks();
 
   SessionEnvironment env_;
   sim::ShardedSimulator sharded_;

@@ -1,5 +1,7 @@
 #include "exp/case.h"
 
+#include <optional>
+
 #include "core/heft.h"
 #include "core/strategy.h"
 #include "support/assert.h"
@@ -70,6 +72,13 @@ core::SessionEnvironment session_environment(const CaseSpec& spec,
   session.contention_policy = spec.contention_policy;
   session.backfill = spec.backfill;
   session.resilience = spec.resilience;
+  session.shards = spec.shards;
+  // Scenario pools list the t=0 machines first and dynamic arrivals
+  // after, so contiguous blocks would hand the high shards partitions of
+  // machines that have not arrived yet (and a workflow released there
+  // has nothing to plan on). Hashing interleaves initial machines and
+  // arrivals across every shard.
+  session.shard_assignment = core::ShardAssignment::kHashed;
   return session;
 }
 
@@ -142,6 +151,8 @@ CaseResult run_case(const CaseSpec& spec) {
   // multi-workflow specs belong to run_stream_case.
   AHEFT_REQUIRE(spec.stream_jobs <= 1,
                 "spec carries a multi-DAG stream axis; use run_stream_case");
+  // One workflow cannot span shard partitions; shards belong to streams.
+  AHEFT_REQUIRE(spec.shards == 1, "single-DAG cases run serial (shards=1)");
   const CaseEnvironment env = build_case_environment(spec);
   const core::SessionEnvironment session = session_environment(spec, env);
   const core::StrategyConfig config = strategy_config(spec);
@@ -267,12 +278,28 @@ StreamStrategySummary run_stream_strategy(const CaseSpec& spec,
                                           const CaseEnvironment& env,
                                           const StreamSetup& setup,
                                           core::StrategyKind kind) {
-  const core::SessionEnvironment session = session_environment(spec, env);
+  core::SessionEnvironment session = session_environment(spec, env);
+  // Each strategy records into its own fresh repository so cross-strategy
+  // comparisons stay independent; the merged fingerprint is exported on
+  // the summary for twin-run determinism checks.
+  std::optional<grid::PerformanceHistoryRepository> history;
+  if (spec.use_history) {
+    history.emplace();
+    session.history = &*history;
+  }
   const core::StrategyConfig config = strategy_config(spec);
   const std::unique_ptr<core::StrategyDriver> driver =
       core::make_strategy_driver(kind, config);
-  return summarize(
+  StreamStrategySummary summary = summarize(
       core::run_workflow_stream(session, *driver, setup.instances));
+  if (history.has_value()) {
+    summary.history_observations = history->total_observations();
+    for (const grid::PerformanceHistoryRepository::Observation& observation :
+         history->snapshot()) {
+      summary.history_estimates.push_back(observation.smoothed);
+    }
+  }
+  return summary;
 }
 
 StreamCaseResult run_stream_case(const CaseSpec& spec) {

@@ -77,6 +77,14 @@ struct CaseSpec {
   /// handling, checkpoint/restart model, fair-share preemption. The
   /// default config is inactive and keeps every case bit-stable.
   resilience::ResilienceConfig resilience;
+  /// Parallel event-loop shards for stream sessions
+  /// (SessionEnvironment::shards). 1 — the default — is the serial
+  /// session; single-DAG cases (run_case) require 1.
+  std::size_t shards = 1;
+  /// Feed each strategy a fresh PerformanceHistoryRepository (the paper's
+  /// Fig. 1 repository AHEFT's planner records into); its deterministic
+  /// fingerprint is exported on StreamStrategySummary. Off by default.
+  bool use_history = false;
 };
 
 struct CaseResult {
@@ -139,6 +147,12 @@ struct StreamStrategySummary {
   double checkpoint_overhead = 0.0;
   double useful_work = 0.0;
   double goodput = 1.0;
+  /// Performance-history fingerprint when CaseSpec::use_history fed the
+  /// strategy a repository: total observations absorbed and every
+  /// (operation, resource) key's smoothed estimate in key order — a
+  /// byte-comparable digest for twin-run determinism checks.
+  std::size_t history_observations = 0;
+  std::vector<double> history_estimates;
 };
 
 struct StreamCaseResult {

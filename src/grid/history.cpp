@@ -40,9 +40,75 @@ std::size_t PerformanceHistoryRepository::observations(
   return it == entries_.end() ? 0 : it->second.count;
 }
 
+std::vector<PerformanceHistoryRepository::Observation>
+PerformanceHistoryRepository::snapshot() const {
+  std::vector<Observation> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(Observation{key.first, key.second, entry.smoothed,
+                              entry.count});
+  }
+  return out;
+}
+
 void PerformanceHistoryRepository::clear() {
   entries_.clear();
   total_ = 0;
+}
+
+HistoryDelta::HistoryDelta(const PerformanceHistoryRepository& base,
+                           std::function<double()> clock)
+    : PerformanceHistoryRepository(base.smoothing()),
+      base_(&base),
+      clock_(std::move(clock)) {}
+
+void HistoryDelta::record(const std::string& operation, ResourceId resource,
+                          double actual_duration) {
+  AHEFT_REQUIRE(actual_duration >= 0.0, "duration must be non-negative");
+  Overlay& overlay = overlay_[{operation, resource}];
+  if (overlay.count == 0) {
+    // First delta-local record for this key: seed from the base entry so
+    // the EWMA continues exactly where the barrier replay will leave it.
+    if (const auto base_estimate = base_->estimate(operation, resource)) {
+      overlay.smoothed = *base_estimate;
+      overlay.count = base_->observations(operation, resource);
+    }
+  }
+  if (overlay.count == 0) {
+    overlay.smoothed = actual_duration;
+  } else {
+    overlay.smoothed = smoothing() * actual_duration +
+                       (1.0 - smoothing()) * overlay.smoothed;
+  }
+  ++overlay.count;
+  pending_.push_back(
+      PendingObservation{clock_(), seq_++, operation, resource,
+                         actual_duration});
+}
+
+std::optional<double> HistoryDelta::estimate(const std::string& operation,
+                                             ResourceId resource) const {
+  const auto it = overlay_.find({operation, resource});
+  if (it != overlay_.end()) {
+    return it->second.smoothed;
+  }
+  return base_->estimate(operation, resource);
+}
+
+std::size_t HistoryDelta::observations(const std::string& operation,
+                                       ResourceId resource) const {
+  const auto it = overlay_.find({operation, resource});
+  if (it != overlay_.end()) {
+    return it->second.count;
+  }
+  return base_->observations(operation, resource);
+}
+
+std::vector<PendingObservation> HistoryDelta::take_pending() {
+  std::vector<PendingObservation> out;
+  out.swap(pending_);
+  overlay_.clear();
+  return out;
 }
 
 }  // namespace aheft::grid

@@ -4,12 +4,21 @@
 // exponentially smoothed estimates. Scientific workflows repeat a handful
 // of operations many times (§4.3), so per-operation history converges
 // quickly.
+//
+// `HistoryDelta` is the sharded-core overlay: each shard records into a
+// private delta (written only by the shard's drain thread), reads fall
+// through to the shared base repository for keys the shard never touched,
+// and the stamped pending observations are replayed into the base at tick
+// barriers in deterministic (stamp, origin shard, origin seq) order.
 #ifndef AHEFT_GRID_HISTORY_H_
 #define AHEFT_GRID_HISTORY_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "grid/resource.h"
 
@@ -19,20 +28,43 @@ class PerformanceHistoryRepository {
  public:
   /// `smoothing` is the weight of the newest observation (EWMA alpha).
   explicit PerformanceHistoryRepository(double smoothing = 0.5);
+  PerformanceHistoryRepository(const PerformanceHistoryRepository&) = default;
+  PerformanceHistoryRepository& operator=(const PerformanceHistoryRepository&) =
+      default;
+  PerformanceHistoryRepository(PerformanceHistoryRepository&&) = default;
+  PerformanceHistoryRepository& operator=(PerformanceHistoryRepository&&) =
+      default;
+  virtual ~PerformanceHistoryRepository() = default;
 
   /// Records an actual run time for `operation` on `resource`.
-  void record(const std::string& operation, ResourceId resource,
-              double actual_duration);
+  virtual void record(const std::string& operation, ResourceId resource,
+                      double actual_duration);
 
   /// Smoothed estimate; empty when the pair was never observed.
-  [[nodiscard]] std::optional<double> estimate(const std::string& operation,
-                                               ResourceId resource) const;
+  [[nodiscard]] virtual std::optional<double> estimate(
+      const std::string& operation, ResourceId resource) const;
 
   /// Number of observations for the pair.
-  [[nodiscard]] std::size_t observations(const std::string& operation,
-                                         ResourceId resource) const;
+  [[nodiscard]] virtual std::size_t observations(const std::string& operation,
+                                                 ResourceId resource) const;
 
+  /// Observations absorbed by this repository object itself (for a
+  /// `HistoryDelta`, delta-local records are not counted here).
   [[nodiscard]] std::size_t total_observations() const { return total_; }
+
+  [[nodiscard]] double smoothing() const { return smoothing_; }
+
+  /// One (operation, resource) key's state in a `snapshot()`.
+  struct Observation {
+    std::string operation;
+    ResourceId resource = 0;
+    double smoothed = 0.0;
+    std::size_t count = 0;
+  };
+
+  /// Every key's smoothed estimate and count in key order — a
+  /// determinism-comparable fingerprint for twin-run checks.
+  [[nodiscard]] std::vector<Observation> snapshot() const;
 
   void clear();
 
@@ -44,6 +76,55 @@ class PerformanceHistoryRepository {
   double smoothing_;
   std::map<std::pair<std::string, ResourceId>, Entry> entries_;
   std::size_t total_ = 0;
+};
+
+/// One delta-local observation awaiting the deterministic barrier merge.
+struct PendingObservation {
+  double stamp = 0.0;      ///< recording shard's clock at the record
+  std::uint64_t seq = 0;   ///< append order within the owning delta
+  std::string operation;
+  ResourceId resource = 0;
+  double duration = 0.0;
+};
+
+/// Shard-private history overlay. `record()` continues the base EWMA
+/// locally: the first delta-local record for a key seeds the overlay from
+/// the base repository's entry, so estimates served to the shard between
+/// barriers are exactly what the base will hold once the pending
+/// observations are replayed into it. Under the session's resource-shard
+/// confinement, (operation, resource) keys are disjoint across shards, so
+/// overlay reads never see another shard's unreplayed writes.
+class HistoryDelta final : public PerformanceHistoryRepository {
+ public:
+  /// `clock` reads the owning shard's simulation clock; it is called on the
+  /// shard's drain thread at every record. `base` must outlive the delta
+  /// and is only read between barriers (the coordinator mutates it while
+  /// the drain workers are parked).
+  HistoryDelta(const PerformanceHistoryRepository& base,
+               std::function<double()> clock);
+
+  void record(const std::string& operation, ResourceId resource,
+              double actual_duration) override;
+  [[nodiscard]] std::optional<double> estimate(
+      const std::string& operation, ResourceId resource) const override;
+  [[nodiscard]] std::size_t observations(const std::string& operation,
+                                         ResourceId resource) const override;
+
+  /// Drains the observations accumulated since the last call, in append
+  /// order (nondecreasing stamp, strictly increasing seq), and resets the
+  /// overlay so post-merge reads fall through to the updated base.
+  [[nodiscard]] std::vector<PendingObservation> take_pending();
+
+ private:
+  struct Overlay {
+    double smoothed = 0.0;
+    std::size_t count = 0;
+  };
+  const PerformanceHistoryRepository* base_;
+  std::function<double()> clock_;
+  std::uint64_t seq_ = 0;
+  std::map<std::pair<std::string, ResourceId>, Overlay> overlay_;
+  std::vector<PendingObservation> pending_;
 };
 
 }  // namespace aheft::grid

@@ -19,10 +19,17 @@ thread_local std::size_t tls_shard = 0;
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(std::size_t shards, Time epoch_width)
-    : epoch_width_(epoch_width) {
+    : ShardedSimulator(shards, EpochConfig{epoch_width, false, kTimeInfinity}) {
+}
+
+ShardedSimulator::ShardedSimulator(std::size_t shards,
+                                   const EpochConfig& epoch)
+    : epoch_(epoch) {
   AHEFT_REQUIRE(shards >= 1, "need at least one shard");
-  AHEFT_REQUIRE(epoch_width >= 0.0 && epoch_width < kTimeInfinity,
+  AHEFT_REQUIRE(epoch.width >= 0.0 && epoch.width < kTimeInfinity,
                 "epoch width must be finite and non-negative");
+  AHEFT_REQUIRE(epoch.max_width >= 0.0,
+                "epoch max width must be non-negative");
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -84,6 +91,32 @@ Time ShardedSimulator::min_next_event_time() const {
   return earliest;
 }
 
+Time ShardedSimulator::epoch_width_for(Time h1) const {
+  if (!epoch_.adaptive) {
+    return epoch_.width;
+  }
+  // Second-smallest next-event time, counting multiplicity: a tie at h1
+  // means two shards share the frontier and the lookahead collapses to 0.
+  Time first = kTimeInfinity;
+  Time second = kTimeInfinity;
+  for (const auto& shard : shards_) {
+    const Time t = shard->sim.next_event_time();
+    if (t < first) {
+      second = first;
+      first = t;
+    } else if (t < second) {
+      second = t;
+    }
+  }
+  // Everything in [h1, second) belongs to the single frontier shard, so
+  // draining to second cannot change what any other shard observes. With
+  // one active shard (second == infinity) take the full max_width.
+  const Time lookahead = second >= kTimeInfinity
+                             ? epoch_.max_width
+                             : std::min(second - h1, epoch_.max_width);
+  return std::max(epoch_.width, lookahead);
+}
+
 void ShardedSimulator::apply_staged() {
   std::vector<Staged> merged;
   for (auto& shard : shards_) {
@@ -143,13 +176,22 @@ Time ShardedSimulator::run(ThreadPool* pool) {
       break;
     }
     ++epochs_;
+    // The epoch target: horizon plus the (possibly adaptive) width. An
+    // infinite adaptive lookahead drains the lone active shard to empty;
+    // run_until() never advances a clock to an infinite horizon.
+    const Time width = epoch_width_for(horizon);
+    const Time target =
+        width >= kTimeInfinity ? kTimeInfinity : horizon + width;
     // The barrier: parallel_for returns only after every shard has
-    // drained [.., horizon]. Chunk size 1 so each shard gets its own
+    // drained [.., target]. Chunk size 1 so each shard gets its own
     // pool task; a null pool drains the shards inline, in order.
     parallel_for(
-        pool, n,
-        [this, horizon](std::size_t s) { drain(s, horizon + epoch_width_); },
+        pool, n, [this, target](std::size_t s) { drain(s, target); },
         /*chunk_size=*/1);
+    if (barrier_hook_) {
+      // Every drain worker is parked: the hook owns all shard state.
+      barrier_hook_();
+    }
   }
   running_ = false;
   Time end = kTimeZero;

@@ -14,6 +14,7 @@
 #define AHEFT_SIM_SHARDED_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,24 @@
 
 namespace aheft::sim {
 
+/// Epoch-width policy for the lock-step barriers.
+///
+/// `width` is the fixed floor added to every horizon (the historical
+/// `epoch_width` knob). With `adaptive` set, each epoch additionally looks
+/// ahead to the second-smallest next-event time across shards: everything
+/// strictly before it belongs to the single frontier shard, so draining
+/// that far cannot reorder anything another shard would observe. The
+/// lookahead is clamped to `max_width` (infinite by default); when only
+/// one shard has pending events the lookahead is `max_width` outright.
+/// The effective width of an epoch is max(width, clamped lookahead), so
+/// adaptive never narrows a fixed width — and with `adaptive` false the
+/// fixed-width and width=0 paths are exactly the historical ones.
+struct EpochConfig {
+  Time width = 0.0;
+  bool adaptive = false;
+  Time max_width = kTimeInfinity;
+};
+
 class ShardedSimulator {
  public:
   /// Creates `shards` independent event loops (must be >= 1). Events that
@@ -31,6 +50,8 @@ class ShardedSimulator {
   /// frequency for intra-epoch reordering *between* shards (never within
   /// one shard, so per-shard determinism is unaffected).
   explicit ShardedSimulator(std::size_t shards, Time epoch_width = 0.0);
+  /// Full epoch-width policy, including the adaptive lookahead.
+  ShardedSimulator(std::size_t shards, const EpochConfig& epoch);
   ~ShardedSimulator();
 
   ShardedSimulator(const ShardedSimulator&) = delete;
@@ -62,6 +83,15 @@ class ShardedSimulator {
   /// Returns the maximum final clock across shards. `pool` may be null
   /// (epochs drain inline; still deterministic, useful for tests).
   Time run(ThreadPool* pool);
+
+  /// Installs a hook called on the coordinator thread after each epoch's
+  /// parallel drain returns (every worker parked) and before the next
+  /// epoch's staged messages are applied — the race-free window the
+  /// session uses to merge per-shard trace/history sinks. Never called on
+  /// the single-shard serial fast path (no barriers exist there).
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
 
   /// Binds the calling thread to shard `s` of this simulator for the
   /// lifetime of the object (RAII; restores the previous binding).
@@ -113,10 +143,15 @@ class ShardedSimulator {
   void apply_staged();
   [[nodiscard]] bool any_staged() const;
   [[nodiscard]] Time min_next_event_time() const;
+  /// Effective width for the epoch starting at horizon `h1`: the fixed
+  /// floor, widened by the adaptive lookahead toward the second-smallest
+  /// next-event time across shards (clamped to max_width).
+  [[nodiscard]] Time epoch_width_for(Time h1) const;
 
   // Simulator is immovable, so shards live behind unique_ptr.
   std::vector<std::unique_ptr<Shard>> shards_;
-  Time epoch_width_;
+  EpochConfig epoch_;
+  std::function<void()> barrier_hook_;
   bool running_ = false;
   std::uint64_t epochs_ = 0;
   std::uint64_t staged_total_ = 0;

@@ -25,6 +25,27 @@ void TraceRecorder::record_transfer(std::uint32_t producer,
                                      consumer, target_resource, start, end});
 }
 
+void StampedTraceSink::record_compute(std::uint32_t job, std::uint32_t resource,
+                                      Time start, Time end) {
+  TraceRecorder::record_compute(job, resource, start, end);
+  pending_.push_back(StampedTraceRecord{clock_(), seq_++, intervals().back()});
+}
+
+void StampedTraceSink::record_transfer(std::uint32_t producer,
+                                       std::uint32_t consumer,
+                                       std::uint32_t target_resource,
+                                       Time start, Time end) {
+  TraceRecorder::record_transfer(producer, consumer, target_resource, start,
+                                 end);
+  pending_.push_back(StampedTraceRecord{clock_(), seq_++, intervals().back()});
+}
+
+std::vector<StampedTraceRecord> StampedTraceSink::take_pending() {
+  std::vector<StampedTraceRecord> out;
+  out.swap(pending_);
+  return out;
+}
+
 std::vector<TraceInterval> TraceRecorder::sorted(IntervalKind kind) const {
   std::vector<TraceInterval> out;
   for (const auto& interval : intervals_) {

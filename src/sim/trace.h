@@ -2,11 +2,20 @@
 //
 // Traces back the paper's Fig. 5 Gantt charts and let tests assert that a
 // simulated execution actually honored a schedule.
+//
+// `TraceRecorder` is the serial append-only sink. `StampedTraceSink`
+// subclasses it for the sharded core: each shard owns one, writes it from
+// its own drain thread only, and the session merges the stamped pending
+// records into the shared recorder at tick barriers in deterministic
+// (stamp, origin shard, origin seq) order — the same order the staged
+// cross-shard message path uses.
 #ifndef AHEFT_SIM_TRACE_H_
 #define AHEFT_SIM_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -28,10 +37,18 @@ struct TraceInterval {
 /// Append-only trace of a simulation run.
 class TraceRecorder {
  public:
-  void record_compute(std::uint32_t job, std::uint32_t resource, Time start,
-                      Time end);
-  void record_transfer(std::uint32_t producer, std::uint32_t consumer,
-                       std::uint32_t target_resource, Time start, Time end);
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = default;
+  TraceRecorder& operator=(const TraceRecorder&) = default;
+  TraceRecorder(TraceRecorder&&) = default;
+  TraceRecorder& operator=(TraceRecorder&&) = default;
+  virtual ~TraceRecorder() = default;
+
+  virtual void record_compute(std::uint32_t job, std::uint32_t resource,
+                              Time start, Time end);
+  virtual void record_transfer(std::uint32_t producer, std::uint32_t consumer,
+                               std::uint32_t target_resource, Time start,
+                               Time end);
 
   [[nodiscard]] const std::vector<TraceInterval>& intervals() const {
     return intervals_;
@@ -50,6 +67,43 @@ class TraceRecorder {
 
  private:
   std::vector<TraceInterval> intervals_;
+};
+
+/// A trace record awaiting a deterministic barrier merge: the interval plus
+/// the recording shard's clock and a per-sink append sequence number.
+struct StampedTraceRecord {
+  Time stamp = kTimeZero;  ///< recording shard's clock when the record landed
+  std::uint64_t seq = 0;   ///< append order within the owning sink
+  TraceInterval interval;
+};
+
+/// Shard-private trace buffer. Written only by the owning shard's drain
+/// thread; the pending records are taken at tick barriers (on the
+/// coordinator thread, with the drain workers parked) and replayed into the
+/// shared `TraceRecorder` in (stamp, origin shard, seq) order. Also keeps
+/// the inherited per-shard interval list, so a sink is a complete recorder
+/// of its own shard's activity.
+class StampedTraceSink final : public TraceRecorder {
+ public:
+  /// `clock` reads the owning shard's simulation clock; it is called on the
+  /// shard's drain thread at every record.
+  explicit StampedTraceSink(std::function<Time()> clock)
+      : clock_(std::move(clock)) {}
+
+  void record_compute(std::uint32_t job, std::uint32_t resource, Time start,
+                      Time end) override;
+  void record_transfer(std::uint32_t producer, std::uint32_t consumer,
+                       std::uint32_t target_resource, Time start,
+                       Time end) override;
+
+  /// Drains the records accumulated since the last call, in append order
+  /// (nondecreasing stamp, strictly increasing seq).
+  [[nodiscard]] std::vector<StampedTraceRecord> take_pending();
+
+ private:
+  std::function<Time()> clock_;
+  std::uint64_t seq_ = 0;
+  std::vector<StampedTraceRecord> pending_;
 };
 
 }  // namespace aheft::sim

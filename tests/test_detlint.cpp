@@ -382,6 +382,67 @@ TEST(DetlintSuppression, WrongRuleDoesNotSuppress) {
   EXPECT_EQ(count_rule(findings, "confined-threads"), 1);
 }
 
+TEST(DetlintSuppression, StaleNamedSuppressionIsAFinding) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "int x = 0;  // NOLINT-DET(no-wallclock): shielded a clock call "
+      "that has since moved\n");
+  ASSERT_EQ(count_rule(findings, "unused-suppression"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "unused-suppression") {
+      EXPECT_EQ(f.stale_rule, "no-wallclock");
+      EXPECT_EQ(f.line, 1);
+      EXPECT_FALSE(f.suppressed);
+    }
+  }
+}
+
+TEST(DetlintSuppression, UsedSuppressionIsNotStale) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(confined-threads): audited lock\n");
+  EXPECT_EQ(count_rule(findings, "unused-suppression"), 0);
+  EXPECT_EQ(unsuppressed(findings), 0);
+}
+
+TEST(DetlintSuppression, StaleWildcardIsAFinding) {
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "int x = 0;  // NOLINT-DET(*): blanket shield over nothing\n");
+  ASSERT_EQ(count_rule(findings, "unused-suppression"), 1);
+  EXPECT_EQ(findings[0].stale_rule, "*");
+}
+
+TEST(DetlintSuppression, PartiallyStaleRuleListFlagsOnlyTheDeadRule) {
+  // confined-threads fires and is absorbed; no-wallclock never fires on
+  // the line, so that half of the list is stale.
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "std::mutex m_;  // NOLINT-DET(confined-threads,no-wallclock): "
+      "lock audited, clock long gone\n");
+  EXPECT_EQ(count_rule(findings, "confined-threads", true), 1);
+  EXPECT_EQ(count_rule(findings, "confined-threads"), 0);  // suppressed
+  ASSERT_EQ(count_rule(findings, "unused-suppression"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "unused-suppression") {
+      EXPECT_EQ(f.stale_rule, "no-wallclock");
+    }
+  }
+}
+
+TEST(DetlintSuppression, UnusedSuppressionCannotBeSuppressed) {
+  // Line 1 names unused-suppression and shields line 2; line 2 carries a
+  // stale shield. Both end up as unsuppressed unused-suppression
+  // findings: the stale one on line 2 cannot be shielded, and the
+  // would-be shield on line 1 is itself unused.
+  const auto findings = lint(
+      "src/core/foo.cpp",
+      "// NOLINT-DET(unused-suppression): trying to shield a stale shield\n"
+      "int x = 0;  // NOLINT-DET(no-wallclock): stale\n");
+  EXPECT_EQ(count_rule(findings, "unused-suppression"), 2);
+  EXPECT_EQ(count_rule(findings, "unused-suppression", true), 2);
+}
+
 TEST(DetlintSuppression, MissingReasonIsItselfAFindingAndSuppressesNothing) {
   const auto findings = lint(
       "src/core/foo.cpp",
@@ -416,9 +477,10 @@ TEST(DetlintJson, ReportCarriesEnvelopeRowsAndFindings) {
   EXPECT_NE(json.find("\"bench\": \"detlint\""), std::string::npos);
   EXPECT_NE(json.find("\"rows\": ["), std::string::npos);
   EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
-  // Per-rule counts: one open, one suppressed.
+  // Per-rule counts: one open, one suppressed, no stale shields.
   EXPECT_NE(json.find("{\"labels\": {\"rule\": \"confined-threads\"}, "
-                      "\"metrics\": {\"findings\": 1, \"suppressed\": 1}}"),
+                      "\"metrics\": {\"findings\": 1, \"suppressed\": 1, "
+                      "\"stale_suppressions\": 0}}"),
             std::string::npos);
   // Finding records with escaped reason text.
   EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
@@ -434,9 +496,29 @@ TEST(DetlintJson, RuleListIsStableAndDocumented) {
   }
   for (const char* expected :
        {"no-wallclock", "no-unordered-iteration", "no-pointer-order",
-        "confined-threads", "require-has-message", "bad-suppression"}) {
+        "confined-threads", "require-has-message", "bad-suppression",
+        "unused-suppression"}) {
     EXPECT_TRUE(names.count(expected) == 1) << expected;
   }
+}
+
+TEST(DetlintJson, StaleSuppressionCountsLandInPerRuleRows) {
+  detlint::Report report;
+  report.files_scanned = 1;
+  report.findings = lint(
+      "src/core/foo.cpp",
+      "int x = 0;  // NOLINT-DET(no-wallclock): stale shield\n");
+  const std::string json = detlint::to_json(report);
+  // The stale count lands on the rule that was named...
+  EXPECT_NE(json.find("{\"labels\": {\"rule\": \"no-wallclock\"}, "
+                      "\"metrics\": {\"findings\": 0, \"suppressed\": 0, "
+                      "\"stale_suppressions\": 1}}"),
+            std::string::npos);
+  // ...and the unused-suppression row carries the finding itself.
+  EXPECT_NE(json.find("{\"labels\": {\"rule\": \"unused-suppression\"}, "
+                      "\"metrics\": {\"findings\": 1, \"suppressed\": 0, "
+                      "\"stale_suppressions\": 0}}"),
+            std::string::npos);
 }
 
 // ============================================================= fixtures ==
@@ -492,6 +574,7 @@ TEST(DetlintFixtures, BadFixturesSeedTheExpectedFindingCounts) {
       {"no-wallclock", 5},          {"no-unordered-iteration", 2},
       {"no-pointer-order", 4},      {"confined-threads", 3},
       {"require-has-message", 2},   {"bad-suppression", 4},
+      {"unused-suppression", 3},
   };
   for (const auto& [rule, count] : expected) {
     const fs::path bad = dir / (rule + ".bad.cpp");

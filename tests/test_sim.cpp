@@ -272,6 +272,131 @@ TEST(ShardedSimulator, LateCrossShardPostClampsToTargetClock) {
   EXPECT_GE(sharded.staging_high_water(), 1u);
 }
 
+TEST(ShardedSimulator, FixedEpochWidthCoalescesBarriers) {
+  // Events at t=1..4 on both shards: width 0 takes one barrier per
+  // distinct timestamp, a width of 1.5 folds neighbouring timestamps
+  // into shared epochs without changing any shard's execution order.
+  const auto run_once = [](Time width) {
+    ShardedSimulator sharded(2, width);
+    std::vector<std::vector<int>> fired(2);
+    for (std::size_t s = 0; s < 2; ++s) {
+      auto* out = &fired[s];
+      for (int t = 1; t <= 4; ++t) {
+        sharded.shard(s).schedule_at(static_cast<Time>(t),
+                                     [out, t] { out->push_back(t); });
+      }
+    }
+    sharded.run(nullptr);
+    return std::pair{sharded.epochs(), fired};
+  };
+  const auto [narrow_epochs, narrow_fired] = run_once(0.0);
+  const auto [wide_epochs, wide_fired] = run_once(1.5);
+  EXPECT_EQ(narrow_epochs, 4u);
+  EXPECT_LT(wide_epochs, narrow_epochs);
+  EXPECT_EQ(narrow_fired, wide_fired);
+}
+
+TEST(ShardedSimulator, AdaptiveWidthLooksAheadToTheSecondFrontier) {
+  // Shard 0 is dense (t=1..4), shard 1 wakes at t=100. Width 0 pays a
+  // barrier per timestamp; the adaptive lookahead sees the second
+  // frontier at t=100 and drains everything up to it in one epoch.
+  const auto run_once = [](const EpochConfig& epoch) {
+    ShardedSimulator sharded(2, epoch);
+    std::vector<int> fired;
+    for (int t = 1; t <= 4; ++t) {
+      sharded.shard(0).schedule_at(static_cast<Time>(t),
+                                   [&fired, t] { fired.push_back(t); });
+    }
+    sharded.shard(1).schedule_at(100.0, [&fired] { fired.push_back(100); });
+    sharded.run(nullptr);
+    return std::pair{sharded.epochs(), fired};
+  };
+  const auto [fixed_epochs, fixed_fired] = run_once(EpochConfig{});
+  const auto [adaptive_epochs, adaptive_fired] =
+      run_once(EpochConfig{.width = 0.0, .adaptive = true});
+  EXPECT_EQ(fixed_epochs, 5u);
+  EXPECT_EQ(adaptive_epochs, 1u);  // lookahead reaches t=100 inclusive
+  EXPECT_EQ(fixed_fired, adaptive_fired);
+}
+
+TEST(ShardedSimulator, AdaptiveMaxWidthClampsTheLookahead) {
+  // Same shape, but the lookahead is capped at 10: the first epoch stops
+  // at t=1+10 and a second epoch handles the t=100 frontier.
+  ShardedSimulator sharded(
+      2, EpochConfig{.width = 0.0, .adaptive = true, .max_width = 10.0});
+  int fired = 0;
+  for (int t = 1; t <= 4; ++t) {
+    sharded.shard(0).schedule_at(static_cast<Time>(t), [&fired] { ++fired; });
+  }
+  sharded.shard(1).schedule_at(100.0, [&fired] { ++fired; });
+  sharded.run(nullptr);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sharded.epochs(), 2u);
+}
+
+TEST(ShardedSimulator, AdaptiveSingleActiveShardDrainsToMaxWidth) {
+  // Only one shard has pending events, so nothing another shard could
+  // observe constrains the epoch: the lookahead is max_width outright
+  // (infinite by default — the whole backlog drains in one epoch).
+  ShardedSimulator sharded(2, EpochConfig{.width = 0.0, .adaptive = true});
+  int fired = 0;
+  for (const Time t : {1.0, 50.0, 900.0}) {
+    sharded.shard(0).schedule_at(t, [&fired] { ++fired; });
+  }
+  sharded.run(nullptr);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sharded.epochs(), 1u);
+}
+
+TEST(ShardedSimulator, EpochConfigRejectsBadWidths) {
+  EXPECT_THROW(ShardedSimulator(2, EpochConfig{.width = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedSimulator(2, EpochConfig{.width = kTimeInfinity}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ShardedSimulator(2, EpochConfig{.width = 0.0, .adaptive = true,
+                                      .max_width = -2.0}),
+      std::invalid_argument);
+}
+
+TEST(ShardedSimulator, BarrierHookRunsOncePerEpoch) {
+  ShardedSimulator sharded(2);
+  int barriers = 0;
+  sharded.set_barrier_hook([&barriers] { ++barriers; });
+  for (int t = 1; t <= 3; ++t) {
+    sharded.shard(0).schedule_at(static_cast<Time>(t), [] {});
+  }
+  sharded.run(nullptr);
+  EXPECT_EQ(barriers, static_cast<int>(sharded.epochs()));
+  EXPECT_EQ(barriers, 3);
+
+  // The single-shard serial fast path has no barriers, so the hook must
+  // never fire there.
+  ShardedSimulator serial(1);
+  int serial_barriers = 0;
+  serial.set_barrier_hook([&serial_barriers] { ++serial_barriers; });
+  serial.shard(0).schedule_at(1.0, [] {});
+  serial.run(nullptr);
+  EXPECT_EQ(serial_barriers, 0);
+}
+
+TEST(ShardedSimulator, StagingHighWaterIsBoundedByOutstandingPosts) {
+  // One event stages five messages before its barrier: the high-water
+  // mark records exactly that bound and never exceeds the staged total.
+  ShardedSimulator sharded(2);
+  int delivered = 0;
+  sharded.shard(0).schedule_at(1.0, [&sharded, &delivered] {
+    for (int i = 0; i < 5; ++i) {
+      sharded.post(1, 2.0, [&delivered] { ++delivered; });
+    }
+  });
+  sharded.run(nullptr);
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(sharded.staged_messages(), 5u);
+  EXPECT_EQ(sharded.staging_high_water(), 5u);
+  EXPECT_LE(sharded.staging_high_water(), sharded.staged_messages());
+}
+
 TEST(ShardedSimulator, PostBeforeRunSchedulesDirectly) {
   ShardedSimulator sharded(2);
   std::vector<int> fired;

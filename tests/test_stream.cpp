@@ -785,11 +785,18 @@ struct ShardedCase {
   }
 
   [[nodiscard]] StreamOutcome run(StrategyKind kind, std::size_t shards,
-                                  ThreadPool* workers) const {
+                                  ThreadPool* workers,
+                                  sim::TraceRecorder* trace = nullptr,
+                                  grid::PerformanceHistoryRepository* history =
+                                      nullptr,
+                                  sim::EpochConfig epoch = {}) const {
     SessionEnvironment env;
     env.pool = &pool;
     env.shards = shards;
     env.shard_workers = workers;
+    env.trace = trace;
+    env.history = history;
+    env.epoch = epoch;
     const auto driver = make_strategy_driver(kind);
     StreamConfig config;
     config.workers = workers;
@@ -822,6 +829,41 @@ void expect_outcomes_identical(const StreamOutcome& a,
   EXPECT_EQ(a.jain_fairness, b.jain_fairness);
 }
 
+/// Byte-exact comparison of two merged trace recorders (field order and
+/// values — the merged sink contract, not just aggregate counts).
+void expect_traces_identical(const sim::TraceRecorder& a,
+                             const sim::TraceRecorder& b) {
+  ASSERT_EQ(a.intervals().size(), b.intervals().size());
+  for (std::size_t i = 0; i < a.intervals().size(); ++i) {
+    SCOPED_TRACE("interval " + std::to_string(i));
+    EXPECT_EQ(a.intervals()[i].kind, b.intervals()[i].kind);
+    EXPECT_EQ(a.intervals()[i].job, b.intervals()[i].job);
+    EXPECT_EQ(a.intervals()[i].consumer, b.intervals()[i].consumer);
+    EXPECT_EQ(a.intervals()[i].resource, b.intervals()[i].resource);
+    EXPECT_EQ(a.intervals()[i].start, b.intervals()[i].start);
+    EXPECT_EQ(a.intervals()[i].end, b.intervals()[i].end);
+  }
+}
+
+/// Byte-exact comparison of two merged history repositories: identical
+/// totals and identical per-key smoothed estimates (EWMA state depends
+/// on observation order, so this checks the merge order too).
+void expect_histories_identical(
+    const grid::PerformanceHistoryRepository& a,
+    const grid::PerformanceHistoryRepository& b) {
+  EXPECT_EQ(a.total_observations(), b.total_observations());
+  const auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    SCOPED_TRACE("key " + std::to_string(i));
+    EXPECT_EQ(sa[i].operation, sb[i].operation);
+    EXPECT_EQ(sa[i].resource, sb[i].resource);
+    EXPECT_EQ(sa[i].smoothed, sb[i].smoothed);
+    EXPECT_EQ(sa[i].count, sb[i].count);
+  }
+}
+
 /// The determinism contract for a fixed shard count > 1: twin runs on a
 /// real multi-threaded pool must agree bit-for-bit, every strategy kind.
 TEST(ShardedStream, FixedShardCountIsBitDeterministicRunToRun) {
@@ -847,6 +889,78 @@ TEST(ShardedStream, SingleShardMatchesSerialBitIdentically) {
   const StreamOutcome sharded =
       c.run(StrategyKind::kAdaptiveAheft, 1, &workers);
   expect_outcomes_identical(serial, sharded);
+}
+
+/// Tentpole contract: shared mutable sinks compose with sharded runs,
+/// and the merged output is byte-identical twin to twin — at every
+/// shard count, because each shard stages privately and the session
+/// replays the stamped records at barriers in (time, origin shard,
+/// origin seq) order.
+TEST(ShardedStream, MergedSinksAreBitDeterministicRunToRun) {
+  const ShardedCase c;
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    sim::TraceRecorder trace_a;
+    grid::PerformanceHistoryRepository history_a;
+    ThreadPool workers_a(3);
+    const StreamOutcome a = c.run(StrategyKind::kAdaptiveAheft, shards,
+                                  &workers_a, &trace_a, &history_a);
+    sim::TraceRecorder trace_b;
+    grid::PerformanceHistoryRepository history_b;
+    ThreadPool workers_b(3);
+    const StreamOutcome b = c.run(StrategyKind::kAdaptiveAheft, shards,
+                                  &workers_b, &trace_b, &history_b);
+    expect_outcomes_identical(a, b);
+    expect_traces_identical(trace_a, trace_b);
+    expect_histories_identical(history_a, history_b);
+    // The sinks actually saw the run: every job of every workflow left a
+    // compute interval and a history observation.
+    EXPECT_GE(trace_a.intervals().size(), 18u);  // 6 workflows x 3 jobs
+    EXPECT_GE(history_a.total_observations(), 18u);
+  }
+}
+
+/// The compat fence extends to sinks: shards=1 with recorders attached
+/// must be byte-identical to the plain serial session, recorders
+/// included (the serial fast path hands the shared sinks out directly).
+TEST(ShardedStream, SingleShardWithSinksMatchesSerialByteForByte) {
+  const ShardedCase c;
+  sim::TraceRecorder serial_trace;
+  grid::PerformanceHistoryRepository serial_history;
+  const StreamOutcome serial =
+      c.run(StrategyKind::kAdaptiveAheft, 1, nullptr, &serial_trace,
+            &serial_history);
+  sim::TraceRecorder sharded_trace;
+  grid::PerformanceHistoryRepository sharded_history;
+  ThreadPool workers(3);
+  const StreamOutcome sharded =
+      c.run(StrategyKind::kAdaptiveAheft, 1, &workers, &sharded_trace,
+            &sharded_history);
+  expect_outcomes_identical(serial, sharded);
+  expect_traces_identical(serial_trace, sharded_trace);
+  expect_histories_identical(serial_history, sharded_history);
+}
+
+/// Adaptive epoch width changes barrier frequency, never observable
+/// output: outcomes and merged sinks must match the fixed-width run
+/// byte for byte.
+TEST(ShardedStream, AdaptiveEpochWidthMatchesFixedWidthByteForByte) {
+  const ShardedCase c;
+  sim::TraceRecorder fixed_trace;
+  grid::PerformanceHistoryRepository fixed_history;
+  ThreadPool workers_a(3);
+  const StreamOutcome fixed =
+      c.run(StrategyKind::kAdaptiveAheft, 2, &workers_a, &fixed_trace,
+            &fixed_history, sim::EpochConfig{});
+  sim::TraceRecorder adaptive_trace;
+  grid::PerformanceHistoryRepository adaptive_history;
+  ThreadPool workers_b(3);
+  const StreamOutcome adaptive = c.run(
+      StrategyKind::kAdaptiveAheft, 2, &workers_b, &adaptive_trace,
+      &adaptive_history, sim::EpochConfig{.width = 0.0, .adaptive = true});
+  expect_outcomes_identical(fixed, adaptive);
+  expect_traces_identical(fixed_trace, adaptive_trace);
+  expect_histories_identical(fixed_history, adaptive_history);
 }
 
 /// A sharded stream must finish every workflow and keep the instances on
@@ -902,14 +1016,39 @@ TEST(ShardedSession, ConfinementRejectsForeignResourceAcquire) {
   EXPECT_DOUBLE_EQ(session.acquire(&probe, 0, 0.0, 1.0), 0.0);
 }
 
-TEST(ShardedSession, SharedMutableSinksRequireSerialSession) {
+TEST(ShardedSession, SharedSinksComposeWithShardedSessions) {
+  // Shared mutable sinks used to force shards=1; now each shard gets a
+  // private stamped staging buffer the session merges at tick barriers,
+  // so construction succeeds and a bound shard sees its own sink rather
+  // than the shared recorder.
   const ShardedCase c;
   sim::TraceRecorder trace;
+  grid::PerformanceHistoryRepository history;
   SessionEnvironment env;
   env.pool = &c.pool;
   env.shards = 2;
   env.trace = &trace;
-  EXPECT_THROW(SimulationSession{env}, std::invalid_argument);
+  env.history = &history;
+  SimulationSession session(env);
+  ASSERT_EQ(session.shard_count(), 2u);
+  const auto binding = session.bind_shard(1);
+  EXPECT_NE(session.trace(), static_cast<sim::TraceRecorder*>(&trace));
+  EXPECT_NE(session.history(),
+            static_cast<grid::PerformanceHistoryRepository*>(&history));
+}
+
+TEST(ShardedSession, SerialSessionsHandOutTheSharedSinksDirectly) {
+  const ShardedCase c;
+  sim::TraceRecorder trace;
+  grid::PerformanceHistoryRepository history;
+  SessionEnvironment env;
+  env.pool = &c.pool;
+  env.shards = 1;
+  env.trace = &trace;
+  env.history = &history;
+  SimulationSession session(env);
+  EXPECT_EQ(session.trace(), &trace);
+  EXPECT_EQ(session.history(), &history);
 }
 
 TEST(ShardedSession, ShardCountClampsToUniverse) {

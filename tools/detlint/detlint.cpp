@@ -335,6 +335,11 @@ const std::vector<RuleInfo>& rules() {
        "every AHEFT_ASSERT/AHEFT_REQUIRE carries a non-empty message"},
       {"bad-suppression",
        "a NOLINT-DET comment that does not parse or has no reason"},
+      {"unused-suppression",
+       "a well-formed NOLINT-DET naming a rule that never fires on the "
+       "shielded line (or a wildcard that suppresses nothing); stale "
+       "suppressions are findings so they rot loudly, and cannot "
+       "themselves be suppressed"},
   };
   return kRules;
 }
@@ -346,19 +351,31 @@ struct Suppression {
   std::set<std::string> rules;  // empty + wildcard=true means all rules
   bool wildcard = false;
   std::string reason;
+  int comment_line = 0;  // where the NOLINT-DET comment itself sits
+  // Usage accounting for unused-suppression: which of the named rules
+  // actually suppressed a finding, and whether the suppression matched
+  // anything at all (the latter is what a wildcard is judged by).
+  std::set<std::string> used_rules;
+  bool used = false;
 };
 
 struct SuppressionMap {
   std::map<int, std::vector<Suppression>> by_line;
 
-  [[nodiscard]] const Suppression* covering(int line,
-                                            const std::string& rule) const {
+  /// First suppression covering (line, rule), marked used. Only the
+  /// first match absorbs the finding, so a redundant duplicate on the
+  /// same line stays unused and is reported as stale.
+  [[nodiscard]] Suppression* covering(int line, const std::string& rule) {
     auto it = by_line.find(line);
     if (it == by_line.end()) {
       return nullptr;
     }
-    for (const Suppression& s : it->second) {
+    for (Suppression& s : it->second) {
       if (s.wildcard || s.rules.count(rule) > 0) {
+        s.used = true;
+        if (s.rules.count(rule) > 0) {
+          s.used_rules.insert(rule);
+        }
         return &s;
       }
     }
@@ -415,7 +432,7 @@ SuppressionMap collect_suppressions(const std::vector<Token>& tokens,
       pos = tag_end;
       auto bad = [&](const std::string& why) {
         findings.push_back(Finding{file, token.line, "bad-suppression", why,
-                                   false, ""});
+                                   false, "", ""});
       };
       if (tag_end >= token.text.size() || token.text[tag_end] != '(') {
         bad("NOLINT-DET must name its rules: NOLINT-DET(rule): reason");
@@ -465,6 +482,7 @@ SuppressionMap collect_suppressions(const std::vector<Token>& tokens,
       // comment shields its own line.
       const int target = code_lines.count(token.line) > 0 ? token.line
                                                           : token.line + 1;
+      suppression.comment_line = token.line;
       map.by_line[target].push_back(std::move(suppression));
     }
   }
@@ -579,7 +597,7 @@ class Linter {
       }
     }
     findings_.push_back(
-        Finding{file_, line, rule, std::move(message), false, ""});
+        Finding{file_, line, rule, std::move(message), false, "", ""});
   }
 
   [[nodiscard]] bool std_qualified(std::size_t i) const {
@@ -966,7 +984,7 @@ std::vector<Finding> lint_text(const std::string& path_label,
                                const Options& options) {
   const std::vector<Token> tokens = tokenize(source);
   std::vector<Finding> findings;
-  const SuppressionMap suppressions =
+  SuppressionMap suppressions =
       collect_suppressions(tokens, path_label, findings);
   const Code code(tokens);
   Linter(path_label, code, options, findings).run();
@@ -978,6 +996,32 @@ std::vector<Finding> lint_text(const std::string& path_label,
             suppressions.covering(finding.line, finding.rule)) {
       finding.suppressed = true;
       finding.reason = s->reason;
+    }
+  }
+  // Stale suppressions: every named rule that never absorbed a finding
+  // on its shielded line, and every wildcard that absorbed nothing, is a
+  // finding of its own (unsuppressable — it is the suppression machinery
+  // judging itself).
+  for (const auto& [target, list] : suppressions.by_line) {
+    (void)target;
+    for (const Suppression& s : list) {
+      for (const std::string& rule : s.rules) {
+        if (s.used_rules.count(rule) == 0) {
+          findings.push_back(Finding{
+              path_label, s.comment_line, "unused-suppression",
+              "NOLINT-DET(" + rule +
+                  ") suppresses nothing: the rule never fires on the "
+                  "shielded line; remove the stale suppression",
+              false, "", rule});
+        }
+      }
+      if (s.wildcard && !s.used) {
+        findings.push_back(Finding{
+            path_label, s.comment_line, "unused-suppression",
+            "NOLINT-DET(*) suppresses nothing on the shielded line; "
+            "remove the stale suppression",
+            false, "", "*"});
+      }
     }
   }
   std::stable_sort(findings.begin(), findings.end(),
@@ -1040,15 +1084,19 @@ std::string to_json(const Report& report) {
   for (const RuleInfo& rule : rules()) {
     int open = 0;
     int suppressed = 0;
+    int stale = 0;
     for (const Finding& f : report.findings) {
-      if (f.rule != rule.name) {
-        continue;
+      if (f.rule == rule.name) {
+        (f.suppressed ? suppressed : open) += 1;
       }
-      (f.suppressed ? suppressed : open) += 1;
+      if (f.rule == "unused-suppression" && f.stale_rule == rule.name) {
+        stale += 1;
+      }
     }
     out << (first ? "\n" : ",\n") << "    {\"labels\": {\"rule\": "
         << json_escape(rule.name) << "}, \"metrics\": {\"findings\": " << open
-        << ", \"suppressed\": " << suppressed << "}}";
+        << ", \"suppressed\": " << suppressed
+        << ", \"stale_suppressions\": " << stale << "}}";
     first = false;
   }
   out << "\n  ],\n  \"findings\": [";

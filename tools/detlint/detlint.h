@@ -23,12 +23,16 @@
 //   bad-suppression         a NOLINT-DET comment that does not parse or
 //                           carries no reason (a suppression without a
 //                           justification is itself a finding)
+//   unused-suppression      a well-formed NOLINT-DET naming a rule that
+//                           never fires on the line it shields (stale
+//                           suppressions rot loudly instead of silently)
 //
 // Findings print `file:line: rule: message`. A finding is suppressed by a
 // `// NOLINT-DET(rule[,rule...]): reason` comment on the same line, or on
 // a comment-only line immediately above. `NOLINT-DET(*): reason`
 // suppresses every rule on that line. A suppression without a reason does
-// NOT suppress and is reported as `bad-suppression`.
+// NOT suppress and is reported as `bad-suppression`. Neither
+// bad-suppression nor unused-suppression can itself be suppressed.
 //
 // The linter is deliberately libclang-free: a small token scanner that
 // understands comments, string/char literals, raw strings, preprocessor
@@ -75,6 +79,10 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string reason;  // the NOLINT-DET reason when suppressed
+  /// For unused-suppression findings only: the named rule that never
+  /// fired ("*" for a wildcard that suppressed nothing). Drives the
+  /// per-rule stale_suppressions counts in to_json; empty otherwise.
+  std::string stale_rule;
 };
 
 struct RuleInfo {

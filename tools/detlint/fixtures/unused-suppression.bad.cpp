@@ -1,0 +1,12 @@
+// detlint fixture — stale suppressions. Every shield below is
+// well-formed (rule named or wildcard, reason given) but sits on a line
+// where its rule never fires, so each one is an `unused-suppression`
+// finding and nothing else. (This header deliberately avoids the tag so
+// only the seeded lines count.)
+
+int once_timed = 0;  // NOLINT-DET(no-wallclock): shielded a time() call that was refactored away
+
+// NOLINT-DET(confined-threads): the mutex moved to support/, the shield stayed behind
+int no_longer_locked = 0;
+
+int blanket = 0;  // NOLINT-DET(*): blanket shield over a line with no findings at all

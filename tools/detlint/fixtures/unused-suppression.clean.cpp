@@ -1,0 +1,10 @@
+// detlint fixture — live suppressions. Every shield below absorbs a
+// finding that actually fires on its line, so none of them is stale and
+// the file produces zero unsuppressed findings. (This header
+// deliberately avoids the tag so only the seeded lines count.)
+#include <mutex>
+
+// NOLINT-DET(confined-threads): guards the fixture's memo cache, never sim-visible
+std::mutex cache_mutex;
+
+std::mutex registry_mutex;  // NOLINT-DET(confined-threads): registry lock, init-order safe
